@@ -1,0 +1,174 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, per the experiment index in DESIGN.md. Each benchmark runs
+// the corresponding experiment end to end (in shortened quick mode, so the
+// full suite completes in minutes) and reports the regenerated values as
+// custom benchmark metrics. Run a single experiment at the paper's full
+// scale with:
+//
+//	go run ./cmd/experiments -full -only F4
+package celestial_test
+
+import (
+	"testing"
+	"time"
+
+	"celestial/internal/apps/dart"
+	"celestial/internal/apps/meetup"
+	"celestial/internal/experiments"
+	"celestial/internal/orbit"
+	"celestial/internal/stats"
+)
+
+// runReport executes one experiment per benchmark iteration and fails the
+// benchmark if the paper's qualitative claim did not reproduce.
+func runReport(b *testing.B, fn func(experiments.Options) (experiments.Report, error)) experiments.Report {
+	b.Helper()
+	var rep experiments.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = fn(experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !rep.Pass {
+		b.Fatalf("experiment %s diverged from the paper:\n%v", rep.ID, rep.Lines)
+	}
+	return rep
+}
+
+// BenchmarkFig1StarlinkGeneration regenerates Fig. 1: instantiating and
+// positioning all 4,409 satellites of the phase I Starlink constellation.
+func BenchmarkFig1StarlinkGeneration(b *testing.B) {
+	runReport(b, experiments.Fig1)
+}
+
+// BenchmarkFig3ScenarioRTT regenerates Fig. 3's headline numbers: the
+// worst-client RTT through the best satellite (≈16 ms) versus the
+// Johannesburg data center (≈46 ms).
+func BenchmarkFig3ScenarioRTT(b *testing.B) {
+	rep := runReport(b, experiments.Fig3)
+	b.Log(rep.Lines)
+}
+
+// BenchmarkFig4MeetupCDF regenerates Fig. 4: the end-to-end latency CDFs
+// of the video conference under satellite and cloud bridge deployments,
+// reporting the median latency per deployment.
+func BenchmarkFig4MeetupCDF(b *testing.B) {
+	var satMedian, cloudMedian float64
+	for i := 0; i < b.N; i++ {
+		sat, err := meetup.Run(quickMeetup(meetup.DeploymentSatellite))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cloud, err := meetup.Run(quickMeetup(meetup.DeploymentCloud))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pair := meetup.Pair("accra", "yaounde")
+		satMedian = stats.Quantile(sat.Latencies(pair), 0.5)
+		cloudMedian = stats.Quantile(cloud.Latencies(pair), 0.5)
+	}
+	b.ReportMetric(satMedian, "sat-median-ms")
+	b.ReportMetric(cloudMedian, "cloud-median-ms")
+	if satMedian >= cloudMedian {
+		b.Fatalf("satellite bridge (%.1f ms) did not beat cloud (%.1f ms)", satMedian, cloudMedian)
+	}
+}
+
+// BenchmarkFig5MeasuredVsExpected regenerates Fig. 5: measured end-to-end
+// latency tracks the tracking server's calculated network latency.
+func BenchmarkFig5MeasuredVsExpected(b *testing.B) {
+	runReport(b, experiments.Fig5)
+}
+
+// BenchmarkFig6Reproducibility regenerates Fig. 6: three repetitions of
+// the same experiment produce the same latency series.
+func BenchmarkFig6Reproducibility(b *testing.B) {
+	runReport(b, experiments.Fig6)
+}
+
+// BenchmarkFig7HostCPUTrace and BenchmarkFig8HostMemTrace regenerate the
+// host resource usage traces (one experiment produces both).
+func BenchmarkFig7HostCPUTrace(b *testing.B) {
+	runReport(b, experiments.Fig7And8)
+}
+
+// BenchmarkFig8HostMemTrace is the memory half of the Fig. 7/8 trace
+// experiment; see BenchmarkFig7HostCPUTrace.
+func BenchmarkFig8HostMemTrace(b *testing.B) {
+	runReport(b, experiments.Fig7And8)
+}
+
+// BenchmarkCostComparison regenerates the §4.2 cost table.
+func BenchmarkCostComparison(b *testing.B) {
+	runReport(b, experiments.CostTable)
+}
+
+// BenchmarkConstellationUpdate regenerates the §3.1 claim that one
+// constellation update completes within a second.
+func BenchmarkConstellationUpdate(b *testing.B) {
+	runReport(b, experiments.CalcTime)
+}
+
+// BenchmarkFig10IridiumTopology regenerates Fig. 10: the Iridium
+// constellation with its cross-seam ISL gap and the DART ground segment.
+func BenchmarkFig10IridiumTopology(b *testing.B) {
+	runReport(b, experiments.Fig10)
+}
+
+// BenchmarkFig11DARTDeployments regenerates Fig. 11: mean end-to-end
+// latency of the remote-sensing pipeline under central and on-satellite
+// processing, reporting both means.
+func BenchmarkFig11DARTDeployments(b *testing.B) {
+	var centralMean, satMean float64
+	for i := 0; i < b.N; i++ {
+		central, err := dart.Run(quickDart(dart.DeploymentCentral))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sat, err := dart.Run(quickDart(dart.DeploymentSatellite))
+		if err != nil {
+			b.Fatal(err)
+		}
+		centralMean = central.Summary().Mean
+		satMean = sat.Summary().Mean
+	}
+	b.ReportMetric(centralMean, "central-mean-ms")
+	b.ReportMetric(satMean, "sat-mean-ms")
+	if satMean >= centralMean {
+		b.Fatalf("satellite deployment (%.1f ms) did not beat central (%.1f ms)", satMean, centralMean)
+	}
+}
+
+// BenchmarkNetemQuantization regenerates the §3.1 claim of 0.1 ms delay
+// injection accuracy.
+func BenchmarkNetemQuantization(b *testing.B) {
+	runReport(b, experiments.NetemQuantization)
+}
+
+// BenchmarkProcessingDelayModel regenerates the §4.1 processing-delay
+// baseline (1.37 ms median, 3.86 ms standard deviation).
+func BenchmarkProcessingDelayModel(b *testing.B) {
+	runReport(b, experiments.ProcessingDelayModelReport)
+}
+
+// quickMeetup mirrors experiments.Options quick mode for the benchmarks
+// that need raw results.
+func quickMeetup(d meetup.Deployment) meetup.Params {
+	p := meetup.DefaultParams(d)
+	p.Duration = 2 * time.Minute
+	p.Shells = 1
+	p.PacketInterval = 250 * time.Millisecond
+	p.Model = orbit.ModelKepler
+	return p
+}
+
+// quickDart mirrors experiments.Options quick mode for DART.
+func quickDart(d dart.Deployment) dart.Params {
+	p := dart.DefaultParams(d)
+	p.Duration = 90 * time.Second
+	p.Warmup = 30 * time.Second
+	p.Model = orbit.ModelKepler
+	return p
+}

@@ -1,0 +1,141 @@
+// Package celestial is a virtual software system testbed for the LEO edge,
+// a Go reproduction of "Celestial: Virtual Software System Testbeds for the
+// LEO Edge" (Pfandzelter & Bermbach, Middleware 2022).
+//
+// Celestial emulates LEO satellite constellations — satellite positions via
+// SGP4, +GRID inter-satellite laser links, ground-station uplinks with a
+// minimum elevation, shortest-path routing with end-to-end latency — and
+// runs one virtual machine per satellite server and ground station, with
+// network delays and bandwidth limits between machines that follow the
+// moving constellation. A geographic bounding box suspends machines outside
+// the region of interest for cost-efficient scalability, and radiation
+// fault injection crashes or degrades machines.
+//
+// Quickstart:
+//
+//	cfg := &celestial.Config{
+//		Shells: []celestial.Shell{{ShellConfig: celestial.Iridium(celestial.ModelKepler)}},
+//		GroundStations: []celestial.GroundStation{
+//			{Name: "hawaii", Location: celestial.LatLon{LatDeg: 21.3, LonDeg: -157.8}},
+//		},
+//	}
+//	if err := celestial.Finalize(cfg); err != nil { ... }
+//	tb, err := celestial.New(cfg)
+//	if err != nil { ... }
+//	if err := tb.Start(); err != nil { ... }
+//	hawaii, _ := tb.NodeByName("hawaii")
+//	tb.Network().Handle(hawaii, func(m celestial.Message) { ... })
+//
+// Experiments run in deterministic virtual time: tb.Run(d) advances the
+// emulation, delivering messages and applying constellation updates along
+// the way. Identical configurations produce bit-identical runs, which is
+// the paper's repeatability property.
+package celestial
+
+import (
+	"io"
+
+	"celestial/internal/bbox"
+	"celestial/internal/clock"
+	"celestial/internal/config"
+	"celestial/internal/constellation"
+	"celestial/internal/core"
+	"celestial/internal/faults"
+	"celestial/internal/geom"
+	"celestial/internal/netem"
+	"celestial/internal/orbit"
+	"celestial/internal/vnet"
+)
+
+// Configuration types.
+type (
+	// Config describes a complete testbed: shells, ground stations,
+	// network and compute parameters, bounding box, epoch, duration
+	// and update resolution.
+	Config = config.Config
+	// Shell is one constellation shell plus parameter overrides.
+	Shell = config.Shell
+	// GroundStation is a named ground-station server.
+	GroundStation = config.GroundStation
+	// NetworkParams are link-level emulation parameters.
+	NetworkParams = config.NetworkParams
+	// ComputeParams size the machine of a satellite or ground station.
+	ComputeParams = config.ComputeParams
+	// ShellConfig holds the orbital parameters of a shell.
+	ShellConfig = orbit.ShellConfig
+	// LatLon is a geodetic coordinate (degrees, altitude in km).
+	LatLon = geom.LatLon
+	// Box is a geographic bounding box for machine suspension.
+	Box = bbox.Box
+)
+
+// Runtime types.
+type (
+	// Testbed is one fully wired Celestial emulation.
+	Testbed = core.Testbed
+	// Message is a datagram delivered through the virtual network.
+	Message = vnet.Message
+	// State is one constellation topology snapshot.
+	State = constellation.State
+	// SEUModel configures radiation fault injection.
+	SEUModel = faults.SEUModel
+	// NetemParams are tc-netem-style link impairments (loss,
+	// duplication, corruption, reordering, jitter).
+	NetemParams = netem.Params
+	// ProcessingDelayModel generates client processing delays (§4.1's
+	// 1.37 ms median / 3.86 ms σ baseline).
+	ProcessingDelayModel = clock.ProcessingDelayModel
+)
+
+// Orbit propagation models.
+const (
+	// ModelSGP4 propagates satellites with the SGP4 simplified
+	// perturbations model (the paper's model).
+	ModelSGP4 = orbit.ModelSGP4
+	// ModelKepler uses an ideal circular-orbit propagator: faster and
+	// drift-free, useful for long experiments and tests.
+	ModelKepler = orbit.ModelKepler
+)
+
+// New builds a testbed from a finalized configuration.
+func New(cfg *Config) (*Testbed, error) { return core.NewTestbed(cfg) }
+
+// Finalize applies defaults to and validates a programmatically built
+// configuration.
+func Finalize(cfg *Config) error { return config.Finalize(cfg) }
+
+// ParseConfig reads, defaults and validates a TOML configuration.
+func ParseConfig(r io.Reader) (*Config, error) { return config.Parse(r) }
+
+// ParseConfigFile reads, defaults and validates a TOML configuration file.
+func ParseConfigFile(path string) (*Config, error) { return config.ParseFile(path) }
+
+// WholeEarth is the bounding box that never suspends any machine.
+var WholeEarth = bbox.WholeEarth
+
+// StarlinkPhase1 returns the five shells of the planned phase I Starlink
+// constellation (Fig. 1 of the paper): 4,409 satellites total.
+func StarlinkPhase1(model orbit.Model) []ShellConfig { return orbit.StarlinkPhase1(model) }
+
+// Iridium returns the Iridium constellation of the paper's case study:
+// 66 satellites, 6 polar planes at 780 km over a 180° arc.
+func Iridium(model orbit.Model) ShellConfig { return orbit.Iridium(model) }
+
+// DefaultProcessingDelay is the §4.1-calibrated client processing delay
+// model (1.37 ms median, ≈3.86 ms standard deviation).
+func DefaultProcessingDelay() ProcessingDelayModel { return clock.DefaultProcessingDelay() }
+
+// DefaultEpoch is the reproducible default constellation epoch used when a
+// configuration does not specify one.
+var DefaultEpoch = config.DefaultEpoch
+
+// RPC types for request/response messaging over the virtual network.
+type (
+	// RPC provides correlated request/response calls with timeouts on
+	// top of the datagram network; create instances with Testbed.RPC.
+	RPC = vnet.RPC
+	// Request is an incoming RPC request.
+	Request = vnet.Request
+	// Response is an RPC outcome (payload or error, with RTT).
+	Response = vnet.Response
+)

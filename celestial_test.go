@@ -1,0 +1,177 @@
+package celestial_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"celestial"
+)
+
+// publicTestbed builds a testbed exclusively through the public API.
+func publicTestbed(t *testing.T) *celestial.Testbed {
+	t.Helper()
+	cfg := &celestial.Config{
+		Name:       "public-api",
+		Duration:   time.Minute,
+		Resolution: 2 * time.Second,
+		Shells: []celestial.Shell{
+			{ShellConfig: celestial.Iridium(celestial.ModelKepler)},
+		},
+		GroundStations: []celestial.GroundStation{
+			{Name: "hawaii", Location: celestial.LatLon{LatDeg: 21.3656, LonDeg: -157.9623}},
+			{Name: "fiji", Location: celestial.LatLon{LatDeg: -17.7134, LonDeg: 178.0650}},
+		},
+	}
+	cfg.Network.MinElevationDeg = 10
+	if err := celestial.Finalize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := celestial.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tb := publicTestbed(t)
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	hawaii, err := tb.NodeByName("hawaii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fiji, err := tb.NodeByName("fiji")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []celestial.Message
+	tb.Network().Handle(hawaii, func(m celestial.Message) { msgs = append(msgs, m) })
+	tb.Network().Handle(fiji, func(celestial.Message) {})
+	if err := tb.Network().Send(fiji, hawaii, 512, "ping"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("delivered = %d", len(msgs))
+	}
+	// Fiji-Hawaii is ≈5100 km: the one-way latency through Iridium is
+	// tens of milliseconds.
+	if lat := msgs[0].Latency(); lat < 17*time.Millisecond || lat > 150*time.Millisecond {
+		t.Errorf("latency = %v", lat)
+	}
+}
+
+func TestPublicConfigParsing(t *testing.T) {
+	cfg, err := celestial.ParseConfig(strings.NewReader(`
+name = "toml-testbed"
+duration = 120
+[[shell]]
+planes = 6
+sats = 11
+altitude_km = 780
+inclination = 90
+arc_of_ascending_nodes = 180
+[[ground_station]]
+name = "hawaii"
+lat = 21.36
+long = -157.96
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "toml-testbed" || cfg.TotalSatellites() != 66 {
+		t.Errorf("cfg = %q, %d sats", cfg.Name, cfg.TotalSatellites())
+	}
+	tb, err := celestial.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.State() == nil {
+		t.Error("no state")
+	}
+}
+
+func TestPublicPresets(t *testing.T) {
+	shells := celestial.StarlinkPhase1(celestial.ModelKepler)
+	total := 0
+	for _, s := range shells {
+		total += s.Size()
+	}
+	if total != 4409 {
+		t.Errorf("starlink total = %d", total)
+	}
+	if celestial.Iridium(celestial.ModelSGP4).Size() != 66 {
+		t.Error("iridium size")
+	}
+	if celestial.WholeEarth.AreaFraction() != 1 {
+		t.Error("whole earth fraction")
+	}
+	if m := celestial.DefaultProcessingDelay(); m.Median != 1370*time.Microsecond {
+		t.Errorf("processing delay median = %v", m.Median)
+	}
+	if celestial.DefaultEpoch.Year() != 2022 {
+		t.Errorf("default epoch = %v", celestial.DefaultEpoch)
+	}
+}
+
+func TestPublicFaultInjection(t *testing.T) {
+	tb := publicTestbed(t)
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	model := celestial.SEUModel{RatePerHour: 240, ShutdownProb: 1, RebootAfter: 5 * time.Second}
+	if err := tb.InjectFaults(model, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	rebooted := 0
+	for _, h := range tb.Hosts() {
+		for _, m := range h.Machines() {
+			if m.BootCount() > 1 {
+				rebooted++
+			}
+		}
+	}
+	if rebooted == 0 {
+		t.Error("no reboots under 4 SEU/machine-hour over a minute across 66 machines")
+	}
+}
+
+func TestPublicRPC(t *testing.T) {
+	tb := publicTestbed(t)
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	hawaii, _ := tb.NodeByName("hawaii")
+	fiji, _ := tb.NodeByName("fiji")
+	server := tb.RPC(hawaii)
+	server.HandleRequests(func(req celestial.Request) (any, int) {
+		return "ack:" + req.Payload.(string), 64
+	})
+	client := tb.RPC(fiji)
+	var got celestial.Response
+	if err := client.Call(hawaii, 64, "alert", 2*time.Second, func(r celestial.Response) {
+		got = r
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got.Err != nil || got.Payload != "ack:alert" {
+		t.Fatalf("response = %+v", got)
+	}
+	if got.RTT < 30*time.Millisecond || got.RTT > 300*time.Millisecond {
+		t.Errorf("rtt = %v", got.RTT)
+	}
+}

@@ -1,0 +1,130 @@
+// Command celestial runs a testbed from a TOML configuration file, like
+// the original Celestial coordinator binary: it builds the constellation,
+// boots the machines, runs the update loop for the configured duration,
+// and optionally serves the testbed DNS and the HTTP information API on
+// real sockets for interactive exploration.
+//
+// Usage:
+//
+//	celestial -config testbed.toml [-progress 30s] [-dns :5353] [-http :8080] [-wall]
+//
+// Without -wall the emulation runs in virtual time (a 10-minute experiment
+// finishes in seconds); with -wall it advances in real time so external
+// clients can interact with the DNS and HTTP endpoints while satellites
+// move.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"celestial"
+	"celestial/internal/bbox"
+)
+
+func main() {
+	configPath := flag.String("config", "", "path to the TOML testbed configuration (required)")
+	progress := flag.Duration("progress", 30*time.Second, "virtual-time interval between progress reports")
+	dnsAddr := flag.String("dns", "", "UDP address to serve testbed DNS on (e.g. :5353)")
+	httpAddr := flag.String("http", "", "TCP address to serve the HTTP info API on (e.g. :8080)")
+	wall := flag.Bool("wall", false, "advance in wall-clock time instead of virtual time")
+	flag.Parse()
+
+	if *configPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg, err := celestial.ParseConfigFile(*configPath)
+	if err != nil {
+		log.Fatalf("celestial: %v", err)
+	}
+	tb, err := celestial.New(cfg)
+	if err != nil {
+		log.Fatalf("celestial: %v", err)
+	}
+
+	if *dnsAddr != "" {
+		conn, err := net.ListenPacket("udp", *dnsAddr)
+		if err != nil {
+			log.Fatalf("celestial: dns listener: %v", err)
+		}
+		defer conn.Close()
+		go func() {
+			if err := tb.ServeDNS(conn); err != nil {
+				log.Printf("celestial: dns server: %v", err)
+			}
+		}()
+		log.Printf("serving testbed DNS on %s (try: dig @%s 0.0.celestial)",
+			conn.LocalAddr(), conn.LocalAddr())
+	}
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("celestial: http listener: %v", err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := http.Serve(ln, tb.API()); err != nil {
+				log.Printf("celestial: http server: %v", err)
+			}
+		}()
+		log.Printf("serving info API on http://%s/info", ln.Addr())
+	}
+
+	if err := tb.Start(); err != nil {
+		log.Fatalf("celestial: %v", err)
+	}
+	log.Printf("testbed %q: %d satellites in %d shell(s), %d ground stations, %d host(s)",
+		cfg.Name, cfg.TotalSatellites(), len(cfg.Shells), len(cfg.GroundStations), cfg.Hosts)
+	log.Printf("epoch %s, duration %v, update resolution %v",
+		cfg.Epoch.Format(time.RFC3339), cfg.Duration, cfg.Resolution)
+
+	// Resource estimation, the §3.3 helper: Celestial "helps the user
+	// configure their bounding box in a manner that makes sure that
+	// available resources meet the demand from the emulation".
+	if cfg.BoundingBox != celestial.WholeEarth {
+		sat := bbox.MachineSize{VCPUs: cfg.Compute.VCPUs, MemoryMiB: cfg.Compute.MemMiB}
+		gst := sat
+		est := bbox.EstimateResources(cfg.BoundingBox, cfg.TotalSatellites(),
+			sat, len(cfg.GroundStations), gst)
+		log.Printf("bounding box %v covers %.1f%% of Earth: expect ≈%d active satellites, plan for %d vCPUs / %d MiB",
+			cfg.BoundingBox, 100*cfg.BoundingBox.AreaFraction(),
+			est.ExpectedActive, est.VCPUs, est.MemoryMiB)
+	}
+
+	report := func() {
+		st := tb.State()
+		if st == nil {
+			return
+		}
+		active := st.ActiveCount()
+		delivered, dropped := tb.Network().Stats()
+		fmt.Printf("t=%6.0fs  active=%5d/%d  links=%6d  delivered=%d dropped=%d\n",
+			tb.ElapsedSeconds(), active, len(st.Active), len(st.Links), delivered, dropped)
+	}
+
+	report()
+	step := *progress
+	if step <= 0 || step > cfg.Duration {
+		step = cfg.Duration
+	}
+	for tb.ElapsedSeconds() < cfg.Duration.Seconds() {
+		if *wall {
+			time.Sleep(step)
+		}
+		remaining := cfg.Duration - time.Duration(tb.ElapsedSeconds()*float64(time.Second))
+		if step > remaining {
+			step = remaining
+		}
+		if err := tb.Run(step); err != nil {
+			log.Fatalf("celestial: %v", err)
+		}
+		report()
+	}
+	log.Printf("experiment complete at t=%.0fs", tb.ElapsedSeconds())
+}

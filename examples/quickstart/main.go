@@ -1,0 +1,98 @@
+// Command quickstart demonstrates the celestial public API: it builds a
+// small Iridium testbed with two ground stations, runs it for two minutes
+// of virtual time, and prints positions, paths and end-to-end latencies as
+// the constellation moves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"celestial"
+)
+
+func main() {
+	// 1. Describe the testbed: one Iridium shell and two ground
+	//    stations. Everything else takes paper defaults.
+	cfg := &celestial.Config{
+		Name:       "quickstart",
+		Duration:   2 * time.Minute,
+		Resolution: 2 * time.Second,
+		Shells: []celestial.Shell{
+			{ShellConfig: celestial.Iridium(celestial.ModelSGP4)},
+		},
+		GroundStations: []celestial.GroundStation{
+			{Name: "hawaii", Location: celestial.LatLon{LatDeg: 21.3656, LonDeg: -157.9623}},
+			{Name: "fiji", Location: celestial.LatLon{LatDeg: -17.7134, LonDeg: 178.0650}},
+		},
+	}
+	cfg.Network.MinElevationDeg = 10
+	if err := celestial.Finalize(cfg); err != nil {
+		log.Fatalf("config: %v", err)
+	}
+
+	// 2. Build and start the testbed: machines boot, the constellation
+	//    update loop begins.
+	tb, err := celestial.New(cfg)
+	if err != nil {
+		log.Fatalf("testbed: %v", err)
+	}
+	if err := tb.Start(); err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	fmt.Printf("testbed %q: %d satellites, %d ground stations\n",
+		cfg.Name, cfg.TotalSatellites(), len(cfg.GroundStations))
+
+	// 3. Resolve nodes by name — the same identities the testbed DNS
+	//    serves as <sat>.<shell>.celestial / <name>.gst.celestial.
+	hawaii, err := tb.NodeByName("hawaii")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fiji, err := tb.NodeByName("fiji")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ip, err := tb.Resolver().Resolve("5.0.celestial")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("satellite 5 of shell 0 has address %v\n", ip)
+
+	// 4. Exchange messages through the emulated network and watch the
+	//    latency change as satellites move.
+	tb.Network().Handle(hawaii, func(m celestial.Message) {
+		fmt.Printf("t=%5.1fs  fiji → hawaii: %6.2f ms over the constellation\n",
+			tb.ElapsedSeconds(), m.Latency().Seconds()*1000)
+	})
+	tb.Network().Handle(fiji, func(celestial.Message) {})
+
+	if err := tb.Sim().Every(tb.Sim().Now(), 15*time.Second, func() bool {
+		if err := tb.Network().Send(fiji, hawaii, 1200, "sensor data"); err != nil {
+			fmt.Printf("t=%5.1fs  fiji → hawaii: no path (%v)\n", tb.ElapsedSeconds(), err)
+		}
+		return tb.ElapsedSeconds() < cfg.Duration.Seconds()
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Run the experiment to its configured end in virtual time.
+	if err := tb.RunToEnd(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Query the constellation database like the per-host HTTP API
+	//    would: the current path between the two stations.
+	st := tb.State()
+	path, err := st.Path(fiji, hawaii)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lat, err := st.Latency(fiji, hawaii)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final path fiji → hawaii: %d hops, %.2f ms one-way\n",
+		len(path)-1, lat*1000)
+}

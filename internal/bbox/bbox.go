@@ -1,0 +1,145 @@
+// Package bbox implements Celestial's geographic bounding box: a
+// configurable area on Earth to which emulated satellite servers are
+// limited (§3.3 of the paper). Satellites inside the box run as active
+// machines; satellites outside are suspended to free host resources.
+//
+// The box also backs the resource estimation feature: Celestial "helps the
+// user configure their bounding box in a manner that makes sure that
+// available resources meet the demand from the emulation based on
+// per-microVM resources and bounding box area".
+package bbox
+
+import (
+	"fmt"
+	"math"
+
+	"celestial/internal/geom"
+)
+
+// Box is a latitude/longitude-aligned bounding box. A box whose LonMinDeg
+// is greater than its LonMaxDeg crosses the antimeridian. The zero value is
+// the degenerate box at (0, 0).
+type Box struct {
+	LatMinDeg float64
+	LonMinDeg float64
+	LatMaxDeg float64
+	LonMaxDeg float64
+}
+
+// WholeEarth covers every location; with it no satellite is ever
+// suspended (the remedy §6.3 of the paper suggests for state-dependent
+// workloads).
+var WholeEarth = Box{LatMinDeg: -90, LonMinDeg: -180, LatMaxDeg: 90, LonMaxDeg: 180}
+
+// New builds a box from two corner coordinates, validating ranges.
+func New(latMin, lonMin, latMax, lonMax float64) (Box, error) {
+	b := Box{LatMinDeg: latMin, LonMinDeg: lonMin, LatMaxDeg: latMax, LonMaxDeg: lonMax}
+	return b, b.Validate()
+}
+
+// Validate reports an error for out-of-range coordinates.
+func (b Box) Validate() error {
+	switch {
+	case b.LatMinDeg < -90 || b.LatMaxDeg > 90:
+		return fmt.Errorf("bbox: latitude range [%v, %v] outside [-90, 90]", b.LatMinDeg, b.LatMaxDeg)
+	case b.LatMinDeg > b.LatMaxDeg:
+		return fmt.Errorf("bbox: latitude min %v greater than max %v", b.LatMinDeg, b.LatMaxDeg)
+	case b.LonMinDeg < -180 || b.LonMinDeg > 180 || b.LonMaxDeg < -180 || b.LonMaxDeg > 180:
+		return fmt.Errorf("bbox: longitude range [%v, %v] outside [-180, 180]", b.LonMinDeg, b.LonMaxDeg)
+	}
+	return nil
+}
+
+// CrossesAntimeridian reports whether the box wraps around ±180°.
+func (b Box) CrossesAntimeridian() bool { return b.LonMinDeg > b.LonMaxDeg }
+
+// Contains reports whether a geodetic location lies within the box.
+// Altitude is ignored: a satellite is "inside" when its ground track is.
+func (b Box) Contains(l geom.LatLon) bool {
+	if l.LatDeg < b.LatMinDeg || l.LatDeg > b.LatMaxDeg {
+		return false
+	}
+	lon := geom.NormalizeLonDeg(l.LonDeg)
+	if b.CrossesAntimeridian() {
+		return lon >= b.LonMinDeg || lon <= b.LonMaxDeg
+	}
+	return lon >= b.LonMinDeg && lon <= b.LonMaxDeg
+}
+
+// ContainsECEF reports whether an Earth-fixed position's ground track lies
+// within the box.
+func (b Box) ContainsECEF(p geom.Vec3) bool {
+	return b.Contains(geom.ToGeodetic(p))
+}
+
+// LonSpanDeg returns the longitudinal extent of the box in degrees.
+func (b Box) LonSpanDeg() float64 {
+	if b.CrossesAntimeridian() {
+		return 360 - (b.LonMinDeg - b.LonMaxDeg)
+	}
+	return b.LonMaxDeg - b.LonMinDeg
+}
+
+// AreaFraction returns the fraction of the Earth's surface the box covers,
+// using the exact spherical-zone formula.
+func (b Box) AreaFraction() float64 {
+	latSpan := math.Sin(geom.Rad(b.LatMaxDeg)) - math.Sin(geom.Rad(b.LatMinDeg))
+	return latSpan / 2 * (b.LonSpanDeg() / 360)
+}
+
+// AreaKm2 returns the surface area of the box in square kilometers.
+func (b Box) AreaKm2() float64 {
+	return b.AreaFraction() * 4 * math.Pi * geom.EarthRadiusKm * geom.EarthRadiusKm
+}
+
+// String implements fmt.Stringer.
+func (b Box) String() string {
+	return fmt.Sprintf("bbox[%.2f,%.2f → %.2f,%.2f]",
+		b.LatMinDeg, b.LonMinDeg, b.LatMaxDeg, b.LonMaxDeg)
+}
+
+// Estimate is the resource demand prediction for running a bounding box.
+type Estimate struct {
+	// ExpectedActive is the expected number of simultaneously active
+	// satellite machines (satellites whose ground track is in the box).
+	ExpectedActive int
+	// PeakActive is a conservative upper bound including a safety
+	// margin for uneven satellite distribution.
+	PeakActive int
+	// VCPUs and MemoryMiB are the host resources needed to run
+	// PeakActive machines plus the configured ground stations.
+	VCPUs     int
+	MemoryMiB int
+}
+
+// MachineSize describes the per-machine resource allocation used for the
+// estimate.
+type MachineSize struct {
+	VCPUs     int
+	MemoryMiB int
+}
+
+// EstimateResources predicts host resource demand for a bounding box, given
+// the total number of constellation satellites, the per-satellite machine
+// size, and the ground-station machines (count and size). The expected
+// number of in-box satellites is the box's area fraction times the
+// constellation size; the peak estimate applies a 1.5× margin, mirroring
+// Celestial's behavior of suggesting capacity above the average demand
+// (the paper's example estimates 137 cores and then deliberately
+// over-provisions with 96).
+func EstimateResources(b Box, totalSats int, sat MachineSize, gstCount int, gst MachineSize) Estimate {
+	expected := int(math.Ceil(b.AreaFraction() * float64(totalSats)))
+	peak := int(math.Ceil(1.5 * float64(expected)))
+	if peak > totalSats {
+		peak = totalSats
+	}
+	if expected > totalSats {
+		expected = totalSats
+	}
+	return Estimate{
+		ExpectedActive: expected,
+		PeakActive:     peak,
+		VCPUs:          peak*sat.VCPUs + gstCount*gst.VCPUs,
+		MemoryMiB:      peak*sat.MemoryMiB + gstCount*gst.MemoryMiB,
+	}
+}

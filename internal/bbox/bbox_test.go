@@ -1,0 +1,220 @@
+package bbox
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"celestial/internal/geom"
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		box     Box
+		wantErr bool
+	}{
+		{"whole earth", WholeEarth, false},
+		{"west africa", Box{-5, -20, 20, 20}, false},
+		{"antimeridian pacific", Box{-40, 150, 40, -120}, false},
+		{"bad lat order", Box{40, 0, 20, 10}, true},
+		{"lat too low", Box{-91, 0, 0, 10}, true},
+		{"lat too high", Box{0, 0, 95, 10}, true},
+		{"lon out of range", Box{0, -190, 10, 0}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.box.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(50, 0, 10, 10); err == nil {
+		t.Error("New accepted inverted latitudes")
+	}
+	if _, err := New(0, 0, 10, 10); err != nil {
+		t.Errorf("New rejected valid box: %v", err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	africa := Box{-5, -20, 25, 25}
+	tests := []struct {
+		name string
+		loc  geom.LatLon
+		want bool
+	}{
+		{"accra inside", geom.LatLon{LatDeg: 5.6, LonDeg: -0.19}, true},
+		{"johannesburg outside", geom.LatLon{LatDeg: -26.2, LonDeg: 28.05}, false},
+		{"north edge", geom.LatLon{LatDeg: 25, LonDeg: 0}, true},
+		{"just north", geom.LatLon{LatDeg: 25.01, LonDeg: 0}, false},
+		{"west edge", geom.LatLon{LatDeg: 0, LonDeg: -20}, true},
+		{"lon wrapped to inside", geom.LatLon{LatDeg: 0, LonDeg: 340}, true}, // 340 => -20
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := africa.Contains(tt.loc); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.loc, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestContainsAntimeridian(t *testing.T) {
+	pacific := Box{-40, 150, 40, -120}
+	tests := []struct {
+		name string
+		loc  geom.LatLon
+		want bool
+	}{
+		{"fiji", geom.LatLon{LatDeg: -17.7, LonDeg: 178}, true},
+		{"hawaii", geom.LatLon{LatDeg: 21.3, LonDeg: -157.8}, true},
+		{"dateline", geom.LatLon{LatDeg: 0, LonDeg: 180}, true},
+		{"greenwich", geom.LatLon{LatDeg: 0, LonDeg: 0}, false},
+		{"too far north", geom.LatLon{LatDeg: 50, LonDeg: 180}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := pacific.Contains(tt.loc); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.loc, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWholeEarthContainsEverything(t *testing.T) {
+	err := quick.Check(func(lat, lon float64) bool {
+		lat = math.Mod(lat, 90)
+		lon = math.Mod(lon, 180)
+		return WholeEarth.Contains(geom.LatLon{LatDeg: lat, LonDeg: lon})
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainsECEF(t *testing.T) {
+	africa := Box{-5, -20, 25, 25}
+	accraOverhead := geom.LatLon{LatDeg: 5.6, LonDeg: -0.19, AltKm: 550}.ECEF()
+	if !africa.ContainsECEF(accraOverhead) {
+		t.Error("satellite over Accra not in box")
+	}
+	pacificSat := geom.LatLon{LatDeg: 0, LonDeg: -150, AltKm: 550}.ECEF()
+	if africa.ContainsECEF(pacificSat) {
+		t.Error("satellite over Pacific in Africa box")
+	}
+}
+
+func TestAreaFraction(t *testing.T) {
+	if f := WholeEarth.AreaFraction(); math.Abs(f-1) > 1e-12 {
+		t.Errorf("whole earth fraction = %v", f)
+	}
+	// Northern hemisphere is half.
+	north := Box{0, -180, 90, 180}
+	if f := north.AreaFraction(); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("north fraction = %v", f)
+	}
+	// A half-longitude equatorial band: fraction = sin(30°)/2 * 1/2... verify
+	// numerically against the spherical zone formula.
+	band := Box{-30, -90, 30, 90}
+	want := (math.Sin(geom.Rad(30)) - math.Sin(geom.Rad(-30))) / 2 * 0.5
+	if f := band.AreaFraction(); math.Abs(f-want) > 1e-12 {
+		t.Errorf("band fraction = %v, want %v", f, want)
+	}
+	// Antimeridian-crossing box has the same area as the mirrored box.
+	a := Box{-10, 170, 10, -170}
+	b := Box{-10, -10, 10, 10}
+	if math.Abs(a.AreaFraction()-b.AreaFraction()) > 1e-12 {
+		t.Errorf("wrap area %v != mirror area %v", a.AreaFraction(), b.AreaFraction())
+	}
+}
+
+func TestAreaKm2(t *testing.T) {
+	earth := 4 * math.Pi * geom.EarthRadiusKm * geom.EarthRadiusKm
+	if a := WholeEarth.AreaKm2(); math.Abs(a-earth) > 1 {
+		t.Errorf("whole earth area = %v, want %v", a, earth)
+	}
+}
+
+func TestLonSpan(t *testing.T) {
+	if s := (Box{0, -20, 10, 25}).LonSpanDeg(); s != 45 {
+		t.Errorf("span = %v, want 45", s)
+	}
+	if s := (Box{0, 150, 10, -120}).LonSpanDeg(); s != 90 {
+		t.Errorf("wrap span = %v, want 90", s)
+	}
+}
+
+func TestEstimateResources(t *testing.T) {
+	// A quarter-earth box with 4000 satellites: expect ~1000 active.
+	quarter := Box{-90, -180, 90, -90}
+	est := EstimateResources(quarter, 4000,
+		MachineSize{VCPUs: 2, MemoryMiB: 512}, 4, MachineSize{VCPUs: 4, MemoryMiB: 4096})
+	if est.ExpectedActive != 1000 {
+		t.Errorf("expected active = %d, want 1000", est.ExpectedActive)
+	}
+	if est.PeakActive != 1500 {
+		t.Errorf("peak = %d, want 1500", est.PeakActive)
+	}
+	if want := 1500*2 + 4*4; est.VCPUs != want {
+		t.Errorf("vcpus = %d, want %d", est.VCPUs, want)
+	}
+	if want := 1500*512 + 4*4096; est.MemoryMiB != want {
+		t.Errorf("memory = %d, want %d", est.MemoryMiB, want)
+	}
+}
+
+func TestEstimateCapsAtTotal(t *testing.T) {
+	est := EstimateResources(WholeEarth, 100, MachineSize{VCPUs: 1, MemoryMiB: 128}, 0, MachineSize{})
+	if est.ExpectedActive != 100 || est.PeakActive != 100 {
+		t.Errorf("estimate = %+v, want capped at 100", est)
+	}
+}
+
+func TestEstimatePaperScenario(t *testing.T) {
+	// §4.1: bounding box over North/West Africa, Starlink shell 1 (1584
+	// satellites at 2 vCPUs each): Celestial estimates 137 required
+	// cores. Our model should land in that neighborhood.
+	box := Box{-5, -20, 25, 25}
+	est := EstimateResources(box, 1584,
+		MachineSize{VCPUs: 2, MemoryMiB: 512},
+		5, MachineSize{VCPUs: 4, MemoryMiB: 4096})
+	if est.VCPUs < 80 || est.VCPUs > 220 {
+		t.Errorf("estimated vCPUs = %d, want on the order of 137", est.VCPUs)
+	}
+}
+
+func TestContainsFractionMatchesArea(t *testing.T) {
+	// Property: the fraction of uniformly distributed points inside the
+	// box approximates its area fraction.
+	box := Box{-30, -60, 45, 80}
+	inside, total := 0, 0
+	for lat := -88.0; lat <= 88; lat += 2 {
+		// Weight samples by cos(lat) via sample count per band.
+		n := int(math.Round(50 * math.Cos(geom.Rad(lat))))
+		for i := 0; i < n; i++ {
+			lon := -180 + 360*float64(i)/float64(n)
+			total++
+			if box.Contains(geom.LatLon{LatDeg: lat, LonDeg: lon}) {
+				inside++
+			}
+		}
+	}
+	got := float64(inside) / float64(total)
+	want := box.AreaFraction()
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("sampled fraction %v vs analytic %v", got, want)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	box := Box{-5, -20, 25, 25}
+	loc := geom.LatLon{LatDeg: 5.6, LonDeg: -0.19}
+	for i := 0; i < b.N; i++ {
+		box.Contains(loc)
+	}
+}

@@ -1,0 +1,125 @@
+package clock
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallClock(t *testing.T) {
+	var c Clock = Wall{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before) {
+		t.Error("wall clock went backwards")
+	}
+	if c.Since(before) < 0 {
+		t.Error("negative since")
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	start := time.Date(2022, 4, 14, 12, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Errorf("now = %v", v.Now())
+	}
+	if err := v.Advance(90 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Since(start); got != 90*time.Second {
+		t.Errorf("since = %v", got)
+	}
+	if err := v.Advance(-time.Second); err == nil {
+		t.Error("accepted negative advance")
+	}
+	if err := v.Set(start.Add(time.Hour)); err != nil {
+		t.Errorf("Set forward: %v", err)
+	}
+	if err := v.Set(start); err == nil {
+		t.Error("accepted backwards Set")
+	}
+}
+
+func TestVirtualClockConcurrency(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := v.Advance(time.Millisecond); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = v.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); got != time.Unix(0, 0).Add(800*time.Millisecond) {
+		t.Errorf("final = %v", got)
+	}
+}
+
+func TestProcessingDelayModelCalibration(t *testing.T) {
+	m := DefaultProcessingDelay()
+	rng := rand.New(rand.NewSource(42))
+	n := 200000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = m.Sample(rng).Seconds() * 1000 // ms
+	}
+	sort.Float64s(samples)
+	median := samples[n/2]
+	// §4.1: 1.37 ms median.
+	if math.Abs(median-1.37) > 0.05 {
+		t.Errorf("median = %.3f ms, want ≈1.37", median)
+	}
+	mean := 0.0
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(n)
+	varSum := 0.0
+	for _, s := range samples {
+		varSum += (s - mean) * (s - mean)
+	}
+	sd := math.Sqrt(varSum / float64(n-1))
+	// §4.1: 3.86 ms standard deviation. The heavy-tailed log-normal
+	// makes the empirical SD noisy, so allow a generous band.
+	if sd < 2.5 || sd > 5.5 {
+		t.Errorf("stddev = %.3f ms, want ≈3.86", sd)
+	}
+	// All delays are positive.
+	if samples[0] <= 0 {
+		t.Errorf("min sample = %v", samples[0])
+	}
+}
+
+func TestProcessingDelayAnalytic(t *testing.T) {
+	m := DefaultProcessingDelay()
+	if got := m.StdDev(); math.Abs(got.Seconds()*1000-3.86) > 0.3 {
+		t.Errorf("analytic stddev = %v, want ≈3.86 ms", got)
+	}
+	if m.Mean() <= m.Median {
+		t.Error("log-normal mean should exceed median")
+	}
+	var zero ProcessingDelayModel
+	if zero.Sample(rand.New(rand.NewSource(1))) != 0 || zero.Mean() != 0 || zero.StdDev() != 0 {
+		t.Error("zero model should produce zero delays")
+	}
+}
+
+func TestProcessingDelayDeterministicWithSeed(t *testing.T) {
+	m := DefaultProcessingDelay()
+	a := m.Sample(rand.New(rand.NewSource(7)))
+	b := m.Sample(rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Error("same seed produced different samples")
+	}
+}

@@ -1,0 +1,547 @@
+// Package config defines the Celestial testbed configuration and its
+// validator. To limit side effects and ensure repeatable testing, all
+// parameters are passed within a single TOML configuration file (§3.1 of
+// the paper): network parameters such as ISL bandwidth, compute parameters
+// describing the resources of satellite and ground-station servers, orbital
+// parameters per shell, and ground-station locations.
+package config
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"celestial/internal/bbox"
+	"celestial/internal/geom"
+	"celestial/internal/orbit"
+)
+
+// Defaults mirroring the paper's experiment setups.
+const (
+	// DefaultResolution is the coordinator update interval (§4.1 uses
+	// 2 s, §5.1 uses 5 s).
+	DefaultResolution = 2 * time.Second
+	// DefaultDuration is the experiment length (§4.1 runs 10 minutes).
+	DefaultDuration = 10 * time.Minute
+	// DefaultBandwidthKbps is the 10 Gb/s ISL and radio link bandwidth
+	// assumed in §4.1.
+	DefaultBandwidthKbps = 10_000_000
+	// DefaultMinElevationDeg is the minimum elevation above the horizon
+	// for ground-to-satellite links.
+	DefaultMinElevationDeg = 30
+	// DefaultVCPUs and DefaultMemMiB are the satellite server size used
+	// in §4.1 (two vCPUs, 512 MiB).
+	DefaultVCPUs  = 2
+	DefaultMemMiB = 512
+)
+
+// NetworkParams are the link-level emulation parameters.
+type NetworkParams struct {
+	// BandwidthKbps is the capacity of ISLs.
+	BandwidthKbps float64
+	// GSTBandwidthKbps is the capacity of ground-to-satellite links;
+	// defaults to BandwidthKbps when zero.
+	GSTBandwidthKbps float64
+	// MinElevationDeg is the minimum elevation above the horizon for a
+	// ground station to use a satellite uplink.
+	MinElevationDeg float64
+	// AtmosphereCutoffKm is the altitude below which laser ISLs are
+	// refracted and unavailable.
+	AtmosphereCutoffKm float64
+	// GSTConnectionType selects how many uplinks a ground station
+	// gets: "all" (default) realizes a link to every visible
+	// satellite so routing picks the best; "one" links only the
+	// closest satellite, like a single-dish user terminal.
+	GSTConnectionType string
+}
+
+// ComputeParams size the microVM of a satellite or ground-station server.
+type ComputeParams struct {
+	VCPUs int
+	// MemMiB is the machine memory in MiB.
+	MemMiB int
+	// DiskMiB is the root filesystem overlay size in MiB.
+	DiskMiB int
+	// Kernel and RootFS name the boot artifacts. The emulation
+	// substrate does not interpret them, but they are carried through
+	// so user tooling can stage per-machine files, as in Celestial.
+	Kernel string
+	RootFS string
+	// BootDelay is how long a machine takes from start to active.
+	BootDelay time.Duration
+}
+
+// Shell is one constellation shell plus its parameter overrides.
+type Shell struct {
+	orbit.ShellConfig
+	// Network overrides NetworkParams for links of this shell when any
+	// field is non-zero.
+	Network NetworkParams
+	// Compute overrides the global compute parameters for this shell's
+	// satellites when any field is non-zero.
+	Compute ComputeParams
+}
+
+// GroundStation is a named ground-station server.
+type GroundStation struct {
+	Name     string
+	Location geom.LatLon
+	// Compute overrides the global compute parameters when non-zero.
+	Compute ComputeParams
+}
+
+// Config is a complete testbed description.
+type Config struct {
+	// Name labels the testbed run.
+	Name string
+	// Duration is the experiment length.
+	Duration time.Duration
+	// Resolution is the constellation update interval.
+	Resolution time.Duration
+	// Epoch is the constellation start time. The zero value means
+	// "use a fixed default epoch" so runs stay reproducible.
+	Epoch time.Time
+	// BoundingBox limits which satellites are emulated as active
+	// machines. Defaults to the whole Earth.
+	BoundingBox bbox.Box
+	// Hosts is the number of emulated Celestial hosts machines are
+	// distributed over.
+	Hosts int
+	// Network and Compute are the global defaults.
+	Network NetworkParams
+	Compute ComputeParams
+
+	Shells         []Shell
+	GroundStations []GroundStation
+}
+
+// DefaultEpoch is the reproducible default constellation epoch.
+var DefaultEpoch = time.Date(2022, 4, 14, 12, 0, 0, 0, time.UTC)
+
+// withDefaults fills unset fields.
+func (c *Config) withDefaults() {
+	if c.Duration == 0 {
+		c.Duration = DefaultDuration
+	}
+	if c.Resolution == 0 {
+		c.Resolution = DefaultResolution
+	}
+	if c.Epoch.IsZero() {
+		c.Epoch = DefaultEpoch
+	}
+	if c.BoundingBox == (bbox.Box{}) {
+		c.BoundingBox = bbox.WholeEarth
+	}
+	if c.Hosts == 0 {
+		c.Hosts = 1
+	}
+	if c.Network.BandwidthKbps == 0 {
+		c.Network.BandwidthKbps = DefaultBandwidthKbps
+	}
+	if c.Network.GSTBandwidthKbps == 0 {
+		c.Network.GSTBandwidthKbps = c.Network.BandwidthKbps
+	}
+	if c.Network.MinElevationDeg == 0 {
+		c.Network.MinElevationDeg = DefaultMinElevationDeg
+	}
+	if c.Network.AtmosphereCutoffKm == 0 {
+		c.Network.AtmosphereCutoffKm = geom.AtmosphereCutoffKm
+	}
+	if c.Network.GSTConnectionType == "" {
+		c.Network.GSTConnectionType = "all"
+	}
+	if c.Compute.VCPUs == 0 {
+		c.Compute.VCPUs = DefaultVCPUs
+	}
+	if c.Compute.MemMiB == 0 {
+		c.Compute.MemMiB = DefaultMemMiB
+	}
+	for i := range c.Shells {
+		s := &c.Shells[i]
+		if s.Name == "" {
+			s.Name = fmt.Sprintf("shell-%d", i)
+		}
+		mergeNetwork(&s.Network, c.Network)
+		mergeCompute(&s.Compute, c.Compute)
+	}
+	for i := range c.GroundStations {
+		mergeCompute(&c.GroundStations[i].Compute, c.Compute)
+	}
+}
+
+func mergeNetwork(dst *NetworkParams, def NetworkParams) {
+	if dst.BandwidthKbps == 0 {
+		dst.BandwidthKbps = def.BandwidthKbps
+	}
+	if dst.GSTBandwidthKbps == 0 {
+		dst.GSTBandwidthKbps = def.GSTBandwidthKbps
+	}
+	if dst.MinElevationDeg == 0 {
+		dst.MinElevationDeg = def.MinElevationDeg
+	}
+	if dst.AtmosphereCutoffKm == 0 {
+		dst.AtmosphereCutoffKm = def.AtmosphereCutoffKm
+	}
+	if dst.GSTConnectionType == "" {
+		dst.GSTConnectionType = def.GSTConnectionType
+	}
+}
+
+func mergeCompute(dst *ComputeParams, def ComputeParams) {
+	if dst.VCPUs == 0 {
+		dst.VCPUs = def.VCPUs
+	}
+	if dst.MemMiB == 0 {
+		dst.MemMiB = def.MemMiB
+	}
+	if dst.DiskMiB == 0 {
+		dst.DiskMiB = def.DiskMiB
+	}
+	if dst.Kernel == "" {
+		dst.Kernel = def.Kernel
+	}
+	if dst.RootFS == "" {
+		dst.RootFS = def.RootFS
+	}
+	if dst.BootDelay == 0 {
+		dst.BootDelay = def.BootDelay
+	}
+}
+
+// Validate is Celestial's Validator component: it checks the complete
+// configuration and returns a descriptive error for the first problem
+// found. Validate assumes defaults have been applied (Parse does this).
+func (c *Config) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("config: duration must be positive, have %v", c.Duration)
+	}
+	if c.Resolution <= 0 {
+		return fmt.Errorf("config: resolution must be positive, have %v", c.Resolution)
+	}
+	if c.Resolution > c.Duration {
+		return fmt.Errorf("config: resolution %v exceeds duration %v", c.Resolution, c.Duration)
+	}
+	if c.Hosts <= 0 {
+		return fmt.Errorf("config: hosts must be positive, have %d", c.Hosts)
+	}
+	if err := c.BoundingBox.Validate(); err != nil {
+		return err
+	}
+	if len(c.Shells) == 0 {
+		return fmt.Errorf("config: at least one shell is required")
+	}
+	names := map[string]bool{}
+	for i, s := range c.Shells {
+		if err := s.ShellConfig.Validate(); err != nil {
+			return fmt.Errorf("config: shell %d: %w", i, err)
+		}
+		if names[s.Name] {
+			return fmt.Errorf("config: duplicate shell name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.Network.MinElevationDeg < 0 || s.Network.MinElevationDeg >= 90 {
+			return fmt.Errorf("config: shell %q: min elevation %v outside [0, 90)", s.Name, s.Network.MinElevationDeg)
+		}
+		if s.Network.BandwidthKbps <= 0 {
+			return fmt.Errorf("config: shell %q: bandwidth must be positive", s.Name)
+		}
+		if s.Compute.VCPUs <= 0 || s.Compute.MemMiB <= 0 {
+			return fmt.Errorf("config: shell %q: compute allocation must be positive", s.Name)
+		}
+		if t := s.Network.GSTConnectionType; t != "all" && t != "one" {
+			return fmt.Errorf("config: shell %q: ground station connection type %q (want \"all\" or \"one\")", s.Name, t)
+		}
+	}
+	gstNames := map[string]bool{}
+	for i, g := range c.GroundStations {
+		if g.Name == "" {
+			return fmt.Errorf("config: ground station %d has no name", i)
+		}
+		if gstNames[g.Name] {
+			return fmt.Errorf("config: duplicate ground station name %q", g.Name)
+		}
+		gstNames[g.Name] = true
+		if g.Location.LatDeg < -90 || g.Location.LatDeg > 90 {
+			return fmt.Errorf("config: ground station %q: latitude %v outside [-90, 90]", g.Name, g.Location.LatDeg)
+		}
+		if g.Location.LonDeg < -180 || g.Location.LonDeg > 180 {
+			return fmt.Errorf("config: ground station %q: longitude %v outside [-180, 180]", g.Name, g.Location.LonDeg)
+		}
+		if g.Compute.VCPUs <= 0 || g.Compute.MemMiB <= 0 {
+			return fmt.Errorf("config: ground station %q: compute allocation must be positive", g.Name)
+		}
+	}
+	return nil
+}
+
+// TotalSatellites returns the number of satellites across all shells.
+func (c *Config) TotalSatellites() int {
+	total := 0
+	for _, s := range c.Shells {
+		total += s.Size()
+	}
+	return total
+}
+
+// EpochJulian returns the constellation epoch as a Julian date.
+func (c *Config) EpochJulian() float64 {
+	e := c.Epoch.UTC()
+	return geom.JulianDate(e.Year(), int(e.Month()), e.Day(),
+		e.Hour(), e.Minute(), float64(e.Second())+float64(e.Nanosecond())/1e9)
+}
+
+// Parse reads a TOML configuration, applies defaults, and validates it.
+func Parse(r io.Reader) (*Config, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("config: reading: %w", err)
+	}
+	doc, err := parseTOML(string(data))
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := fromDoc(doc)
+	if err != nil {
+		return nil, err
+	}
+	cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// ParseFile reads and validates a TOML configuration file.
+func ParseFile(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Finalize applies defaults and validates a programmatically built Config.
+func Finalize(c *Config) error {
+	c.withDefaults()
+	return c.Validate()
+}
+
+// fromDoc maps a parsed TOML tree to a Config.
+func fromDoc(doc tomlDoc) (*Config, error) {
+	c := &Config{}
+	var err error
+
+	if c.Name, _, err = getString(doc, "name"); err != nil {
+		return nil, err
+	}
+	if v, ok, err := getFloat(doc, "duration"); err != nil {
+		return nil, err
+	} else if ok {
+		c.Duration = time.Duration(v * float64(time.Second))
+	}
+	if v, ok, err := getFloat(doc, "resolution"); err != nil {
+		return nil, err
+	} else if ok {
+		c.Resolution = time.Duration(v * float64(time.Second))
+	}
+	if v, ok, err := getInt(doc, "hosts"); err != nil {
+		return nil, err
+	} else if ok {
+		c.Hosts = int(v)
+	}
+	if s, ok, err := getString(doc, "epoch"); err != nil {
+		return nil, err
+	} else if ok {
+		c.Epoch, err = time.Parse(time.RFC3339, s)
+		if err != nil {
+			return nil, fmt.Errorf("config: epoch: %w", err)
+		}
+	}
+	if arr, ok, err := getFloatArray(doc, "bbox"); err != nil {
+		return nil, err
+	} else if ok {
+		if len(arr) != 4 {
+			return nil, fmt.Errorf("config: bbox must have 4 elements [latMin, lonMin, latMax, lonMax], have %d", len(arr))
+		}
+		c.BoundingBox = bbox.Box{LatMinDeg: arr[0], LonMinDeg: arr[1], LatMaxDeg: arr[2], LonMaxDeg: arr[3]}
+	}
+
+	if tbl, err := getTable(doc, "network_params"); err != nil {
+		return nil, err
+	} else if tbl != nil {
+		if c.Network, err = networkFromTable(tbl); err != nil {
+			return nil, err
+		}
+	}
+	if tbl, err := getTable(doc, "compute_params"); err != nil {
+		return nil, err
+	} else if tbl != nil {
+		if c.Compute, err = computeFromTable(tbl); err != nil {
+			return nil, err
+		}
+	}
+
+	shells, err := getTableArray(doc, "shell")
+	if err != nil {
+		return nil, err
+	}
+	for i, tbl := range shells {
+		s, err := shellFromTable(tbl)
+		if err != nil {
+			return nil, fmt.Errorf("config: shell %d: %w", i, err)
+		}
+		c.Shells = append(c.Shells, s)
+	}
+
+	gsts, err := getTableArray(doc, "ground_station")
+	if err != nil {
+		return nil, err
+	}
+	for i, tbl := range gsts {
+		g, err := gstFromTable(tbl)
+		if err != nil {
+			return nil, fmt.Errorf("config: ground station %d: %w", i, err)
+		}
+		c.GroundStations = append(c.GroundStations, g)
+	}
+	return c, nil
+}
+
+func networkFromTable(tbl map[string]any) (NetworkParams, error) {
+	var n NetworkParams
+	var err error
+	if n.BandwidthKbps, _, err = getFloat(tbl, "bandwidth_kbits"); err != nil {
+		return n, err
+	}
+	if n.GSTBandwidthKbps, _, err = getFloat(tbl, "gst_bandwidth_kbits"); err != nil {
+		return n, err
+	}
+	if n.MinElevationDeg, _, err = getFloat(tbl, "min_elevation"); err != nil {
+		return n, err
+	}
+	if n.AtmosphereCutoffKm, _, err = getFloat(tbl, "atmosphere_cutoff_km"); err != nil {
+		return n, err
+	}
+	if n.GSTConnectionType, _, err = getString(tbl, "ground_station_connection_type"); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func computeFromTable(tbl map[string]any) (ComputeParams, error) {
+	var p ComputeParams
+	if v, _, err := getInt(tbl, "vcpu_count"); err != nil {
+		return p, err
+	} else {
+		p.VCPUs = int(v)
+	}
+	if v, _, err := getInt(tbl, "mem_size_mib"); err != nil {
+		return p, err
+	} else {
+		p.MemMiB = int(v)
+	}
+	if v, _, err := getInt(tbl, "disk_size_mib"); err != nil {
+		return p, err
+	} else {
+		p.DiskMiB = int(v)
+	}
+	var err error
+	if p.Kernel, _, err = getString(tbl, "kernel"); err != nil {
+		return p, err
+	}
+	if p.RootFS, _, err = getString(tbl, "rootfs"); err != nil {
+		return p, err
+	}
+	if v, _, err := getFloat(tbl, "boot_delay"); err != nil {
+		return p, err
+	} else {
+		p.BootDelay = time.Duration(v * float64(time.Second))
+	}
+	return p, nil
+}
+
+func shellFromTable(tbl map[string]any) (Shell, error) {
+	var s Shell
+	var err error
+	if s.Name, _, err = getString(tbl, "name"); err != nil {
+		return s, err
+	}
+	if v, ok, err := getInt(tbl, "planes"); err != nil {
+		return s, err
+	} else if ok {
+		s.Planes = int(v)
+	}
+	if v, ok, err := getInt(tbl, "sats"); err != nil {
+		return s, err
+	} else if ok {
+		s.SatsPerPlane = int(v)
+	}
+	if s.AltitudeKm, _, err = getFloat(tbl, "altitude_km"); err != nil {
+		return s, err
+	}
+	if s.InclinationDeg, _, err = getFloat(tbl, "inclination"); err != nil {
+		return s, err
+	}
+	if s.ArcDeg, _, err = getFloat(tbl, "arc_of_ascending_nodes"); err != nil {
+		return s, err
+	}
+	if s.Eccentricity, _, err = getFloat(tbl, "eccentricity"); err != nil {
+		return s, err
+	}
+	if v, ok, err := getInt(tbl, "phasing_factor"); err != nil {
+		return s, err
+	} else if ok {
+		s.PhasingFactor = int(v)
+	}
+	if m, ok, err := getString(tbl, "model"); err != nil {
+		return s, err
+	} else if ok {
+		switch m {
+		case "sgp4":
+			s.Model = orbit.ModelSGP4
+		case "kepler":
+			s.Model = orbit.ModelKepler
+		default:
+			return s, fmt.Errorf("unknown model %q (want sgp4 or kepler)", m)
+		}
+	}
+	if sub, err := getTable(tbl, "network_params"); err != nil {
+		return s, err
+	} else if sub != nil {
+		if s.Network, err = networkFromTable(sub); err != nil {
+			return s, err
+		}
+	}
+	if sub, err := getTable(tbl, "compute_params"); err != nil {
+		return s, err
+	} else if sub != nil {
+		if s.Compute, err = computeFromTable(sub); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func gstFromTable(tbl map[string]any) (GroundStation, error) {
+	var g GroundStation
+	var err error
+	if g.Name, _, err = getString(tbl, "name"); err != nil {
+		return g, err
+	}
+	if g.Location.LatDeg, _, err = getFloat(tbl, "lat"); err != nil {
+		return g, err
+	}
+	if g.Location.LonDeg, _, err = getFloat(tbl, "long"); err != nil {
+		return g, err
+	}
+	if sub, err := getTable(tbl, "compute_params"); err != nil {
+		return g, err
+	} else if sub != nil {
+		if g.Compute, err = computeFromTable(sub); err != nil {
+			return g, err
+		}
+	}
+	return g, nil
+}

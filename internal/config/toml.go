@@ -1,0 +1,387 @@
+// toml.go implements the subset of TOML that Celestial configuration files
+// use: top-level key/value pairs, [tables], [[arrays of tables]], dotted
+// table headers, strings, integers, floats, booleans and flat arrays, plus
+// comments. It intentionally does not implement TOML features the config
+// format never uses (dates, multiline strings, inline tables).
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tomlDoc is a parsed TOML document: a tree of nested maps where arrays of
+// tables appear as []map[string]any.
+type tomlDoc map[string]any
+
+// parseTOML decodes the supported TOML subset.
+func parseTOML(text string) (tomlDoc, error) {
+	root := tomlDoc{}
+	current := map[string]any(root)
+
+	lines := strings.Split(text, "\n")
+	for num, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lineNo := num + 1
+
+		switch {
+		case strings.HasPrefix(line, "[["):
+			if !strings.HasSuffix(line, "]]") {
+				return nil, fmt.Errorf("config: line %d: unterminated table array header", lineNo)
+			}
+			path := strings.TrimSpace(line[2 : len(line)-2])
+			tbl, err := appendTableArray(root, path)
+			if err != nil {
+				return nil, fmt.Errorf("config: line %d: %w", lineNo, err)
+			}
+			current = tbl
+		case strings.HasPrefix(line, "["):
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("config: line %d: unterminated table header", lineNo)
+			}
+			path := strings.TrimSpace(line[1 : len(line)-1])
+			tbl, err := openTable(root, path)
+			if err != nil {
+				return nil, fmt.Errorf("config: line %d: %w", lineNo, err)
+			}
+			current = tbl
+		default:
+			key, val, err := parseKeyValue(line)
+			if err != nil {
+				return nil, fmt.Errorf("config: line %d: %w", lineNo, err)
+			}
+			if _, exists := current[key]; exists {
+				return nil, fmt.Errorf("config: line %d: duplicate key %q", lineNo, key)
+			}
+			current[key] = val
+		}
+	}
+	return root, nil
+}
+
+// stripComment removes a trailing # comment, honoring quoted strings.
+func stripComment(line string) string {
+	inString := false
+	for i, c := range line {
+		switch c {
+		case '"':
+			inString = !inString
+		case '#':
+			if !inString {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// openTable walks (creating as needed) a dotted table path and returns the
+// innermost table. If a path element is an array of tables, the last
+// element of the array is used, per the TOML specification.
+func openTable(root map[string]any, path string) (map[string]any, error) {
+	if path == "" {
+		return nil, fmt.Errorf("empty table name")
+	}
+	cur := root
+	for _, part := range strings.Split(path, ".") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty table path element in %q", path)
+		}
+		switch v := cur[part].(type) {
+		case nil:
+			next := map[string]any{}
+			cur[part] = next
+			cur = next
+		case map[string]any:
+			cur = v
+		case []map[string]any:
+			if len(v) == 0 {
+				return nil, fmt.Errorf("table array %q is empty", part)
+			}
+			cur = v[len(v)-1]
+		default:
+			return nil, fmt.Errorf("%q is a value, not a table", part)
+		}
+	}
+	return cur, nil
+}
+
+// appendTableArray appends a new table to the array at a dotted path and
+// returns it.
+func appendTableArray(root map[string]any, path string) (map[string]any, error) {
+	if path == "" {
+		return nil, fmt.Errorf("empty table array name")
+	}
+	parts := strings.Split(path, ".")
+	parent := root
+	if len(parts) > 1 {
+		var err error
+		parent, err = openTable(root, strings.Join(parts[:len(parts)-1], "."))
+		if err != nil {
+			return nil, err
+		}
+	}
+	name := strings.TrimSpace(parts[len(parts)-1])
+	next := map[string]any{}
+	switch v := parent[name].(type) {
+	case nil:
+		parent[name] = []map[string]any{next}
+	case []map[string]any:
+		parent[name] = append(v, next)
+	default:
+		return nil, fmt.Errorf("%q is not a table array", name)
+	}
+	return next, nil
+}
+
+// parseKeyValue decodes one `key = value` line.
+func parseKeyValue(line string) (string, any, error) {
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return "", nil, fmt.Errorf("expected key = value, got %q", line)
+	}
+	key := strings.TrimSpace(line[:eq])
+	key = strings.Trim(key, `"`)
+	if key == "" {
+		return "", nil, fmt.Errorf("empty key in %q", line)
+	}
+	val, err := parseValue(strings.TrimSpace(line[eq+1:]))
+	if err != nil {
+		return "", nil, fmt.Errorf("key %q: %w", key, err)
+	}
+	return key, val, nil
+}
+
+// parseValue decodes a scalar or flat array value.
+func parseValue(s string) (any, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing value")
+	}
+	switch {
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case s[0] == '"':
+		if len(s) < 2 || s[len(s)-1] != '"' {
+			return nil, fmt.Errorf("unterminated string %q", s)
+		}
+		return unescapeString(s[1 : len(s)-1])
+	case s[0] == '[':
+		if s[len(s)-1] != ']' {
+			return nil, fmt.Errorf("unterminated array %q", s)
+		}
+		return parseArray(s[1 : len(s)-1])
+	default:
+		// TOML allows underscores in numbers for readability.
+		clean := strings.ReplaceAll(s, "_", "")
+		if i, err := strconv.ParseInt(clean, 10, 64); err == nil {
+			return i, nil
+		}
+		if f, err := strconv.ParseFloat(clean, 64); err == nil {
+			return f, nil
+		}
+		return nil, fmt.Errorf("cannot parse value %q", s)
+	}
+}
+
+// parseArray decodes the contents of a flat [a, b, c] array.
+func parseArray(inner string) (any, error) {
+	inner = strings.TrimSpace(inner)
+	if inner == "" {
+		return []any{}, nil
+	}
+	parts, err := splitTopLevel(inner)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, 0, len(parts))
+	for _, p := range parts {
+		v, err := parseValue(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitTopLevel splits on commas outside of quotes and brackets.
+func splitTopLevel(s string) ([]string, error) {
+	var parts []string
+	depth := 0
+	inString := false
+	start := 0
+	for i, c := range s {
+		switch c {
+		case '"':
+			inString = !inString
+		case '[':
+			if !inString {
+				depth++
+			}
+		case ']':
+			if !inString {
+				depth--
+				if depth < 0 {
+					return nil, fmt.Errorf("unbalanced brackets in %q", s)
+				}
+			}
+		case ',':
+			if !inString && depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if inString {
+		return nil, fmt.Errorf("unterminated string in %q", s)
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced brackets in %q", s)
+	}
+	if rest := strings.TrimSpace(s[start:]); rest != "" {
+		parts = append(parts, rest)
+	}
+	return parts, nil
+}
+
+func unescapeString(s string) (string, error) {
+	if !strings.Contains(s, `\`) {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("dangling escape in %q", s)
+		}
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			return "", fmt.Errorf("unsupported escape \\%c", s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// Typed accessors used by the config decoder. Each returns an error naming
+// the key when the type does not match.
+
+func getString(m map[string]any, key string) (string, bool, error) {
+	v, ok := m[key]
+	if !ok {
+		return "", false, nil
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", false, fmt.Errorf("config: %q must be a string, have %T", key, v)
+	}
+	return s, true, nil
+}
+
+func getInt(m map[string]any, key string) (int64, bool, error) {
+	v, ok := m[key]
+	if !ok {
+		return 0, false, nil
+	}
+	switch n := v.(type) {
+	case int64:
+		return n, true, nil
+	case float64:
+		if n == float64(int64(n)) {
+			return int64(n), true, nil
+		}
+	}
+	return 0, false, fmt.Errorf("config: %q must be an integer, have %v", key, v)
+}
+
+func getFloat(m map[string]any, key string) (float64, bool, error) {
+	v, ok := m[key]
+	if !ok {
+		return 0, false, nil
+	}
+	switch n := v.(type) {
+	case int64:
+		return float64(n), true, nil
+	case float64:
+		return n, true, nil
+	}
+	return 0, false, fmt.Errorf("config: %q must be a number, have %T", key, v)
+}
+
+func getBool(m map[string]any, key string) (bool, bool, error) {
+	v, ok := m[key]
+	if !ok {
+		return false, false, nil
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, false, fmt.Errorf("config: %q must be a boolean, have %T", key, v)
+	}
+	return b, true, nil
+}
+
+func getFloatArray(m map[string]any, key string) ([]float64, bool, error) {
+	v, ok := m[key]
+	if !ok {
+		return nil, false, nil
+	}
+	arr, ok := v.([]any)
+	if !ok {
+		return nil, false, fmt.Errorf("config: %q must be an array, have %T", key, v)
+	}
+	out := make([]float64, 0, len(arr))
+	for i, e := range arr {
+		switch n := e.(type) {
+		case int64:
+			out = append(out, float64(n))
+		case float64:
+			out = append(out, n)
+		default:
+			return nil, false, fmt.Errorf("config: %q[%d] must be a number, have %T", key, i, e)
+		}
+	}
+	return out, true, nil
+}
+
+func getTableArray(m map[string]any, key string) ([]map[string]any, error) {
+	v, ok := m[key]
+	if !ok {
+		return nil, nil
+	}
+	arr, ok := v.([]map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("config: %q must be an array of tables, have %T", key, v)
+	}
+	return arr, nil
+}
+
+func getTable(m map[string]any, key string) (map[string]any, error) {
+	v, ok := m[key]
+	if !ok {
+		return nil, nil
+	}
+	tbl, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("config: %q must be a table, have %T", key, v)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,232 @@
+package config
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseTOMLScalars(t *testing.T) {
+	doc, err := parseTOML(`
+# comment line
+name = "celestial run"   # trailing comment
+count = 42
+big = 1_000_000
+ratio = 0.75
+neg = -3.5
+on = true
+off = false
+hash = "a#b"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tomlDoc{
+		"name":  "celestial run",
+		"count": int64(42),
+		"big":   int64(1000000),
+		"ratio": 0.75,
+		"neg":   -3.5,
+		"on":    true,
+		"off":   false,
+		"hash":  "a#b",
+	}
+	if !reflect.DeepEqual(doc, want) {
+		t.Errorf("doc = %#v", doc)
+	}
+}
+
+func TestParseTOMLArrays(t *testing.T) {
+	doc, err := parseTOML(`
+bbox = [34.65, -13.88, 39.21, -4.07]
+mixed = [1, 2.5]
+empty = []
+names = ["a", "b,c"]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc["bbox"].([]any); len(got) != 4 || got[0] != 34.65 {
+		t.Errorf("bbox = %v", got)
+	}
+	if got := doc["names"].([]any); got[1] != "b,c" {
+		t.Errorf("names = %v", got)
+	}
+	if got := doc["empty"].([]any); len(got) != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestParseTOMLTables(t *testing.T) {
+	doc, err := parseTOML(`
+top = 1
+[network_params]
+bandwidth_kbits = 10000000
+min_elevation = 40
+[compute_params]
+vcpu_count = 2
+[a.b]
+deep = true
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := doc["network_params"].(map[string]any)
+	if np["bandwidth_kbits"] != int64(10000000) {
+		t.Errorf("bandwidth = %v", np["bandwidth_kbits"])
+	}
+	ab := doc["a"].(map[string]any)["b"].(map[string]any)
+	if ab["deep"] != true {
+		t.Errorf("a.b.deep = %v", ab["deep"])
+	}
+}
+
+func TestParseTOMLTableArrays(t *testing.T) {
+	doc, err := parseTOML(`
+[[shell]]
+planes = 72
+sats = 22
+[[shell]]
+planes = 6
+sats = 11
+[shell.compute_params]
+vcpu_count = 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shells := doc["shell"].([]map[string]any)
+	if len(shells) != 2 {
+		t.Fatalf("shells = %d", len(shells))
+	}
+	if shells[0]["planes"] != int64(72) {
+		t.Errorf("shell 0 planes = %v", shells[0]["planes"])
+	}
+	// The nested table attaches to the most recent array element.
+	cp := shells[1]["compute_params"].(map[string]any)
+	if cp["vcpu_count"] != int64(1) {
+		t.Errorf("nested compute = %v", cp)
+	}
+}
+
+func TestParseTOMLErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"unterminated table", "[abc"},
+		{"unterminated table array", "[[abc]"},
+		{"missing equals", "justakey"},
+		{"missing value", "key ="},
+		{"unterminated string", `key = "abc`},
+		{"unterminated array", "key = [1, 2"},
+		{"duplicate key", "a = 1\na = 2"},
+		{"bad value", "a = notavalue"},
+		{"table over value", "a = 1\n[a]"},
+		{"empty table name", "[]"},
+		{"bad escape", `a = "x\q"`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := parseTOML(tt.in); err == nil {
+				t.Errorf("accepted %q", tt.in)
+			}
+		})
+	}
+}
+
+func TestParseTOMLEscapes(t *testing.T) {
+	doc, err := parseTOML(`s = "line\nnext\t\"q\" \\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["s"] != "line\nnext\t\"q\" \\" {
+		t.Errorf("s = %q", doc["s"])
+	}
+}
+
+func TestStripComment(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{`a = 1 # comment`, `a = 1 `},
+		{`a = "x # y"`, `a = "x # y"`},
+		{`# whole line`, ``},
+		{`plain`, `plain`},
+	}
+	for _, tt := range tests {
+		if got := stripComment(tt.in); got != tt.want {
+			t.Errorf("stripComment(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	doc, err := parseTOML(`
+s = "str"
+i = 7
+f = 2.5
+b = true
+arr = [1, 2]
+[tbl]
+x = 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := getString(doc, "s"); err != nil || !ok || v != "str" {
+		t.Errorf("getString = %v %v %v", v, ok, err)
+	}
+	if _, ok, err := getString(doc, "missing"); err != nil || ok {
+		t.Errorf("missing getString = %v %v", ok, err)
+	}
+	if _, _, err := getString(doc, "i"); err == nil {
+		t.Error("getString accepted int")
+	}
+	if v, ok, err := getInt(doc, "i"); err != nil || !ok || v != 7 {
+		t.Errorf("getInt = %v %v %v", v, ok, err)
+	}
+	if _, _, err := getInt(doc, "f"); err == nil {
+		t.Error("getInt accepted non-integral float")
+	}
+	if v, ok, err := getFloat(doc, "f"); err != nil || !ok || v != 2.5 {
+		t.Errorf("getFloat = %v %v %v", v, ok, err)
+	}
+	if v, ok, err := getFloat(doc, "i"); err != nil || !ok || v != 7 {
+		t.Errorf("getFloat(int) = %v %v %v", v, ok, err)
+	}
+	if v, ok, err := getBool(doc, "b"); err != nil || !ok || !v {
+		t.Errorf("getBool = %v %v %v", v, ok, err)
+	}
+	if _, _, err := getBool(doc, "s"); err == nil {
+		t.Error("getBool accepted string")
+	}
+	if v, ok, err := getFloatArray(doc, "arr"); err != nil || !ok || len(v) != 2 || v[1] != 2 {
+		t.Errorf("getFloatArray = %v %v %v", v, ok, err)
+	}
+	if tbl, err := getTable(doc, "tbl"); err != nil || tbl["x"] != int64(1) {
+		t.Errorf("getTable = %v %v", tbl, err)
+	}
+	if _, err := getTable(doc, "s"); err == nil {
+		t.Error("getTable accepted string")
+	}
+}
+
+func TestSplitTopLevel(t *testing.T) {
+	parts, err := splitTopLevel(`1, "a,b", [2, 3], 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", ` "a,b"`, ` [2, 3]`, "4"}
+	if !reflect.DeepEqual(parts, want) {
+		t.Errorf("parts = %q", parts)
+	}
+	if _, err := splitTopLevel(`[1, 2`); err == nil {
+		t.Error("accepted unbalanced brackets")
+	}
+}
+
+func TestParseTOMLLineNumbersInErrors(t *testing.T) {
+	_, err := parseTOML("a = 1\nb = 2\nc = ???")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error = %v, want line 3", err)
+	}
+}

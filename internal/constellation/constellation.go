@@ -1,0 +1,444 @@
+// Package constellation implements Celestial's Constellation Calculation
+// component: it periodically computes the state of the satellite network —
+// positions of satellites and ground stations, network link distances and
+// delays, and shortest paths between nodes with their end-to-end latency
+// (§3.1 of the paper).
+//
+// A Constellation is built once from a validated configuration; Snapshot
+// then produces an immutable State for any offset since the epoch. States
+// are pure functions of the configuration and the time offset, which is
+// what makes Celestial runs repeatable ("users can provide an arbitrary
+// but firm starting point for their testbed emulation").
+package constellation
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"celestial/internal/config"
+	"celestial/internal/geom"
+	"celestial/internal/graph"
+	"celestial/internal/orbit"
+	"celestial/internal/topo"
+)
+
+// NodeKind distinguishes satellites from ground stations in the
+// constellation-wide node numbering.
+type NodeKind int
+
+const (
+	// KindSatellite is a satellite server node.
+	KindSatellite NodeKind = iota + 1
+	// KindGroundStation is a ground-station server node.
+	KindGroundStation
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KindSatellite:
+		return "sat"
+	case KindGroundStation:
+		return "gst"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node identifies one server in the constellation-wide numbering: all
+// satellites of shell 0 first, then shell 1, ..., then ground stations.
+type Node struct {
+	// ID is the constellation-wide node index.
+	ID   int
+	Kind NodeKind
+	// Shell and Sat identify a satellite (flat in-shell index); for
+	// ground stations Shell is -1 and Sat is the station index.
+	Shell int
+	Sat   int
+	// Name is the DNS-style identity: "<sat>.<shell>" for satellites
+	// (e.g. "878.0"), the configured name for ground stations.
+	Name string
+}
+
+// Constellation precomputes everything that does not change over time:
+// shells, ISL plans, ground-station positions and the node numbering.
+type Constellation struct {
+	cfg    *config.Config
+	shells []*orbit.Shell
+	plans  [][]topo.ISL
+	base   []int // node index base per shell
+	gstPos []geom.Vec3
+	gst    []config.GroundStation
+	nodes  []Node
+}
+
+// New builds a Constellation from a validated configuration.
+func New(cfg *config.Config) (*Constellation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Constellation{cfg: cfg}
+	epoch := cfg.EpochJulian()
+	id := 0
+	for si := range cfg.Shells {
+		sh, err := orbit.NewShell(cfg.Shells[si].ShellConfig, epoch)
+		if err != nil {
+			return nil, fmt.Errorf("constellation: shell %d: %w", si, err)
+		}
+		c.shells = append(c.shells, sh)
+		c.plans = append(c.plans, topo.GridLinks(cfg.Shells[si].ShellConfig))
+		c.base = append(c.base, id)
+		for f := 0; f < sh.Size(); f++ {
+			c.nodes = append(c.nodes, Node{
+				ID: id, Kind: KindSatellite, Shell: si, Sat: f,
+				Name: fmt.Sprintf("%d.%d", f, si),
+			})
+			id++
+		}
+	}
+	for gi, g := range cfg.GroundStations {
+		c.gst = append(c.gst, g)
+		c.gstPos = append(c.gstPos, g.Location.ECEF())
+		c.nodes = append(c.nodes, Node{
+			ID: id, Kind: KindGroundStation, Shell: -1, Sat: gi, Name: g.Name,
+		})
+		id++
+	}
+	return c, nil
+}
+
+// Config returns the configuration the constellation was built from.
+func (c *Constellation) Config() *config.Config { return c.cfg }
+
+// NodeCount returns the total number of nodes (satellites plus ground
+// stations).
+func (c *Constellation) NodeCount() int { return len(c.nodes) }
+
+// Nodes returns the node table. The slice is owned by the Constellation
+// and must not be modified.
+func (c *Constellation) Nodes() []Node { return c.nodes }
+
+// Node returns the node with the given constellation-wide ID.
+func (c *Constellation) Node(id int) (Node, error) {
+	if id < 0 || id >= len(c.nodes) {
+		return Node{}, fmt.Errorf("constellation: node %d out of range [0, %d)", id, len(c.nodes))
+	}
+	return c.nodes[id], nil
+}
+
+// SatNode returns the constellation-wide node ID of a satellite.
+func (c *Constellation) SatNode(shell, flat int) (int, error) {
+	if shell < 0 || shell >= len(c.shells) {
+		return 0, fmt.Errorf("constellation: shell %d out of range [0, %d)", shell, len(c.shells))
+	}
+	if flat < 0 || flat >= c.shells[shell].Size() {
+		return 0, fmt.Errorf("constellation: satellite %d out of range [0, %d) in shell %d",
+			flat, c.shells[shell].Size(), shell)
+	}
+	return c.base[shell] + flat, nil
+}
+
+// GSTNode returns the constellation-wide node ID of a ground station by
+// index.
+func (c *Constellation) GSTNode(gst int) (int, error) {
+	if gst < 0 || gst >= len(c.gst) {
+		return 0, fmt.Errorf("constellation: ground station %d out of range [0, %d)", gst, len(c.gst))
+	}
+	return c.base[len(c.base)-1] + c.shells[len(c.shells)-1].Size() + gst, nil
+}
+
+// GSTNodeByName returns the constellation-wide node ID of a named ground
+// station.
+func (c *Constellation) GSTNodeByName(name string) (int, error) {
+	for i, g := range c.gst {
+		if g.Name == name {
+			return c.GSTNode(i)
+		}
+	}
+	return 0, fmt.Errorf("constellation: unknown ground station %q", name)
+}
+
+// Shells returns the instantiated shells.
+func (c *Constellation) Shells() []*orbit.Shell { return c.shells }
+
+// GroundStations returns the configured ground stations.
+func (c *Constellation) GroundStations() []config.GroundStation { return c.gst }
+
+// State is one topology snapshot: node positions, available links and
+// lazily computed shortest paths. A State is immutable and safe for
+// concurrent use.
+type State struct {
+	// T is the offset since the constellation epoch in seconds.
+	T float64
+	// Positions holds the ECEF position of every node.
+	Positions []geom.Vec3
+	// Active[i] reports whether node i's machine is active: ground
+	// stations always are; satellites are active when their ground
+	// track is inside the bounding box. The bounding box does not
+	// affect path calculation (§3.3 of the paper).
+	Active []bool
+	// Links are all usable links in this snapshot.
+	Links []topo.Link
+
+	c *Constellation
+	g *graph.Graph
+	// bw maps a directed node pair (stored with a <= b) to the link
+	// bandwidth in kbps, for bottleneck computation along paths.
+	bw map[[2]int]float64
+
+	mu    sync.Mutex
+	cache map[int]graph.ShortestPaths
+
+	// uplinks[gi] are the per-ground-station candidate uplinks,
+	// one slice per shell.
+	uplinks [][][]topo.Uplink
+}
+
+// Snapshot computes the constellation state t seconds after the epoch.
+func (c *Constellation) Snapshot(t float64) (*State, error) {
+	n := c.NodeCount()
+	st := &State{
+		T:         t,
+		Positions: make([]geom.Vec3, n),
+		Active:    make([]bool, n),
+		c:         c,
+		g:         graph.New(n),
+		bw:        map[[2]int]float64{},
+		cache:     map[int]graph.ShortestPaths{},
+	}
+
+	// Satellite positions and bounding-box activity.
+	for si, sh := range c.shells {
+		pos, err := sh.PositionsECEF(t, nil)
+		if err != nil {
+			return nil, fmt.Errorf("constellation: t=%v: %w", t, err)
+		}
+		for f, p := range pos {
+			id := c.base[si] + f
+			st.Positions[id] = p
+			st.Active[id] = c.cfg.BoundingBox.ContainsECEF(p)
+		}
+	}
+	// Ground stations are always active.
+	for gi := range c.gst {
+		id, err := c.GSTNode(gi)
+		if err != nil {
+			return nil, err
+		}
+		st.Positions[id] = c.gstPos[gi]
+		st.Active[id] = true
+	}
+
+	// ISLs: the +GRID plan filtered by line-of-sight feasibility.
+	for si, plan := range c.plans {
+		net := c.cfg.Shells[si].Network
+		for _, isl := range plan {
+			a := c.base[si] + isl.A
+			b := c.base[si] + isl.B
+			pa, pb := st.Positions[a], st.Positions[b]
+			if !topo.Feasible(pa, pb, net.AtmosphereCutoffKm) {
+				continue
+			}
+			l := topo.NewLink(topo.KindISL, a, b, pa.Distance(pb), net.BandwidthKbps)
+			st.Links = append(st.Links, l)
+			st.setBandwidth(a, b, l.BandwidthKbps)
+			if err := st.g.AddEdge(a, b, l.LatencyS); err != nil {
+				return nil, fmt.Errorf("constellation: isl %d-%d: %w", a, b, err)
+			}
+		}
+	}
+
+	// Ground-to-satellite links: every visible satellite is connected
+	// so that shortest-path routing can choose the best uplink.
+	st.uplinks = make([][][]topo.Uplink, len(c.gst))
+	for gi := range c.gst {
+		gid, err := c.GSTNode(gi)
+		if err != nil {
+			return nil, err
+		}
+		st.uplinks[gi] = make([][]topo.Uplink, len(c.shells))
+		for si, sh := range c.shells {
+			net := c.cfg.Shells[si].Network
+			shellPos := st.Positions[c.base[si] : c.base[si]+sh.Size()]
+			ups := topo.VisibleSats(c.gstPos[gi], shellPos, net.MinElevationDeg)
+			st.uplinks[gi][si] = ups
+			realized := ups
+			if net.GSTConnectionType == "one" && len(ups) > 1 {
+				// Single-dish terminal: only the closest
+				// satellite gets a link.
+				realized = ups[:1]
+			}
+			for _, up := range realized {
+				sid := c.base[si] + up.Sat
+				l := topo.NewLink(topo.KindGSL, gid, sid, up.DistanceKm, net.GSTBandwidthKbps)
+				st.Links = append(st.Links, l)
+				st.setBandwidth(gid, sid, l.BandwidthKbps)
+				if err := st.g.AddEdge(gid, sid, l.LatencyS); err != nil {
+					return nil, fmt.Errorf("constellation: gsl %d-%d: %w", gid, sid, err)
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+// paths returns (computing and caching on first use) the single-source
+// shortest paths from node a.
+func (st *State) paths(a int) (graph.ShortestPaths, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if sp, ok := st.cache[a]; ok {
+		return sp, nil
+	}
+	// Ground stations are endpoints of the satellite network, not
+	// routers: only satellites forward traffic.
+	sp, err := st.g.DijkstraTransit(a, func(node int) bool {
+		return st.c.nodes[node].Kind == KindSatellite
+	})
+	if err != nil {
+		return sp, err
+	}
+	st.cache[a] = sp
+	return sp, nil
+}
+
+// Latency returns the one-way end-to-end network latency in seconds
+// between two nodes, or +Inf when they are not connected.
+func (st *State) Latency(a, b int) (float64, error) {
+	sp, err := st.paths(a)
+	if err != nil {
+		return 0, err
+	}
+	return sp.Dist[b], nil
+}
+
+// RTT returns the round-trip latency in seconds between two nodes.
+func (st *State) RTT(a, b int) (float64, error) {
+	l, err := st.Latency(a, b)
+	return 2 * l, err
+}
+
+// Path returns the node sequence of a shortest path between two nodes,
+// inclusive of the endpoints, or nil when unreachable.
+func (st *State) Path(a, b int) ([]int, error) {
+	sp, err := st.paths(a)
+	if err != nil {
+		return nil, err
+	}
+	return sp.PathTo(b), nil
+}
+
+// Uplinks returns the candidate uplinks (sorted closest-first) of a ground
+// station to one shell's satellites, as VisibleSats computed them for this
+// snapshot.
+func (st *State) Uplinks(gst, shell int) ([]topo.Uplink, error) {
+	if gst < 0 || gst >= len(st.uplinks) {
+		return nil, fmt.Errorf("constellation: ground station %d out of range [0, %d)", gst, len(st.uplinks))
+	}
+	if shell < 0 || shell >= len(st.uplinks[gst]) {
+		return nil, fmt.Errorf("constellation: shell %d out of range [0, %d)", shell, len(st.uplinks[gst]))
+	}
+	return st.uplinks[gst][shell], nil
+}
+
+// Graph exposes the snapshot's latency-weighted link graph.
+func (st *State) Graph() *graph.Graph { return st.g }
+
+// ActiveCount returns the number of active (non-suspended) nodes.
+func (st *State) ActiveCount() int {
+	n := 0
+	for _, a := range st.Active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// BestMeetingPoint finds the satellite node that minimizes the maximum
+// one-way latency to all the given ground nodes — the server-selection
+// rule of the §4 tracking service (choose "the optimal satellite server
+// based on combined latency"). It returns the chosen node ID and the
+// resulting worst-client latency. Only active satellites are considered,
+// since suspended machines cannot host the service.
+func (st *State) BestMeetingPoint(clients []int) (int, float64, error) {
+	if len(clients) == 0 {
+		return 0, 0, fmt.Errorf("constellation: no clients given")
+	}
+	sps := make([]graph.ShortestPaths, len(clients))
+	for i, cl := range clients {
+		sp, err := st.paths(cl)
+		if err != nil {
+			return 0, 0, err
+		}
+		sps[i] = sp
+	}
+	best := -1
+	bestWorst := math.Inf(1)
+	for id, node := range st.c.nodes {
+		if node.Kind != KindSatellite || !st.Active[id] {
+			continue
+		}
+		worst := 0.0
+		for _, sp := range sps {
+			if d := sp.Dist[id]; d > worst {
+				worst = d
+			}
+		}
+		if worst < bestWorst {
+			bestWorst = worst
+			best = id
+		}
+	}
+	if best < 0 {
+		return 0, 0, fmt.Errorf("constellation: no active satellite reachable from all clients")
+	}
+	return best, bestWorst, nil
+}
+
+// setBandwidth records a link's bandwidth; parallel links keep the larger
+// capacity (shortest-path routing would prefer the shorter link anyway).
+func (st *State) setBandwidth(a, b int, kbps float64) {
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	if old, ok := st.bw[key]; !ok || kbps > old {
+		st.bw[key] = kbps
+	}
+}
+
+// LinkBandwidth returns the bandwidth in kbps of the direct link between
+// two nodes, or ok=false when no such link exists in this snapshot.
+func (st *State) LinkBandwidth(a, b int) (float64, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	kbps, ok := st.bw[[2]int{a, b}]
+	return kbps, ok
+}
+
+// PathBandwidth returns the bottleneck bandwidth in kbps along the
+// shortest path between two nodes, or ok=false when they are not
+// connected. A zero bandwidth means unlimited.
+func (st *State) PathBandwidth(a, b int) (float64, bool) {
+	path, err := st.Path(a, b)
+	if err != nil || path == nil {
+		return 0, false
+	}
+	bottleneck := math.Inf(1)
+	for i := 0; i+1 < len(path); i++ {
+		kbps, ok := st.LinkBandwidth(path[i], path[i+1])
+		if !ok {
+			return 0, false
+		}
+		if kbps > 0 && kbps < bottleneck {
+			bottleneck = kbps
+		}
+	}
+	if math.IsInf(bottleneck, 1) {
+		return 0, true // all links unlimited
+	}
+	return bottleneck, true
+}

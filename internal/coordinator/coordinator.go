@@ -1,0 +1,270 @@
+// Package coordinator implements Celestial's central coordinator: it
+// computes satellite orbital paths and networking characteristics on the
+// configured update interval and distributes the results to the hosts,
+// which update their machines and network links accordingly (Fig. 2 of the
+// paper). It also holds the central database that the per-host HTTP
+// servers read satellite positions, network paths and constellation
+// information from.
+package coordinator
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"celestial/internal/config"
+	"celestial/internal/constellation"
+	"celestial/internal/faults"
+	"celestial/internal/host"
+	"celestial/internal/machine"
+	"celestial/internal/vnet"
+)
+
+// Coordinator wires the constellation calculation, the emulated hosts and
+// the virtual network together and drives the periodic update loop.
+type Coordinator struct {
+	cfg   *config.Config
+	cons  *constellation.Constellation
+	sim   *vnet.Sim
+	net   *vnet.Network
+	hosts []*host.Host
+
+	mu      sync.RWMutex
+	current *constellation.State
+	updates int
+}
+
+// New builds a coordinator (and its hosts, machines and network) from a
+// validated configuration. The simulation clock starts at the
+// constellation epoch.
+func New(cfg *config.Config) (*Coordinator, error) {
+	cons, err := constellation.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim := vnet.NewSim(cfg.Epoch)
+	c := &Coordinator{cfg: cfg, cons: cons, sim: sim}
+	c.net = vnet.NewNetwork(sim, stateTopology{c}, 1)
+
+	// Hosts: the paper uses identical cloud instances (N2-highcpu-32).
+	for i := 0; i < cfg.Hosts; i++ {
+		h, err := host.New(i, host.Capacity{Cores: 32, MemMiB: 32 * 1024}, sim)
+		if err != nil {
+			return nil, err
+		}
+		c.hosts = append(c.hosts, h)
+	}
+
+	// Machines: ground stations are all placed on host 0, mirroring the
+	// paper's setup of scheduling all clients on the same host for
+	// accurate time synchronization (§4.1); satellites are distributed
+	// round-robin across all hosts.
+	for _, node := range cons.Nodes() {
+		var params config.ComputeParams
+		var target *host.Host
+		switch node.Kind {
+		case constellation.KindSatellite:
+			params = cfg.Shells[node.Shell].Compute
+			target = c.hosts[node.ID%len(c.hosts)]
+		case constellation.KindGroundStation:
+			params = cfg.GroundStations[node.Sat].Compute
+			target = c.hosts[0]
+		}
+		m, err := machine.New(node.ID, node.Name, machine.Resources{
+			VCPUs:   params.VCPUs,
+			MemMiB:  params.MemMiB,
+			DiskMiB: params.DiskMiB,
+		}, params.BootDelay)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: creating machine for %s: %w", node.Name, err)
+		}
+		if err := target.AddMachine(m); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Constellation returns the underlying constellation.
+func (c *Coordinator) Constellation() *constellation.Constellation { return c.cons }
+
+// Config returns the testbed configuration.
+func (c *Coordinator) Config() *config.Config { return c.cfg }
+
+// Sim returns the simulation engine; applications schedule their workload
+// on it.
+func (c *Coordinator) Sim() *vnet.Sim { return c.sim }
+
+// Network returns the virtual network connecting the machines.
+func (c *Coordinator) Network() *vnet.Network { return c.net }
+
+// Hosts returns the emulated hosts.
+func (c *Coordinator) Hosts() []*host.Host { return c.hosts }
+
+// Machine returns the machine emulating a node.
+func (c *Coordinator) Machine(node int) (*machine.Machine, error) {
+	for _, h := range c.hosts {
+		if m, ok := h.Machine(node); ok {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("coordinator: no machine for node %d", node)
+}
+
+// HostOf returns the host a node's machine runs on.
+func (c *Coordinator) HostOf(node int) (*host.Host, error) {
+	for _, h := range c.hosts {
+		if _, ok := h.Machine(node); ok {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("coordinator: no host for node %d", node)
+}
+
+// State returns the most recent constellation state. It is nil before
+// Start.
+func (c *Coordinator) State() *constellation.State {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.current
+}
+
+// Updates returns how many update cycles have run.
+func (c *Coordinator) Updates() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.updates
+}
+
+// ElapsedSeconds returns the virtual time since the epoch.
+func (c *Coordinator) ElapsedSeconds() float64 {
+	return c.sim.Now().Sub(c.cfg.Epoch).Seconds()
+}
+
+// update runs one constellation calculation cycle and pushes the result to
+// the hosts.
+func (c *Coordinator) update() error {
+	st, err := c.cons.Snapshot(c.ElapsedSeconds())
+	if err != nil {
+		return fmt.Errorf("coordinator: update at t=%v: %w", c.ElapsedSeconds(), err)
+	}
+	c.mu.Lock()
+	c.current = st
+	c.updates++
+	c.mu.Unlock()
+
+	for _, h := range c.hosts {
+		if err := h.ApplyActivity(func(id int) bool { return st.Active[id] }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start boots all machines and begins the periodic update loop. It
+// performs the first update immediately so that a consistent state exists
+// before any traffic flows.
+func (c *Coordinator) Start() error {
+	// The first update boots every machine whose node is active (ground
+	// stations always; satellites when inside the bounding box) — like
+	// Celestial, machines outside the box never get a process.
+	if err := c.update(); err != nil {
+		return err
+	}
+	// Flush events scheduled for the current instant (e.g. zero-delay
+	// boot completions) so machines are usable right after Start.
+	if err := c.sim.RunUntil(c.sim.Now()); err != nil {
+		return err
+	}
+	return c.sim.Every(c.sim.Now().Add(c.cfg.Resolution), c.cfg.Resolution, func() bool {
+		// The update loop runs for the configured experiment duration.
+		if c.ElapsedSeconds() > c.cfg.Duration.Seconds() {
+			return false
+		}
+		if err := c.update(); err != nil {
+			// A failing propagation is unrecoverable mid-run; stop
+			// the loop. Snapshot errors cannot occur for validated
+			// LEO configurations.
+			return false
+		}
+		return true
+	})
+}
+
+// SampleHosts collects one usage sample from every host (used by the
+// resource-trace experiments).
+func (c *Coordinator) SampleHosts() []host.UsagePoint {
+	out := make([]host.UsagePoint, 0, len(c.hosts))
+	for _, h := range c.hosts {
+		out = append(out, h.Sample())
+	}
+	return out
+}
+
+// Run advances the simulation by d, executing all scheduled work.
+func (c *Coordinator) Run(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("coordinator: negative run duration %v", d)
+	}
+	return c.sim.RunUntil(c.sim.Now().Add(d))
+}
+
+// InjectFaults schedules radiation fault events for every satellite
+// machine over the remaining experiment duration.
+func (c *Coordinator) InjectFaults(model faults.SEUModel, seed int64) error {
+	inj, err := faults.NewInjector(model, seed)
+	if err != nil {
+		return err
+	}
+	horizon := c.cfg.Duration - time.Duration(c.ElapsedSeconds()*float64(time.Second))
+	if horizon <= 0 {
+		return fmt.Errorf("coordinator: experiment over, cannot inject faults")
+	}
+	for _, node := range c.cons.Nodes() {
+		if node.Kind != constellation.KindSatellite {
+			continue
+		}
+		m, err := c.Machine(node.ID)
+		if err != nil {
+			return err
+		}
+		if _, err := inj.Schedule(c.sim, m, horizon); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stateTopology adapts the coordinator's current constellation state (plus
+// machine health) to the vnet.Topology interface.
+type stateTopology struct {
+	c *Coordinator
+}
+
+// PathInfo implements vnet.Topology.
+func (t stateTopology) PathInfo(a, b int) vnet.PathInfo {
+	st := t.c.State()
+	if st == nil {
+		return vnet.PathInfo{}
+	}
+	lat, err := st.Latency(a, b)
+	if err != nil || math.IsInf(lat, 1) {
+		return vnet.PathInfo{}
+	}
+	bw, ok := st.PathBandwidth(a, b)
+	if !ok {
+		return vnet.PathInfo{}
+	}
+	return vnet.PathInfo{LatencyS: lat, BandwidthKbps: bw, OK: true}
+}
+
+// NodeActive implements vnet.Topology: a node can communicate when its
+// machine is booted and neither suspended nor failed.
+func (t stateTopology) NodeActive(id int) bool {
+	m, err := t.c.Machine(id)
+	if err != nil {
+		return false
+	}
+	return m.Running()
+}

@@ -1,0 +1,337 @@
+package coordinator
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"celestial/internal/bbox"
+	"celestial/internal/config"
+	"celestial/internal/constellation"
+	"celestial/internal/faults"
+	"celestial/internal/geom"
+	"celestial/internal/machine"
+	"celestial/internal/orbit"
+	"celestial/internal/vnet"
+)
+
+func testConfig(t testing.TB) *config.Config {
+	t.Helper()
+	cfg := &config.Config{
+		Duration:   2 * time.Minute,
+		Resolution: 2 * time.Second,
+		Hosts:      3,
+		Shells: []config.Shell{{
+			ShellConfig: orbit.ShellConfig{
+				Name: "shell", Planes: 24, SatsPerPlane: 22, AltitudeKm: 550,
+				InclinationDeg: 53, ArcDeg: 360, PhasingFactor: 13, Model: orbit.ModelKepler,
+			},
+		}},
+		GroundStations: []config.GroundStation{
+			{Name: "accra", Location: geom.LatLon{LatDeg: 5.6037, LonDeg: -0.1870}},
+			{Name: "johannesburg", Location: geom.LatLon{LatDeg: -26.2041, LonDeg: 28.0473}},
+		},
+	}
+	cfg.Network.MinElevationDeg = 25
+	if err := config.Finalize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func started(t testing.TB) *Coordinator {
+	t.Helper()
+	c, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewBuildsMachinesOnHosts(t *testing.T) {
+	c, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Hosts()) != 3 {
+		t.Fatalf("hosts = %d", len(c.Hosts()))
+	}
+	total := 0
+	for _, h := range c.Hosts() {
+		total += len(h.Machines())
+	}
+	if want := 24*22 + 2; total != want {
+		t.Errorf("machines = %d, want %d", total, want)
+	}
+	// Ground stations are on host 0 (shared PTP clock per §4.1).
+	accra, _ := c.Constellation().GSTNodeByName("accra")
+	jbg, _ := c.Constellation().GSTNodeByName("johannesburg")
+	for _, id := range []int{accra, jbg} {
+		h, err := c.HostOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.ID() != 0 {
+			t.Errorf("gst %d on host %d", id, h.ID())
+		}
+	}
+	// Satellites are spread across hosts.
+	seen := map[int]bool{}
+	for sat := 0; sat < 12; sat++ {
+		h, err := c.HostOf(sat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[h.ID()] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("first 12 sats on %d hosts, want 3", len(seen))
+	}
+	if _, err := c.Machine(99999); err == nil {
+		t.Error("found machine for bogus node")
+	}
+	if _, err := c.HostOf(99999); err == nil {
+		t.Error("found host for bogus node")
+	}
+}
+
+func TestStartBootsAndUpdates(t *testing.T) {
+	c := started(t)
+	if c.State() == nil {
+		t.Fatal("no state after Start")
+	}
+	if c.Updates() != 1 {
+		t.Errorf("updates = %d", c.Updates())
+	}
+	// Run 10 seconds: 5 more updates at 2 s resolution.
+	if err := c.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Updates(); got != 6 {
+		t.Errorf("updates after 10 s = %d, want 6", got)
+	}
+	if c.ElapsedSeconds() != 10 {
+		t.Errorf("elapsed = %v", c.ElapsedSeconds())
+	}
+	// All machines active (default boot delay 0, whole-earth box).
+	for _, h := range c.Hosts() {
+		for _, m := range h.Machines() {
+			if m.State() != machine.Active {
+				t.Fatalf("machine %d state = %v", m.ID(), m.State())
+			}
+		}
+	}
+}
+
+func TestUpdateLoopStopsAfterDuration(t *testing.T) {
+	c := started(t)
+	if err := c.Run(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	u := c.Updates()
+	// Duration is 2 min at 2 s: at most ~62 updates even though we ran
+	// 5 minutes.
+	if u > 63 {
+		t.Errorf("updates = %d, loop did not stop", u)
+	}
+	if u < 55 {
+		t.Errorf("updates = %d, loop stopped early", u)
+	}
+}
+
+func TestMessageDeliveryThroughNetwork(t *testing.T) {
+	c := started(t)
+	accra, _ := c.Constellation().GSTNodeByName("accra")
+	jbg, _ := c.Constellation().GSTNodeByName("johannesburg")
+
+	var got []vnet.Message
+	c.Network().Handle(jbg, func(m vnet.Message) { got = append(got, m) })
+	c.Network().Handle(accra, func(vnet.Message) {})
+
+	if err := c.Network().Send(accra, jbg, 1000, "ping"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered = %d", len(got))
+	}
+	// Accra-Johannesburg is ~4500 km: latency must be tens of ms, far
+	// below a second, and above the straight-line bound ~15 ms.
+	lat := got[0].Latency()
+	if lat < 15*time.Millisecond || lat > 100*time.Millisecond {
+		t.Errorf("latency = %v", lat)
+	}
+}
+
+func TestSuspendedDestinationRejects(t *testing.T) {
+	cfg := testConfig(t)
+	// Tiny box over West Africa: nearly all satellites suspended.
+	cfg.BoundingBox = bbox.Box{LatMinDeg: 0, LonMinDeg: -10, LatMaxDeg: 10, LonMaxDeg: 10}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Run past one update cycle so the bounding box suspension is
+	// applied to the booted machines.
+	if err := c.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := c.State()
+	// Find a suspended satellite.
+	suspended := -1
+	for id, node := range c.Constellation().Nodes() {
+		if node.Kind == constellation.KindSatellite && !st.Active[id] {
+			suspended = id
+			break
+		}
+	}
+	if suspended < 0 {
+		t.Fatal("no suspended satellite with a tiny bounding box")
+	}
+	accra, _ := c.Constellation().GSTNodeByName("accra")
+	c.Network().Handle(suspended, func(vnet.Message) {})
+	c.Network().Handle(accra, func(vnet.Message) {})
+	err = c.Network().Send(accra, suspended, 100, nil)
+	if !errors.Is(err, vnet.ErrSuspended) {
+		t.Errorf("send to suspended = %v", err)
+	}
+}
+
+func TestTopologyTracksUpdates(t *testing.T) {
+	c := started(t)
+	accra, _ := c.Constellation().GSTNodeByName("accra")
+	jbg, _ := c.Constellation().GSTNodeByName("johannesburg")
+	var latencies []time.Duration
+	c.Network().Handle(jbg, func(m vnet.Message) { latencies = append(latencies, m.Latency()) })
+	c.Network().Handle(accra, func(vnet.Message) {})
+
+	// Send one message every 10 s over 2 minutes; as satellites move,
+	// latency must change between coordinator updates.
+	if err := c.Sim().Every(c.Sim().Now(), 10*time.Second, func() bool {
+		_ = c.Network().Send(accra, jbg, 100, nil)
+		return len(latencies) < 12
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(119 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(latencies) < 10 {
+		t.Fatalf("deliveries = %d", len(latencies))
+	}
+	distinct := map[time.Duration]bool{}
+	for _, l := range latencies {
+		distinct[l] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("only %d distinct latencies over 2 minutes", len(distinct))
+	}
+}
+
+func TestInjectFaults(t *testing.T) {
+	c := started(t)
+	model := faults.SEUModel{
+		RatePerHour:  60, // high rate for test speed
+		ShutdownProb: 1,
+		RebootAfter:  5 * time.Second,
+	}
+	if err := c.InjectFaults(model, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// With 528 sats at 1 SEU/min each over 2 min, crashes are certain.
+	crashes := 0
+	for _, h := range c.Hosts() {
+		for _, m := range h.Machines() {
+			for _, tr := range m.Transitions() {
+				if tr.To == machine.Failed {
+					crashes++
+				}
+			}
+		}
+	}
+	if crashes == 0 {
+		t.Error("no crashes despite fault injection")
+	}
+	if err := c.InjectFaults(faults.SEUModel{RatePerHour: -1}, 0); err == nil {
+		t.Error("accepted invalid model")
+	}
+}
+
+func TestSampleHosts(t *testing.T) {
+	c := started(t)
+	pts := c.SampleHosts()
+	if len(pts) != 3 {
+		t.Fatalf("samples = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.Machines == 0 {
+			t.Errorf("host %d has no machine processes", i)
+		}
+	}
+}
+
+func TestRunRejectsNegative(t *testing.T) {
+	c := started(t)
+	if err := c.Run(-time.Second); err == nil {
+		t.Error("accepted negative duration")
+	}
+}
+
+func TestDeterministicRepetitions(t *testing.T) {
+	// Three repetitions of the same experiment produce identical
+	// latency series (the reproducibility claim of Fig. 6).
+	run := func() []time.Duration {
+		c := started(t)
+		accra, _ := c.Constellation().GSTNodeByName("accra")
+		jbg, _ := c.Constellation().GSTNodeByName("johannesburg")
+		var out []time.Duration
+		c.Network().Handle(jbg, func(m vnet.Message) { out = append(out, m.Latency()) })
+		c.Network().Handle(accra, func(vnet.Message) {})
+		if err := c.Sim().Every(c.Sim().Now(), 5*time.Second, func() bool {
+			_ = c.Network().Send(accra, jbg, 100, nil)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b, d := run(), run(), run()
+	if len(a) == 0 || len(a) != len(b) || len(b) != len(d) {
+		t.Fatalf("lengths: %d, %d, %d", len(a), len(b), len(d))
+	}
+	for i := range a {
+		if a[i] != b[i] || b[i] != d[i] {
+			t.Fatalf("runs diverged at %d: %v, %v, %v", i, a[i], b[i], d[i])
+		}
+	}
+}
+
+func BenchmarkUpdateCycle(b *testing.B) {
+	c, err := New(testConfig(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.update(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"celestial/internal/config"
+	"celestial/internal/dns"
+	"celestial/internal/faults"
+	"celestial/internal/geom"
+	"celestial/internal/orbit"
+	"celestial/internal/vnet"
+)
+
+func testbed(t testing.TB) *Testbed {
+	t.Helper()
+	cfg := &config.Config{
+		Duration:   time.Minute,
+		Resolution: 2 * time.Second,
+		Shells: []config.Shell{{
+			ShellConfig: orbit.ShellConfig{
+				Name: "shell", Planes: 24, SatsPerPlane: 22, AltitudeKm: 550,
+				InclinationDeg: 53, ArcDeg: 360, PhasingFactor: 13, Model: orbit.ModelKepler,
+			},
+		}},
+		GroundStations: []config.GroundStation{
+			{Name: "accra", Location: geom.LatLon{LatDeg: 5.6037, LonDeg: -0.1870}},
+			{Name: "johannesburg", Location: geom.LatLon{LatDeg: -26.2041, LonDeg: 28.0473}},
+		},
+	}
+	cfg.Network.MinElevationDeg = 25
+	if err := config.Finalize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestLifecycle(t *testing.T) {
+	tb := testbed(t)
+	if tb.State() != nil {
+		t.Error("state before start")
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.State() == nil {
+		t.Fatal("no state after start")
+	}
+	if err := tb.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tb.ElapsedSeconds() != 10 {
+		t.Errorf("elapsed = %v", tb.ElapsedSeconds())
+	}
+	if err := tb.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.ElapsedSeconds() != 60 {
+		t.Errorf("elapsed at end = %v", tb.ElapsedSeconds())
+	}
+	// RunToEnd is idempotent once finished.
+	if err := tb.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeByName(t *testing.T) {
+	tb := testbed(t)
+	accra, err := tb.NodeByName("accra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaDNS, err := tb.NodeByName("accra.gst.celestial")
+	if err != nil || viaDNS != accra {
+		t.Errorf("dns form = %d, %v; plain = %d", viaDNS, err, accra)
+	}
+	sat, err := tb.NodeByName("100.0")
+	if err != nil || sat != 100 {
+		t.Errorf("sat = %d, %v", sat, err)
+	}
+	satDNS, err := tb.NodeByName("100.0.celestial")
+	if err != nil || satDNS != 100 {
+		t.Errorf("sat dns = %d, %v", satDNS, err)
+	}
+	if _, err := tb.NodeByName("no-such-thing"); err == nil {
+		t.Error("accepted junk name")
+	}
+	if _, err := tb.NodeByName("99999.0"); err == nil {
+		t.Error("accepted out-of-range satellite")
+	}
+}
+
+func TestResolverIntegration(t *testing.T) {
+	tb := testbed(t)
+	ip, err := tb.Resolver().Resolve("100.0.celestial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ip.Equal(net.IPv4(10, 1, 0, 100)) {
+		t.Errorf("ip = %v", ip)
+	}
+	if _, err := tb.Resolver().Resolve("900.0.celestial"); err == nil {
+		t.Error("resolved nonexistent satellite")
+	}
+	gip, err := tb.Resolver().Resolve("johannesburg.gst.celestial")
+	if err != nil || !gip.Equal(net.IPv4(10, 0, 0, 1)) {
+		t.Errorf("gst ip = %v, %v", gip, err)
+	}
+}
+
+func TestAPIIntegration(t *testing.T) {
+	tb := testbed(t)
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tb.API())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/path/accra/johannesburg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeDNSIntegration(t *testing.T) {
+	tb := testbed(t)
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = tb.ServeDNS(conn) }()
+	defer conn.Close()
+
+	client, err := net.Dial("udp", conn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	q, err := dns.BuildQuery(5, "100.0.celestial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcode, ips, err := dns.ParseResponse(buf[:n])
+	if err != nil || rcode != 0 || len(ips) != 1 {
+		t.Errorf("rcode = %d, ips = %v, err = %v", rcode, ips, err)
+	}
+}
+
+func TestEndToEndMessaging(t *testing.T) {
+	tb := testbed(t)
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	accra, err := tb.NodeByName("accra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbg, err := tb.NodeByName("johannesburg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	tb.Network().Handle(jbg, func(m vnet.Message) { got++ })
+	tb.Network().Handle(accra, func(vnet.Message) {})
+	if err := tb.Network().Send(accra, jbg, 256, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("delivered = %d", got)
+	}
+}
+
+func TestFaultInjectionIntegration(t *testing.T) {
+	tb := testbed(t)
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	model := faults.SEUModel{RatePerHour: 120, ShutdownProb: 1, RebootAfter: 5 * time.Second}
+	if err := tb.InjectFaults(model, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.RunToEnd(); err != nil {
+		t.Fatal(err)
+	}
+	// At 2 SEU/machine/min over 528 machines for a minute, reboots are
+	// statistically certain.
+	reboots := 0
+	for _, h := range tb.Hosts() {
+		for _, m := range h.Machines() {
+			if m.BootCount() > 1 {
+				reboots++
+			}
+		}
+	}
+	if reboots == 0 {
+		t.Error("no machine rebooted under fault injection")
+	}
+}

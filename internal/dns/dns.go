@@ -1,0 +1,300 @@
+// Package dns implements Celestial's per-host DNS service: a local DNS
+// server that resolves microVM network addresses with a custom record, so
+// that "applications can simply query the A records for, e.g.,
+// 878.0.celestial to get the network addresses of satellite 878 in the
+// first shell" without being aware of the underlying IP address space
+// calculation (§3.2 of the paper).
+//
+// The server speaks the RFC 1035 wire format over UDP for A-record
+// queries: enough for stub resolvers, dig, and in-testbed applications.
+// Unknown names yield NXDOMAIN; unsupported query types yield an empty
+// NOERROR answer, as is conventional.
+package dns
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+
+	"celestial/internal/vnet"
+)
+
+// Directory answers existence queries against the constellation, decoupling
+// the DNS server from the constellation package.
+type Directory interface {
+	// SatExists reports whether the shell and satellite indices are
+	// valid.
+	SatExists(shell, sat int) bool
+	// GSTIndex returns the index of a named ground station.
+	GSTIndex(name string) (int, bool)
+}
+
+// Resolver maps testbed DNS names to virtual IPs.
+type Resolver struct {
+	dir Directory
+}
+
+// NewResolver creates a resolver over a directory.
+func NewResolver(dir Directory) *Resolver {
+	return &Resolver{dir: dir}
+}
+
+// ErrNotFound is returned for syntactically valid names that do not exist
+// in the constellation.
+var ErrNotFound = errors.New("dns: name not found")
+
+// Resolve maps a testbed name to its virtual IP.
+func (r *Resolver) Resolve(name string) (net.IP, error) {
+	shell, sat, gst, err := vnet.ParseName(name)
+	if err != nil {
+		return nil, err
+	}
+	if gst != "" {
+		idx, ok := r.dir.GSTIndex(gst)
+		if !ok {
+			return nil, fmt.Errorf("%w: ground station %q", ErrNotFound, gst)
+		}
+		return vnet.GSTIP(idx)
+	}
+	if !r.dir.SatExists(shell, sat) {
+		return nil, fmt.Errorf("%w: satellite %d.%d", ErrNotFound, sat, shell)
+	}
+	return vnet.SatIP(shell, sat)
+}
+
+// DNS wire constants.
+const (
+	typeA   = 1
+	classIN = 1
+
+	rcodeNoError  = 0
+	rcodeFormErr  = 1
+	rcodeNXDomain = 3
+	rcodeNotImpl  = 4
+
+	// headerLen is the fixed DNS header size.
+	headerLen = 12
+	// maxUDPPacket is the classic DNS UDP payload limit.
+	maxUDPPacket = 512
+	// answerTTL is deliberately tiny: the constellation changes every
+	// update interval.
+	answerTTL = 1
+)
+
+// Server is a DNS-over-UDP server.
+type Server struct {
+	resolver *Resolver
+}
+
+// NewServer creates a server answering from the given resolver.
+func NewServer(r *Resolver) *Server {
+	return &Server{resolver: r}
+}
+
+// Serve reads queries from conn until it is closed. It is typically run in
+// its own goroutine.
+func (s *Server) Serve(conn net.PacketConn) error {
+	buf := make([]byte, maxUDPPacket)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("dns: read: %w", err)
+		}
+		resp := s.HandleQuery(buf[:n])
+		if resp == nil {
+			continue // unparseable; nothing useful to send
+		}
+		if _, err := conn.WriteTo(resp, addr); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("dns: write: %w", err)
+		}
+	}
+}
+
+// HandleQuery processes one DNS query packet and returns the response
+// packet, or nil when the input is too mangled to answer.
+func (s *Server) HandleQuery(query []byte) []byte {
+	if len(query) < headerLen {
+		return nil
+	}
+	id := binary.BigEndian.Uint16(query[0:2])
+	flags := binary.BigEndian.Uint16(query[2:4])
+	if flags&0x8000 != 0 {
+		return nil // a response, not a query
+	}
+	qdCount := binary.BigEndian.Uint16(query[4:6])
+	if qdCount != 1 {
+		return errorResponse(id, rcodeFormErr)
+	}
+	name, qtype, qclass, qLen, err := parseQuestion(query[headerLen:])
+	if err != nil {
+		return errorResponse(id, rcodeFormErr)
+	}
+	question := query[headerLen : headerLen+qLen]
+
+	if qclass != classIN {
+		return questionResponse(id, question, rcodeNotImpl, nil)
+	}
+	ip, err := s.resolver.Resolve(name)
+	if err != nil {
+		return questionResponse(id, question, rcodeNXDomain, nil)
+	}
+	if qtype != typeA {
+		// The name exists but we only serve A records: NOERROR with
+		// no answers.
+		return questionResponse(id, question, rcodeNoError, nil)
+	}
+	return questionResponse(id, question, rcodeNoError, ip.To4())
+}
+
+// parseQuestion decodes the question section: a domain name followed by
+// QTYPE and QCLASS. It returns the dotted name and consumed length.
+func parseQuestion(b []byte) (name string, qtype, qclass uint16, n int, err error) {
+	var labels []string
+	i := 0
+	for {
+		if i >= len(b) {
+			return "", 0, 0, 0, errors.New("dns: truncated name")
+		}
+		l := int(b[i])
+		if l&0xc0 != 0 {
+			return "", 0, 0, 0, errors.New("dns: compressed names not supported in questions")
+		}
+		i++
+		if l == 0 {
+			break
+		}
+		if i+l > len(b) {
+			return "", 0, 0, 0, errors.New("dns: label overruns packet")
+		}
+		labels = append(labels, string(b[i:i+l]))
+		i += l
+	}
+	if i+4 > len(b) {
+		return "", 0, 0, 0, errors.New("dns: truncated question")
+	}
+	qtype = binary.BigEndian.Uint16(b[i : i+2])
+	qclass = binary.BigEndian.Uint16(b[i+2 : i+4])
+	return strings.Join(labels, "."), qtype, qclass, i + 4, nil
+}
+
+// errorResponse builds a header-only response with the given RCODE.
+func errorResponse(id uint16, rcode int) []byte {
+	resp := make([]byte, headerLen)
+	binary.BigEndian.PutUint16(resp[0:2], id)
+	binary.BigEndian.PutUint16(resp[2:4], 0x8000|uint16(rcode)) // QR=1
+	return resp
+}
+
+// questionResponse builds a response echoing the question, optionally with
+// one A-record answer.
+func questionResponse(id uint16, question []byte, rcode int, ipv4 net.IP) []byte {
+	resp := make([]byte, 0, headerLen+len(question)+16)
+	hdr := make([]byte, headerLen)
+	binary.BigEndian.PutUint16(hdr[0:2], id)
+	// QR=1 (response), AA=1 (we are authoritative for .celestial).
+	binary.BigEndian.PutUint16(hdr[2:4], 0x8400|uint16(rcode))
+	binary.BigEndian.PutUint16(hdr[4:6], 1) // QDCOUNT
+	if ipv4 != nil {
+		binary.BigEndian.PutUint16(hdr[6:8], 1) // ANCOUNT
+	}
+	resp = append(resp, hdr...)
+	resp = append(resp, question...)
+	if ipv4 != nil {
+		// Answer: pointer to the question name at offset 12.
+		resp = append(resp, 0xc0, headerLen)
+		var rr [10]byte
+		binary.BigEndian.PutUint16(rr[0:2], typeA)
+		binary.BigEndian.PutUint16(rr[2:4], classIN)
+		binary.BigEndian.PutUint32(rr[4:8], answerTTL)
+		binary.BigEndian.PutUint16(rr[8:10], 4)
+		resp = append(resp, rr[:]...)
+		resp = append(resp, ipv4...)
+	}
+	return resp
+}
+
+// BuildQuery constructs a query packet for an A record, for use by
+// in-testbed clients and tests.
+func BuildQuery(id uint16, name string) ([]byte, error) {
+	q := make([]byte, headerLen, headerLen+len(name)+6)
+	binary.BigEndian.PutUint16(q[0:2], id)
+	binary.BigEndian.PutUint16(q[2:4], 0x0100) // RD
+	binary.BigEndian.PutUint16(q[4:6], 1)      // QDCOUNT
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		if label == "" || len(label) > 63 {
+			return nil, fmt.Errorf("dns: invalid label %q in %q", label, name)
+		}
+		q = append(q, byte(len(label)))
+		q = append(q, label...)
+	}
+	q = append(q, 0)
+	var tail [4]byte
+	binary.BigEndian.PutUint16(tail[0:2], typeA)
+	binary.BigEndian.PutUint16(tail[2:4], classIN)
+	return append(q, tail[:]...), nil
+}
+
+// ParseResponse extracts the RCODE and any A-record addresses from a
+// response packet.
+func ParseResponse(resp []byte) (rcode int, ips []net.IP, err error) {
+	if len(resp) < headerLen {
+		return 0, nil, errors.New("dns: response too short")
+	}
+	flags := binary.BigEndian.Uint16(resp[2:4])
+	if flags&0x8000 == 0 {
+		return 0, nil, errors.New("dns: not a response")
+	}
+	rcode = int(flags & 0xf)
+	qd := int(binary.BigEndian.Uint16(resp[4:6]))
+	an := int(binary.BigEndian.Uint16(resp[6:8]))
+	i := headerLen
+	for q := 0; q < qd; q++ {
+		_, _, _, n, err := parseQuestion(resp[i:])
+		if err != nil {
+			return rcode, nil, err
+		}
+		i += n
+	}
+	for a := 0; a < an; a++ {
+		// Skip the name (either a pointer or labels).
+		for {
+			if i >= len(resp) {
+				return rcode, nil, errors.New("dns: truncated answer")
+			}
+			l := int(resp[i])
+			if l&0xc0 == 0xc0 {
+				i += 2
+				break
+			}
+			i++
+			if l == 0 {
+				break
+			}
+			i += l
+		}
+		if i+10 > len(resp) {
+			return rcode, nil, errors.New("dns: truncated answer record")
+		}
+		atype := binary.BigEndian.Uint16(resp[i : i+2])
+		rdLen := int(binary.BigEndian.Uint16(resp[i+8 : i+10]))
+		i += 10
+		if i+rdLen > len(resp) {
+			return rcode, nil, errors.New("dns: answer rdata overruns packet")
+		}
+		if atype == typeA && rdLen == 4 {
+			ip := make(net.IP, 4)
+			copy(ip, resp[i:i+4])
+			ips = append(ips, ip)
+		}
+		i += rdLen
+	}
+	return rcode, ips, nil
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// opts uses quick mode with artifacts in a temp dir.
+func opts(t *testing.T) Options {
+	t.Helper()
+	return Options{OutDir: t.TempDir()}
+}
+
+func checkReport(t *testing.T, rep Report, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("%s: %v", rep.ID, err)
+	}
+	if !rep.Pass {
+		t.Errorf("%s did not reproduce the paper's claim:\n  %s",
+			rep.ID, strings.Join(rep.Lines, "\n  "))
+	}
+	for _, a := range rep.Artifacts {
+		fi, err := os.Stat(a)
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("%s: artifact %s missing or empty", rep.ID, a)
+		}
+	}
+	t.Logf("%s (%s):\n  %s", rep.ID, rep.Title, strings.Join(rep.Lines, "\n  "))
+}
+
+func TestFig1(t *testing.T) {
+	o := opts(t)
+	rep, err := Fig1(o)
+	checkReport(t, rep, err)
+	if len(rep.Artifacts) != 1 || filepath.Base(rep.Artifacts[0]) != "fig1_starlink.svg" {
+		t.Errorf("artifacts = %v", rep.Artifacts)
+	}
+}
+
+func TestFig3(t *testing.T) {
+	rep, err := Fig3(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestFig4(t *testing.T) {
+	rep, err := Fig4(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestFig5(t *testing.T) {
+	rep, err := Fig5(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestFig6(t *testing.T) {
+	rep, err := Fig6(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestFig7And8(t *testing.T) {
+	rep, err := Fig7And8(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestCostTable(t *testing.T) {
+	rep, err := CostTable(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestCalcTime(t *testing.T) {
+	rep, err := CalcTime(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestFig10(t *testing.T) {
+	rep, err := Fig10(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestFig11(t *testing.T) {
+	rep, err := Fig11(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestNetemQuantization(t *testing.T) {
+	rep, err := NetemQuantization(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestProcessingDelayModelReport(t *testing.T) {
+	rep, err := ProcessingDelayModelReport(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestAblationShellCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-shell run in -short mode")
+	}
+	rep, err := AblationShellCount(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestAblationKeplerVsSGP4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double run in -short mode")
+	}
+	rep, err := AblationKeplerVsSGP4(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestAblationImpairments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double run in -short mode")
+	}
+	rep, err := AblationImpairments(opts(t))
+	checkReport(t, rep, err)
+}
+
+func TestAblationFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double run in -short mode")
+	}
+	rep, err := AblationFaults(opts(t))
+	checkReport(t, rep, err)
+}

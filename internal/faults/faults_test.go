@@ -1,0 +1,243 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"celestial/internal/machine"
+	"celestial/internal/vnet"
+)
+
+func validModel() SEUModel {
+	return SEUModel{
+		RatePerHour:  2,
+		ShutdownProb: 0.3,
+		RebootAfter:  30 * time.Second,
+		DegradeTo:    0.5,
+		DegradeFor:   time.Minute,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validModel().Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []SEUModel{
+		{RatePerHour: -1},
+		{RatePerHour: 1, ShutdownProb: 2, DegradeTo: 0.5},
+		{RatePerHour: 1, RebootAfter: -time.Second, DegradeTo: 0.5},
+		{RatePerHour: 1, DegradeTo: -0.5},
+		{RatePerHour: 1, DegradeTo: 0.5, DegradeFor: -time.Minute},
+		{RatePerHour: 1, ShutdownProb: 0.5}, // degradation without DegradeTo
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestSamplePoissonRate(t *testing.T) {
+	m := validModel()
+	rng := rand.New(rand.NewSource(1))
+	total := 0
+	trials := 200
+	horizon := 5 * time.Hour
+	for i := 0; i < trials; i++ {
+		evs, err := m.Sample(rng, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(evs)
+		for _, ev := range evs {
+			if ev.At < 0 || ev.At >= horizon {
+				t.Fatalf("event at %v outside horizon", ev.At)
+			}
+			if ev.Until <= ev.At {
+				t.Fatalf("event ends %v before it starts %v", ev.Until, ev.At)
+			}
+		}
+	}
+	mean := float64(total) / float64(trials)
+	want := m.ExpectedCount(horizon) // 10
+	if math.Abs(mean-want)/want > 0.15 {
+		t.Errorf("mean events = %v, want ≈%v", mean, want)
+	}
+}
+
+func TestSampleMixesKinds(t *testing.T) {
+	m := validModel()
+	rng := rand.New(rand.NewSource(2))
+	evs, err := m.Sample(rng, 100*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shut, degr int
+	for _, ev := range evs {
+		switch ev.Kind {
+		case KindShutdown:
+			shut++
+		case KindDegrade:
+			degr++
+		}
+	}
+	if shut == 0 || degr == 0 {
+		t.Errorf("kinds not mixed: %d shutdowns, %d degradations", shut, degr)
+	}
+	frac := float64(shut) / float64(shut+degr)
+	if math.Abs(frac-0.3) > 0.1 {
+		t.Errorf("shutdown fraction = %v, want ≈0.3", frac)
+	}
+	if KindShutdown.String() != "shutdown" || KindDegrade.String() != "degrade" || Kind(9).String() != "kind(9)" {
+		t.Error("kind strings")
+	}
+}
+
+func TestSampleZeroRate(t *testing.T) {
+	m := SEUModel{}
+	evs, err := m.Sample(rand.New(rand.NewSource(3)), time.Hour)
+	if err != nil || evs != nil {
+		t.Errorf("zero-rate sample = %v, %v", evs, err)
+	}
+	if _, err := validModel().Sample(rand.New(rand.NewSource(4)), 0); err == nil {
+		t.Error("accepted zero horizon")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	m := validModel()
+	a, err := m.Sample(rand.New(rand.NewSource(7)), 10*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Sample(rand.New(rand.NewSource(7)), 10*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInjectorDrivesMachine(t *testing.T) {
+	// High rate so something happens in a short horizon.
+	model := SEUModel{
+		RatePerHour:  3600, // one per second on average
+		ShutdownProb: 0.5,
+		RebootAfter:  2 * time.Second,
+		DegradeTo:    0.25,
+		DegradeFor:   3 * time.Second,
+	}
+	inj, err := NewInjector(model, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := vnet.NewSim(time.Date(2022, 4, 14, 12, 0, 0, 0, time.UTC))
+	m, err := machine.New(0, "sat", machine.Resources{VCPUs: 1, MemMiB: 128}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(sim.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CompleteBoot(sim.Now()); err != nil {
+		t.Fatal(err)
+	}
+	events, err := inj.Schedule(sim, m, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events sampled at rate 3600/h over a minute")
+	}
+	if err := sim.RunUntil(sim.Now().Add(2 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// The machine experienced crashes: its boot count rose above 1, and
+	// its transition log names radiation.
+	sawCrash := false
+	for _, tr := range m.Transitions() {
+		if tr.Reason == "radiation SEU shutdown" {
+			sawCrash = true
+		}
+	}
+	hasShutdown := false
+	for _, ev := range events {
+		if ev.Kind == KindShutdown {
+			hasShutdown = true
+		}
+	}
+	if hasShutdown && !sawCrash {
+		t.Error("sampled shutdown never applied to machine")
+	}
+	if hasShutdown && m.BootCount() < 2 {
+		t.Errorf("boot count = %d after shutdown events", m.BootCount())
+	}
+}
+
+func TestNewInjectorRejectsBadModel(t *testing.T) {
+	if _, err := NewInjector(SEUModel{RatePerHour: -1}, 0); err == nil {
+		t.Error("accepted invalid model")
+	}
+}
+
+func TestThermalModel(t *testing.T) {
+	m := ThermalModel{StartOfDay: 12 * time.Hour, OutageLen: 2 * time.Hour}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{11 * time.Hour, false},
+		{12 * time.Hour, true},
+		{13 * time.Hour, true},
+		{14 * time.Hour, false},
+		{36 * time.Hour, true},  // next day, noon
+		{-11 * time.Hour, true}, // negative offsets wrap (13:00 prior day)
+	}
+	for _, tt := range tests {
+		if got := m.Down(tt.at); got != tt.want {
+			t.Errorf("Down(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+	// Zero outage: never down.
+	if (ThermalModel{}).Down(12 * time.Hour) {
+		t.Error("zero model down")
+	}
+	// Wrap past midnight.
+	w := ThermalModel{StartOfDay: 23 * time.Hour, OutageLen: 2 * time.Hour}
+	if !w.Down(23*time.Hour + 30*time.Minute) {
+		t.Error("not down before midnight")
+	}
+	if !w.Down(30 * time.Minute) {
+		t.Error("not down after midnight")
+	}
+	if w.Down(2 * time.Hour) {
+		t.Error("down after outage end")
+	}
+	// Validation.
+	if err := (ThermalModel{StartOfDay: 25 * time.Hour}).Validate(); err == nil {
+		t.Error("accepted start >= 24h")
+	}
+	if err := (ThermalModel{OutageLen: 25 * time.Hour}).Validate(); err == nil {
+		t.Error("accepted outage > 24h")
+	}
+}
+
+func TestMTBF(t *testing.T) {
+	if got := MTBF(2); got != 30*time.Minute {
+		t.Errorf("MTBF(2) = %v", got)
+	}
+	if got := MTBF(0); got != time.Duration(math.MaxInt64) {
+		t.Errorf("MTBF(0) = %v", got)
+	}
+}

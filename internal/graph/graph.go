@@ -1,0 +1,266 @@
+// Package graph provides the shortest-path machinery of the Constellation
+// Calculation: a compact weighted undirected graph, Dijkstra's algorithm
+// with a binary heap, and the Floyd-Warshall all-pairs algorithm. The paper
+// uses efficient implementations of both to compute shortest network paths
+// within the constellation and their end-to-end latency (§3.1).
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Inf marks an unreachable node in distance results.
+var Inf = math.Inf(1)
+
+// Graph is a weighted undirected graph over nodes 0..N-1 stored as
+// adjacency lists. The zero value is not usable; create graphs with New.
+type Graph struct {
+	n   int
+	adj [][]Edge
+	m   int
+}
+
+// Edge is an outgoing adjacency entry.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// New creates a graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts an undirected edge between a and b. Negative weights and
+// out-of-range nodes are rejected; parallel edges are allowed (shortest
+// path computations simply use the cheaper one).
+func (g *Graph) AddEdge(a, b int, weight float64) error {
+	if a < 0 || a >= g.n || b < 0 || b >= g.n {
+		return fmt.Errorf("graph: edge (%d, %d) out of range [0, %d)", a, b, g.n)
+	}
+	if a == b {
+		return fmt.Errorf("graph: self-loop on node %d", a)
+	}
+	if weight < 0 || math.IsNaN(weight) {
+		return fmt.Errorf("graph: invalid weight %v on edge (%d, %d)", weight, a, b)
+	}
+	g.adj[a] = append(g.adj[a], Edge{To: b, Weight: weight})
+	g.adj[b] = append(g.adj[b], Edge{To: a, Weight: weight})
+	g.m++
+	return nil
+}
+
+// Neighbors returns the adjacency list of a node. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(node int) []Edge {
+	if node < 0 || node >= g.n {
+		return nil
+	}
+	return g.adj[node]
+}
+
+// Degree returns the number of incident edges of a node.
+func (g *Graph) Degree(node int) int { return len(g.Neighbors(node)) }
+
+// item is a heap entry for Dijkstra.
+type item struct {
+	node int
+	dist float64
+}
+
+type minHeap []item
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ShortestPaths is the result of a single-source Dijkstra run.
+type ShortestPaths struct {
+	Source int
+	// Dist[v] is the shortest distance from the source to v, Inf if
+	// unreachable.
+	Dist []float64
+	// Prev[v] is the predecessor of v on a shortest path, -1 for the
+	// source and unreachable nodes.
+	Prev []int
+}
+
+// Dijkstra computes single-source shortest paths from src using a binary
+// heap, running in O((N+M) log N).
+func (g *Graph) Dijkstra(src int) (ShortestPaths, error) {
+	return g.DijkstraTransit(src, nil)
+}
+
+// DijkstraTransit computes single-source shortest paths like Dijkstra, but
+// only expands intermediate nodes for which transit returns true (the
+// source is always expanded). Nodes failing the predicate can terminate a
+// path but not forward traffic — e.g. ground stations, which are endpoints
+// of the satellite network rather than routers. A nil predicate allows all
+// nodes.
+func (g *Graph) DijkstraTransit(src int, transit func(node int) bool) (ShortestPaths, error) {
+	sp := ShortestPaths{Source: src}
+	if src < 0 || src >= g.n {
+		return sp, fmt.Errorf("graph: source %d out of range [0, %d)", src, g.n)
+	}
+	sp.Dist = make([]float64, g.n)
+	sp.Prev = make([]int, g.n)
+	for i := range sp.Dist {
+		sp.Dist[i] = Inf
+		sp.Prev[i] = -1
+	}
+	sp.Dist[src] = 0
+
+	h := &minHeap{{node: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(item)
+		if it.dist > sp.Dist[it.node] {
+			continue // stale entry
+		}
+		if transit != nil && it.node != src && !transit(it.node) {
+			continue // reachable, but not allowed to forward
+		}
+		for _, e := range g.adj[it.node] {
+			if nd := it.dist + e.Weight; nd < sp.Dist[e.To] {
+				sp.Dist[e.To] = nd
+				sp.Prev[e.To] = it.node
+				heap.Push(h, item{node: e.To, dist: nd})
+			}
+		}
+	}
+	return sp, nil
+}
+
+// PathTo reconstructs the shortest path from the source to dst, inclusive
+// of both endpoints. It returns nil if dst is unreachable.
+func (sp ShortestPaths) PathTo(dst int) []int {
+	if dst < 0 || dst >= len(sp.Dist) || math.IsInf(sp.Dist[dst], 1) {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = sp.Prev[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// AllPairs is the result of a Floyd-Warshall run: a dense N×N distance
+// matrix with next-hop information for path reconstruction.
+type AllPairs struct {
+	n    int
+	dist []float64
+	next []int32
+}
+
+// FloydWarshall computes all-pairs shortest paths in O(N^3) time and
+// O(N^2) space. It is preferable over N Dijkstra runs for dense queries on
+// small to medium graphs (such as a single constellation shell subset).
+func (g *Graph) FloydWarshall() *AllPairs {
+	n := g.n
+	ap := &AllPairs{
+		n:    n,
+		dist: make([]float64, n*n),
+		next: make([]int32, n*n),
+	}
+	for i := range ap.dist {
+		ap.dist[i] = Inf
+		ap.next[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		ap.dist[i*n+i] = 0
+		ap.next[i*n+i] = int32(i)
+	}
+	for u, edges := range g.adj {
+		for _, e := range edges {
+			if e.Weight < ap.dist[u*n+e.To] {
+				ap.dist[u*n+e.To] = e.Weight
+				ap.next[u*n+e.To] = int32(e.To)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		rowK := ap.dist[k*n : (k+1)*n]
+		for i := 0; i < n; i++ {
+			dik := ap.dist[i*n+k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			rowI := ap.dist[i*n : (i+1)*n]
+			nextI := ap.next[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				if nd := dik + rowK[j]; nd < rowI[j] {
+					rowI[j] = nd
+					nextI[j] = ap.next[i*n+k]
+				}
+			}
+		}
+	}
+	return ap
+}
+
+// Dist returns the shortest distance between a and b, Inf if unreachable.
+func (ap *AllPairs) Dist(a, b int) float64 {
+	if a < 0 || a >= ap.n || b < 0 || b >= ap.n {
+		return Inf
+	}
+	return ap.dist[a*ap.n+b]
+}
+
+// Path reconstructs a shortest path between a and b, inclusive. It returns
+// nil if b is unreachable from a.
+func (ap *AllPairs) Path(a, b int) []int {
+	if a < 0 || a >= ap.n || b < 0 || b >= ap.n || ap.next[a*ap.n+b] == -1 {
+		return nil
+	}
+	path := []int{a}
+	for a != b {
+		a = int(ap.next[a*ap.n+b])
+		path = append(path, a)
+	}
+	return path
+}
+
+// Connected reports whether every node is reachable from node 0. An empty
+// graph is connected.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == g.n
+}

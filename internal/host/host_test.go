@@ -1,0 +1,323 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"celestial/internal/machine"
+	"celestial/internal/vnet"
+)
+
+var hostStart = time.Date(2022, 4, 14, 12, 0, 0, 0, time.UTC)
+
+func newHost(t *testing.T, sim *vnet.Sim) *Host {
+	t.Helper()
+	h, err := New(0, Capacity{Cores: 32, MemMiB: 32 * 1024}, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func addMachine(t *testing.T, h *Host, id int, vcpus, mem int, boot time.Duration) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(id, "m", machine.Resources{VCPUs: vcpus, MemMiB: mem}, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddMachine(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	if _, err := New(0, Capacity{}, sim); err == nil {
+		t.Error("accepted zero capacity")
+	}
+}
+
+func TestAddAndStartMachines(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h := newHost(t, sim)
+	m := addMachine(t, h, 7, 2, 512, 800*time.Millisecond)
+	if err := h.AddMachine(m); err == nil {
+		t.Error("accepted duplicate machine")
+	}
+	if err := h.StartMachine(7); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != machine.Booting {
+		t.Fatalf("state = %v", m.State())
+	}
+	// Boot completes after the boot delay via the scheduler.
+	if err := sim.RunUntil(hostStart.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != machine.Active {
+		t.Fatalf("state after boot = %v", m.State())
+	}
+	if err := h.StartMachine(99); err == nil {
+		t.Error("started unknown machine")
+	}
+	got, ok := h.Machine(7)
+	if !ok || got != m {
+		t.Error("Machine lookup failed")
+	}
+	if _, ok := h.Machine(99); ok {
+		t.Error("found unknown machine")
+	}
+}
+
+func TestStartAllAndOrdering(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h := newHost(t, sim)
+	for _, id := range []int{5, 1, 3} {
+		addMachine(t, h, id, 1, 128, 0)
+	}
+	if err := h.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	ms := h.Machines()
+	if len(ms) != 3 || ms[0].ID() != 1 || ms[1].ID() != 3 || ms[2].ID() != 5 {
+		t.Errorf("machines = %v", ms)
+	}
+	if err := sim.RunUntil(hostStart.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range h.Machines() {
+		if m.State() != machine.Active {
+			t.Errorf("machine %d state = %v", m.ID(), m.State())
+		}
+	}
+}
+
+func TestApplyActivitySuspendsAndResumes(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h := newHost(t, sim)
+	m1 := addMachine(t, h, 1, 1, 128, 0)
+	m2 := addMachine(t, h, 2, 1, 128, 0)
+	if err := h.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(hostStart.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 leaves the bounding box.
+	if err := h.ApplyActivity(func(id int) bool { return id != 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if m1.State() != machine.Active || m2.State() != machine.Suspended {
+		t.Errorf("states = %v, %v", m1.State(), m2.State())
+	}
+	// Node 2 re-enters.
+	if err := h.ApplyActivity(func(id int) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if m2.State() != machine.Active {
+		t.Errorf("state = %v", m2.State())
+	}
+}
+
+func TestApplyActivitySkipsNonRunnable(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h := newHost(t, sim)
+	m := addMachine(t, h, 1, 1, 128, 0)
+	// Machine never started: activity application must not touch it.
+	if err := h.ApplyActivity(func(int) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != machine.Created {
+		t.Errorf("state = %v", m.State())
+	}
+}
+
+func TestUsageTraceShape(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h := newHost(t, sim)
+	// A host like the paper's busiest: clients plus satellite servers.
+	for i := 0; i < 4; i++ {
+		addMachine(t, h, i, 4, 4096, 800*time.Millisecond)
+	}
+	for i := 4; i < 30; i++ {
+		addMachine(t, h, i, 2, 512, 800*time.Millisecond)
+	}
+
+	// Sample during setup: manager CPU spike.
+	setup := h.Sample()
+	if setup.ManagerCPU != setupCPUFraction {
+		t.Errorf("setup manager cpu = %v", setup.ManagerCPU)
+	}
+	if setup.ManagerMem != managerMemFractionSetup {
+		t.Errorf("setup manager mem = %v", setup.ManagerMem)
+	}
+	if setup.Machines != 0 || setup.MachineMem != 0 {
+		t.Errorf("setup machines = %+v", setup)
+	}
+
+	// Boot all machines at +6s (after setup) and sample mid-boot: boot
+	// spike, every machine holds memory.
+	if err := sim.RunUntil(hostStart.Add(6 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	boot := h.Sample()
+	if boot.Machines != 30 {
+		t.Errorf("booting machines = %d", boot.Machines)
+	}
+	wantBootCPU := 30 * bootCPUCores / 32
+	if boot.MachineCPU < wantBootCPU*0.99 || boot.MachineCPU > wantBootCPU*1.01 {
+		t.Errorf("boot cpu = %v, want ≈%v", boot.MachineCPU, wantBootCPU)
+	}
+	wantMem := machineMemUsage * float64(4*4096+26*512) / float64(32*1024)
+	if boot.MachineMem < wantMem*0.99 || boot.MachineMem > wantMem*1.01 {
+		t.Errorf("boot mem = %v, want %v", boot.MachineMem, wantMem)
+	}
+
+	// After boot, idle: low steady CPU (paper: ~10% with demanding
+	// clients; idle machines far below).
+	if err := sim.RunUntil(hostStart.Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	idle := h.Sample()
+	if idle.MachineCPU > 0.05 {
+		t.Errorf("idle machine cpu = %v", idle.MachineCPU)
+	}
+	if idle.ManagerCPU != managerIdleCPUFraction {
+		t.Errorf("idle manager cpu = %v", idle.ManagerCPU)
+	}
+	// Memory unchanged after boot (suspension does not release it).
+	// Map iteration order varies the float summation order, so compare
+	// with an epsilon.
+	if diff := idle.MachineMem - boot.MachineMem; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("idle mem = %v, want %v", idle.MachineMem, boot.MachineMem)
+	}
+
+	// Demanding clients raise CPU.
+	for i := 0; i < 4; i++ {
+		if err := h.SetLoad(i, 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	busy := h.Sample()
+	if busy.MachineCPU <= idle.MachineCPU {
+		t.Error("load increase not reflected")
+	}
+	// 4 clients * 0.8 * 4 cores = 12.8 cores of 32 = 40% plus idle sats.
+	if busy.MachineCPU < 0.38 || busy.MachineCPU > 0.45 {
+		t.Errorf("busy cpu = %v", busy.MachineCPU)
+	}
+
+	// Update spike visible right after an update.
+	if err := h.ApplyActivity(func(int) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	spike := h.Sample()
+	if spike.ManagerCPU != managerIdleCPUFraction+updateSpikeCPUFraction {
+		t.Errorf("update spike cpu = %v", spike.ManagerCPU)
+	}
+	// Spike decays after the window.
+	if err := sim.RunUntil(sim.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	after := h.Sample()
+	if after.ManagerCPU != managerIdleCPUFraction {
+		t.Errorf("post-spike cpu = %v", after.ManagerCPU)
+	}
+	if len(h.Trace()) != 6 {
+		t.Errorf("trace samples = %d", len(h.Trace()))
+	}
+}
+
+func TestSuspendedMachinesKeepMemoryNotCPU(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h := newHost(t, sim)
+	addMachine(t, h, 1, 2, 1024, 0)
+	if err := h.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(hostStart.Add(6 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetLoad(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	active := h.Sample()
+	if err := h.ApplyActivity(func(int) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	suspended := h.Sample()
+	if suspended.MachineCPU >= active.MachineCPU {
+		t.Error("suspension did not reduce CPU")
+	}
+	if suspended.MachineCPU != 0 {
+		t.Errorf("suspended cpu = %v", suspended.MachineCPU)
+	}
+	if diff := suspended.MachineMem - active.MachineMem; diff > 1e-12 || diff < -1e-12 {
+		t.Error("suspension released memory")
+	}
+	if suspended.Machines != 1 {
+		t.Errorf("suspended process count = %d", suspended.Machines)
+	}
+}
+
+func TestCPUSaturation(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h, err := New(0, Capacity{Cores: 2, MemMiB: 1024}, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 machines × 2 vCPUs at full load on a 2-core host.
+	for i := 0; i < 8; i++ {
+		addMachine(t, h, i, 2, 64, 0)
+	}
+	if err := h.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(hostStart.Add(6 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := h.SetLoad(i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := h.Sample()
+	if p.TotalCPU() > 1.0000001 {
+		t.Errorf("total cpu = %v exceeds physical capacity", p.TotalCPU())
+	}
+}
+
+func TestSetLoadValidation(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h := newHost(t, sim)
+	addMachine(t, h, 1, 1, 128, 0)
+	if err := h.SetLoad(1, 1.5); err == nil {
+		t.Error("accepted load > 1")
+	}
+	if err := h.SetLoad(1, -0.1); err == nil {
+		t.Error("accepted negative load")
+	}
+	if err := h.SetLoad(9, 0.5); err == nil {
+		t.Error("accepted unknown machine")
+	}
+}
+
+func TestAllocationAccounting(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h := newHost(t, sim)
+	addMachine(t, h, 1, 4, 4096, 0)
+	addMachine(t, h, 2, 2, 512, 0)
+	if h.AllocatedVCPUs() != 6 {
+		t.Errorf("vcpus = %d", h.AllocatedVCPUs())
+	}
+	if h.AllocatedMemMiB() != 4608 {
+		t.Errorf("mem = %d", h.AllocatedMemMiB())
+	}
+	if h.Capacity().Cores != 32 {
+		t.Errorf("capacity = %+v", h.Capacity())
+	}
+}

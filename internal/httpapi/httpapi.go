@@ -1,0 +1,342 @@
+// Package httpapi implements the HTTP information service that Celestial
+// hosts expose to emulated machines: satellite positions, network paths
+// between nodes, constellation information and more, sourced from the
+// central database on the coordinator (§3.2 of the paper). Application
+// developers use it to test against different LEO constellations without
+// implementing their own satellite movement model — in a real deployment
+// the same information would come from the network operator or a public
+// TLE database.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"celestial/internal/constellation"
+	"celestial/internal/coordinator"
+	"celestial/internal/geom"
+	"celestial/internal/vnet"
+)
+
+// Server wraps a coordinator in the HTTP API.
+type Server struct {
+	coord *coordinator.Coordinator
+	mux   *http.ServeMux
+}
+
+// New creates the API server for a coordinator.
+func New(c *coordinator.Coordinator) *Server {
+	s := &Server{coord: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /info", s.handleInfo)
+	s.mux.HandleFunc("GET /shell/{shell}", s.handleShell)
+	s.mux.HandleFunc("GET /shell/{shell}/{sat}", s.handleSat)
+	s.mux.HandleFunc("GET /gst/{name}", s.handleGST)
+	s.mux.HandleFunc("GET /path/{source}/{target}", s.handlePath)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Info is the /info response.
+type Info struct {
+	// T is the current emulation offset in seconds since the epoch.
+	T float64 `json:"t"`
+	// Nodes is the total node count.
+	Nodes  int         `json:"nodes"`
+	Shells []ShellInfo `json:"shells"`
+	// GroundStations lists the configured station names.
+	GroundStations []string `json:"ground_stations"`
+}
+
+// ShellInfo describes one shell in /info and /shell responses.
+type ShellInfo struct {
+	ID             int     `json:"id"`
+	Name           string  `json:"name"`
+	Planes         int     `json:"planes"`
+	SatsPerPlane   int     `json:"sats_per_plane"`
+	Satellites     int     `json:"satellites"`
+	AltitudeKm     float64 `json:"altitude_km"`
+	InclinationDeg float64 `json:"inclination_deg"`
+	ArcDeg         float64 `json:"arc_of_ascending_nodes_deg"`
+}
+
+// SatInfo is the /shell/{shell}/{sat} response.
+type SatInfo struct {
+	Shell int    `json:"shell"`
+	Sat   int    `json:"sat"`
+	Name  string `json:"name"`
+	IP    string `json:"ip"`
+	// Position is the ECEF position in kilometers.
+	Position Position `json:"position"`
+	LatDeg   float64  `json:"lat_deg"`
+	LonDeg   float64  `json:"lon_deg"`
+	AltKm    float64  `json:"alt_km"`
+	// Active reports whether the machine is inside the bounding box.
+	Active bool `json:"active"`
+}
+
+// Position is an ECEF coordinate.
+type Position struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	Z float64 `json:"z"`
+}
+
+// GSTInfo is the /gst/{name} response.
+type GSTInfo struct {
+	Name     string   `json:"name"`
+	IP       string   `json:"ip"`
+	Position Position `json:"position"`
+	LatDeg   float64  `json:"lat_deg"`
+	LonDeg   float64  `json:"lon_deg"`
+	// Uplinks lists the per-shell closest-satellite uplink, if any.
+	Uplinks []UplinkInfo `json:"uplinks"`
+}
+
+// UplinkInfo is one candidate uplink in a GSTInfo.
+type UplinkInfo struct {
+	Shell        int     `json:"shell"`
+	Sat          int     `json:"sat"`
+	DistanceKm   float64 `json:"distance_km"`
+	ElevationDeg float64 `json:"elevation_deg"`
+	LatencyMs    float64 `json:"latency_ms"`
+}
+
+// PathResponse is the /path/{source}/{target} response.
+type PathResponse struct {
+	Source string `json:"source"`
+	Target string `json:"target"`
+	// LatencyMs is the one-way end-to-end latency in milliseconds.
+	LatencyMs float64 `json:"latency_ms"`
+	// BandwidthKbps is the bottleneck bandwidth; 0 means unlimited.
+	BandwidthKbps float64       `json:"bandwidth_kbps"`
+	Segments      []PathSegment `json:"segments"`
+}
+
+// PathSegment is one hop of a path.
+type PathSegment struct {
+	From       string  `json:"from"`
+	To         string  `json:"to"`
+	DistanceKm float64 `json:"distance_km"`
+	LatencyMs  float64 `json:"latency_ms"`
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding static response structs cannot fail.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// state fetches the current snapshot or reports 503 (before the first
+// update).
+func (s *Server) state(w http.ResponseWriter) *constellation.State {
+	st := s.coord.State()
+	if st == nil {
+		writeError(w, http.StatusServiceUnavailable, "no constellation state yet")
+		return nil
+	}
+	return st
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	cons := s.coord.Constellation()
+	info := Info{
+		T:     s.coord.ElapsedSeconds(),
+		Nodes: cons.NodeCount(),
+	}
+	for i, sh := range cons.Shells() {
+		cfg := sh.Config()
+		info.Shells = append(info.Shells, ShellInfo{
+			ID: i, Name: cfg.Name, Planes: cfg.Planes,
+			SatsPerPlane: cfg.SatsPerPlane, Satellites: cfg.Size(),
+			AltitudeKm: cfg.AltitudeKm, InclinationDeg: cfg.InclinationDeg,
+			ArcDeg: cfg.ArcDeg,
+		})
+	}
+	for _, g := range cons.GroundStations() {
+		info.GroundStations = append(info.GroundStations, g.Name)
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleShell(w http.ResponseWriter, r *http.Request) {
+	idx, err := strconv.Atoi(r.PathValue("shell"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad shell index: %v", err)
+		return
+	}
+	shells := s.coord.Constellation().Shells()
+	if idx < 0 || idx >= len(shells) {
+		writeError(w, http.StatusNotFound, "shell %d does not exist", idx)
+		return
+	}
+	cfg := shells[idx].Config()
+	writeJSON(w, http.StatusOK, ShellInfo{
+		ID: idx, Name: cfg.Name, Planes: cfg.Planes,
+		SatsPerPlane: cfg.SatsPerPlane, Satellites: cfg.Size(),
+		AltitudeKm: cfg.AltitudeKm, InclinationDeg: cfg.InclinationDeg,
+		ArcDeg: cfg.ArcDeg,
+	})
+}
+
+func (s *Server) handleSat(w http.ResponseWriter, r *http.Request) {
+	shell, err1 := strconv.Atoi(r.PathValue("shell"))
+	sat, err2 := strconv.Atoi(r.PathValue("sat"))
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, "bad satellite path")
+		return
+	}
+	cons := s.coord.Constellation()
+	id, err := cons.SatNode(shell, sat)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	st := s.state(w)
+	if st == nil {
+		return
+	}
+	ip, err := vnet.SatIP(shell, sat)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	pos := st.Positions[id]
+	ll := geom.ToGeodetic(pos)
+	writeJSON(w, http.StatusOK, SatInfo{
+		Shell: shell, Sat: sat, Name: vnet.SatName(shell, sat), IP: ip.String(),
+		Position: Position{X: pos.X, Y: pos.Y, Z: pos.Z},
+		LatDeg:   ll.LatDeg, LonDeg: ll.LonDeg, AltKm: ll.AltKm,
+		Active: st.Active[id],
+	})
+}
+
+func (s *Server) handleGST(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	cons := s.coord.Constellation()
+	id, err := cons.GSTNodeByName(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	st := s.state(w)
+	if st == nil {
+		return
+	}
+	node, err := cons.Node(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	ip, err := vnet.GSTIP(node.Sat)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	pos := st.Positions[id]
+	ll := geom.ToGeodetic(pos)
+	resp := GSTInfo{
+		Name: name, IP: ip.String(),
+		Position: Position{X: pos.X, Y: pos.Y, Z: pos.Z},
+		LatDeg:   ll.LatDeg, LonDeg: ll.LonDeg,
+	}
+	for si := range cons.Shells() {
+		ups, err := st.Uplinks(node.Sat, si)
+		if err != nil || len(ups) == 0 {
+			continue
+		}
+		up := ups[0]
+		resp.Uplinks = append(resp.Uplinks, UplinkInfo{
+			Shell: si, Sat: up.Sat, DistanceKm: up.DistanceKm,
+			ElevationDeg: up.ElevationDeg,
+			LatencyMs:    geom.PropagationDelay(up.DistanceKm) * 1000,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveNode turns a path parameter — "878.0" for satellites or a ground
+// station name — into a node ID.
+func (s *Server) resolveNode(param string) (int, error) {
+	cons := s.coord.Constellation()
+	if id, err := cons.GSTNodeByName(param); err == nil {
+		return id, nil
+	}
+	var sat, shell int
+	if _, err := fmt.Sscanf(param, "%d.%d", &sat, &shell); err == nil {
+		return cons.SatNode(shell, sat)
+	}
+	return 0, fmt.Errorf("unknown node %q (want \"<sat>.<shell>\" or a ground station name)", param)
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	src, err := s.resolveNode(r.PathValue("source"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	dst, err := s.resolveNode(r.PathValue("target"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	st := s.state(w)
+	if st == nil {
+		return
+	}
+	lat, err := st.Latency(src, dst)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if math.IsInf(lat, 1) {
+		writeError(w, http.StatusNotFound, "no path between %s and %s",
+			r.PathValue("source"), r.PathValue("target"))
+		return
+	}
+	path, err := st.Path(src, dst)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	bw, _ := st.PathBandwidth(src, dst)
+	cons := s.coord.Constellation()
+	resp := PathResponse{
+		Source: r.PathValue("source"), Target: r.PathValue("target"),
+		LatencyMs: lat * 1000, BandwidthKbps: bw,
+	}
+	for i := 0; i+1 < len(path); i++ {
+		a, errA := cons.Node(path[i])
+		b, errB := cons.Node(path[i+1])
+		if errA != nil || errB != nil {
+			writeError(w, http.StatusInternalServerError, "resolving path nodes")
+			return
+		}
+		d := st.Positions[path[i]].Distance(st.Positions[path[i+1]])
+		resp.Segments = append(resp.Segments, PathSegment{
+			From: a.Name, To: b.Name, DistanceKm: d,
+			LatencyMs: geom.PropagationDelay(d) * 1000,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ErrNotFound is a sentinel for API 404s in client helpers.
+var ErrNotFound = errors.New("httpapi: not found")

@@ -1,0 +1,211 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"celestial/internal/config"
+	"celestial/internal/coordinator"
+	"celestial/internal/geom"
+	"celestial/internal/orbit"
+)
+
+func testServer(t *testing.T) (*Server, *coordinator.Coordinator) {
+	t.Helper()
+	cfg := &config.Config{
+		Duration:   time.Minute,
+		Resolution: 2 * time.Second,
+		Shells: []config.Shell{{
+			ShellConfig: orbit.ShellConfig{
+				Name: "starlink-1", Planes: 24, SatsPerPlane: 22, AltitudeKm: 550,
+				InclinationDeg: 53, ArcDeg: 360, PhasingFactor: 13, Model: orbit.ModelKepler,
+			},
+		}},
+		GroundStations: []config.GroundStation{
+			{Name: "accra", Location: geom.LatLon{LatDeg: 5.6037, LonDeg: -0.1870}},
+			{Name: "johannesburg", Location: geom.LatLon{LatDeg: -26.2041, LonDeg: 28.0473}},
+		},
+	}
+	cfg.Network.MinElevationDeg = 25
+	if err := config.Finalize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	c, err := coordinator.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return New(c), c
+}
+
+func get(t *testing.T, s *Server, path string, wantStatus int, into any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("GET %s = %d (%s), want %d", path, rec.Code, rec.Body.String(), wantStatus)
+	}
+	if into != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
+			t.Fatalf("GET %s: decoding: %v", path, err)
+		}
+	}
+}
+
+func TestInfo(t *testing.T) {
+	s, _ := testServer(t)
+	var info Info
+	get(t, s, "/info", http.StatusOK, &info)
+	if info.Nodes != 24*22+2 {
+		t.Errorf("nodes = %d", info.Nodes)
+	}
+	if len(info.Shells) != 1 || info.Shells[0].Satellites != 528 {
+		t.Errorf("shells = %+v", info.Shells)
+	}
+	if len(info.GroundStations) != 2 || info.GroundStations[0] != "accra" {
+		t.Errorf("gsts = %v", info.GroundStations)
+	}
+}
+
+func TestShell(t *testing.T) {
+	s, _ := testServer(t)
+	var shell ShellInfo
+	get(t, s, "/shell/0", http.StatusOK, &shell)
+	if shell.Name != "starlink-1" || shell.AltitudeKm != 550 || shell.Planes != 24 {
+		t.Errorf("shell = %+v", shell)
+	}
+	get(t, s, "/shell/5", http.StatusNotFound, nil)
+	get(t, s, "/shell/abc", http.StatusBadRequest, nil)
+}
+
+func TestSat(t *testing.T) {
+	s, _ := testServer(t)
+	var sat SatInfo
+	get(t, s, "/shell/0/100", http.StatusOK, &sat)
+	if sat.Name != "100.0.celestial" {
+		t.Errorf("name = %q", sat.Name)
+	}
+	if sat.IP != "10.1.0.100" {
+		t.Errorf("ip = %q", sat.IP)
+	}
+	// Altitude ≈ 550 km.
+	if sat.AltKm < 530 || sat.AltKm > 570 {
+		t.Errorf("alt = %v", sat.AltKm)
+	}
+	if !sat.Active {
+		t.Error("whole-earth bbox satellite inactive")
+	}
+	get(t, s, "/shell/0/9999", http.StatusNotFound, nil)
+	get(t, s, "/shell/0/x", http.StatusBadRequest, nil)
+}
+
+func TestGST(t *testing.T) {
+	s, _ := testServer(t)
+	var gst GSTInfo
+	get(t, s, "/gst/accra", http.StatusOK, &gst)
+	if gst.IP != "10.0.0.0" {
+		t.Errorf("ip = %q", gst.IP)
+	}
+	if gst.LatDeg < 5 || gst.LatDeg > 6 {
+		t.Errorf("lat = %v", gst.LatDeg)
+	}
+	if len(gst.Uplinks) != 1 {
+		t.Fatalf("uplinks = %+v", gst.Uplinks)
+	}
+	if gst.Uplinks[0].LatencyMs <= 0 || gst.Uplinks[0].DistanceKm < 550 {
+		t.Errorf("uplink = %+v", gst.Uplinks[0])
+	}
+	get(t, s, "/gst/atlantis", http.StatusNotFound, nil)
+}
+
+func TestPath(t *testing.T) {
+	s, _ := testServer(t)
+	var path PathResponse
+	get(t, s, "/path/accra/johannesburg", http.StatusOK, &path)
+	if path.LatencyMs < 15 || path.LatencyMs > 100 {
+		t.Errorf("latency = %v ms", path.LatencyMs)
+	}
+	if len(path.Segments) < 2 {
+		t.Fatalf("segments = %+v", path.Segments)
+	}
+	// Segment latencies sum to the total.
+	sum := 0.0
+	for _, seg := range path.Segments {
+		sum += seg.LatencyMs
+	}
+	if diff := sum - path.LatencyMs; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("segment sum %v != total %v", sum, path.LatencyMs)
+	}
+	if path.Segments[0].From != "accra" {
+		t.Errorf("first segment = %+v", path.Segments[0])
+	}
+
+	// Satellite-to-satellite path by name.
+	var sp PathResponse
+	get(t, s, "/path/0.0/5.0", http.StatusOK, &sp)
+	if sp.LatencyMs <= 0 {
+		t.Errorf("sat path latency = %v", sp.LatencyMs)
+	}
+
+	get(t, s, "/path/accra/nowhere", http.StatusNotFound, nil)
+	get(t, s, "/path/garbage!/accra", http.StatusNotFound, nil)
+}
+
+func TestPathReflectsTime(t *testing.T) {
+	s, c := testServer(t)
+	var before PathResponse
+	get(t, s, "/path/accra/johannesburg", http.StatusOK, &before)
+	if err := c.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var after PathResponse
+	get(t, s, "/path/accra/johannesburg", http.StatusOK, &after)
+	if before.LatencyMs == after.LatencyMs {
+		t.Error("path latency static after 30 s of satellite movement")
+	}
+	var info Info
+	get(t, s, "/info", http.StatusOK, &info)
+	if info.T != 30 {
+		t.Errorf("t = %v", info.T)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s, _ := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/info", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /info = %d", rec.Code)
+	}
+}
+
+func TestServesOverRealHTTP(t *testing.T) {
+	s, _ := testServer(t)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes == 0 {
+		t.Error("empty info over real HTTP")
+	}
+}

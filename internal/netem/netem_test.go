@@ -1,0 +1,247 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2022, 4, 14, 12, 0, 0, 0, time.UTC)
+
+func mustShaper(t *testing.T, p Params) *Shaper {
+	t.Helper()
+	s, err := NewShaper(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Delay: -time.Second},
+		{Jitter: -time.Second},
+		{BandwidthKbps: -1},
+		{LossProb: -0.1},
+		{LossProb: 1.1},
+		{DupProb: 2},
+		{CorruptProb: -1},
+		{ReorderProb: 42},
+		{ReorderExtraDelay: -time.Second},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d accepted: %+v", i, p)
+		}
+		if _, err := NewShaper(p, 0); err == nil {
+			t.Errorf("NewShaper accepted params %d", i)
+		}
+	}
+	if err := (Params{Delay: time.Millisecond, BandwidthKbps: 1000}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestQuantizeDelay(t *testing.T) {
+	tests := []struct{ in, want time.Duration }{
+		{0, 0},
+		{-5 * time.Millisecond, 0},
+		{100 * time.Microsecond, 100 * time.Microsecond},
+		{149 * time.Microsecond, 100 * time.Microsecond},
+		{150 * time.Microsecond, 200 * time.Microsecond},
+		{16*time.Millisecond + 49*time.Microsecond, 16 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		if got := QuantizeDelay(tt.in); got != tt.want {
+			t.Errorf("QuantizeDelay(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPureDelay(t *testing.T) {
+	s := mustShaper(t, Params{Delay: 8 * time.Millisecond})
+	d := s.Transmit(t0, 1000)
+	if d.Lost() || d.Corrupted || len(d.Arrivals) != 1 {
+		t.Fatalf("delivery = %+v", d)
+	}
+	if got := d.Arrivals[0].Sub(t0); got != 8*time.Millisecond {
+		t.Errorf("arrival after %v, want 8ms", got)
+	}
+}
+
+func TestDelayQuantized(t *testing.T) {
+	s := mustShaper(t, Params{Delay: 8*time.Millisecond + 33*time.Microsecond})
+	d := s.Transmit(t0, 10)
+	if got := d.Arrivals[0].Sub(t0); got != 8*time.Millisecond {
+		t.Errorf("arrival after %v, want quantized 8ms", got)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 8000 bits at 1000 kbps = 8 ms serialization.
+	s := mustShaper(t, Params{BandwidthKbps: 1000})
+	d := s.Transmit(t0, 1000)
+	if got := d.Arrivals[0].Sub(t0); got != 8*time.Millisecond {
+		t.Errorf("arrival after %v, want 8ms", got)
+	}
+}
+
+func TestQueueingBehindEarlierPackets(t *testing.T) {
+	s := mustShaper(t, Params{BandwidthKbps: 1000, Delay: time.Millisecond})
+	// Two 1000-byte packets sent at the same instant: the second queues
+	// behind the first (8 ms serialization each).
+	d1 := s.Transmit(t0, 1000)
+	d2 := s.Transmit(t0, 1000)
+	if got := d1.Arrivals[0].Sub(t0); got != 9*time.Millisecond {
+		t.Errorf("first arrival after %v, want 9ms", got)
+	}
+	if got := d2.Arrivals[0].Sub(t0); got != 17*time.Millisecond {
+		t.Errorf("second arrival after %v, want 17ms", got)
+	}
+	// The link reports itself busy until serialization finishes.
+	if busy := s.Busy(t0); busy != 16*time.Millisecond {
+		t.Errorf("busy = %v, want 16ms", busy)
+	}
+	// After the queue drains the link goes idle.
+	if busy := s.Busy(t0.Add(time.Second)); busy != 0 {
+		t.Errorf("busy after drain = %v", busy)
+	}
+}
+
+func TestQueueDrainsOverTime(t *testing.T) {
+	s := mustShaper(t, Params{BandwidthKbps: 1000})
+	s.Transmit(t0, 1000) // occupies link until t0+8ms
+	// A packet sent at t0+8ms does not queue.
+	d := s.Transmit(t0.Add(8*time.Millisecond), 1000)
+	if got := d.Arrivals[0].Sub(t0); got != 16*time.Millisecond {
+		t.Errorf("arrival after %v, want 16ms", got)
+	}
+}
+
+func TestUnlimitedBandwidth(t *testing.T) {
+	s := mustShaper(t, Params{Delay: time.Millisecond})
+	if d := s.SerializationDelay(1 << 20); d != 0 {
+		t.Errorf("serialization = %v, want 0", d)
+	}
+	// Packets do not queue.
+	d1 := s.Transmit(t0, 1<<20)
+	d2 := s.Transmit(t0, 1<<20)
+	if !d1.Arrivals[0].Equal(d2.Arrivals[0]) {
+		t.Error("packets queued despite unlimited bandwidth")
+	}
+}
+
+func TestLoss(t *testing.T) {
+	s := mustShaper(t, Params{LossProb: 1})
+	if d := s.Transmit(t0, 100); !d.Lost() {
+		t.Error("packet survived 100% loss")
+	}
+	s2 := mustShaper(t, Params{LossProb: 0})
+	if d := s2.Transmit(t0, 100); d.Lost() {
+		t.Error("packet lost at 0% loss")
+	}
+	// Statistical check at 30%.
+	s3 := mustShaper(t, Params{LossProb: 0.3})
+	lost := 0
+	for i := 0; i < 10000; i++ {
+		if s3.Transmit(t0, 10).Lost() {
+			lost++
+		}
+	}
+	if lost < 2700 || lost > 3300 {
+		t.Errorf("lost %d of 10000 at p=0.3", lost)
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	s := mustShaper(t, Params{DupProb: 1, Delay: time.Millisecond})
+	d := s.Transmit(t0, 100)
+	if len(d.Arrivals) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(d.Arrivals))
+	}
+	if !d.Arrivals[1].After(d.Arrivals[0]) {
+		t.Error("duplicate does not trail original")
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	s := mustShaper(t, Params{CorruptProb: 1})
+	if d := s.Transmit(t0, 100); !d.Corrupted {
+		t.Error("packet not corrupted at p=1")
+	}
+}
+
+func TestReorderAddsDelay(t *testing.T) {
+	s := mustShaper(t, Params{
+		Delay: time.Millisecond, ReorderProb: 1, ReorderExtraDelay: 5 * time.Millisecond,
+	})
+	d := s.Transmit(t0, 10)
+	if got := d.Arrivals[0].Sub(t0); got != 6*time.Millisecond {
+		t.Errorf("reordered arrival after %v, want 6ms", got)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	s := mustShaper(t, Params{Delay: 2 * time.Millisecond, Jitter: time.Millisecond})
+	for i := 0; i < 1000; i++ {
+		d := s.Transmit(t0, 10)
+		got := d.Arrivals[0].Sub(t0)
+		if got < time.Millisecond || got > 3*time.Millisecond {
+			t.Fatalf("jittered arrival after %v, outside [1ms, 3ms]", got)
+		}
+	}
+}
+
+func TestJitterNeverNegative(t *testing.T) {
+	s := mustShaper(t, Params{Delay: 100 * time.Microsecond, Jitter: time.Millisecond})
+	for i := 0; i < 1000; i++ {
+		d := s.Transmit(t0, 10)
+		if d.Arrivals[0].Before(t0) {
+			t.Fatal("arrival before send")
+		}
+	}
+}
+
+func TestUpdateKeepsQueueState(t *testing.T) {
+	s := mustShaper(t, Params{BandwidthKbps: 1000})
+	s.Transmit(t0, 1000) // busy until +8 ms
+	if err := s.Update(Params{BandwidthKbps: 1000, Delay: 4 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Transmit(t0, 1000)
+	// Still queues behind the pre-update packet, then new delay applies.
+	if got := d.Arrivals[0].Sub(t0); got != 20*time.Millisecond {
+		t.Errorf("arrival after %v, want 20ms", got)
+	}
+	if err := s.Update(Params{Delay: -1}); err == nil {
+		t.Error("Update accepted invalid params")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	p := Params{Delay: time.Millisecond, LossProb: 0.5, DupProb: 0.3}
+	a, err := NewShaper(p, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewShaper(p, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		da := a.Transmit(t0, 100)
+		db := b.Transmit(t0, 100)
+		if len(da.Arrivals) != len(db.Arrivals) {
+			t.Fatal("same-seed shapers diverged")
+		}
+	}
+}
+
+func BenchmarkTransmit(b *testing.B) {
+	s, err := NewShaper(Params{Delay: time.Millisecond, BandwidthKbps: 10_000_000}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s.Transmit(t0, 1500)
+	}
+}

@@ -1,0 +1,103 @@
+package vnet
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Addressing scheme. Celestial computes virtual interface addresses from
+// the satellite identity so that applications never need to manage an IP
+// plan; this package uses the analogous scheme:
+//
+//	satellites:      10.(shell+1).(sat / 256).(sat % 256)
+//	ground stations: 10.0.(gst / 256).(gst % 256)
+//
+// and DNS names (resolved by the dns package):
+//
+//	satellites:      <sat>.<shell>.celestial        e.g. 878.0.celestial
+//	ground stations: <name>.gst.celestial           e.g. accra.gst.celestial
+//
+// The paper's example — "applications can simply query the A records for,
+// e.g., 878.0.celestial to get the network addresses of satellite 878 in
+// the first shell" — works verbatim against this scheme.
+
+// DNSZone is the pseudo-TLD of the testbed.
+const DNSZone = "celestial"
+
+// maxPerShell is the largest satellite index the scheme can encode.
+const maxPerShell = 65536
+
+// SatIP returns the virtual IP of a satellite.
+func SatIP(shell, sat int) (net.IP, error) {
+	if shell < 0 || shell > 254 {
+		return nil, fmt.Errorf("vnet: shell %d outside [0, 254]", shell)
+	}
+	if sat < 0 || sat >= maxPerShell {
+		return nil, fmt.Errorf("vnet: satellite %d outside [0, %d)", sat, maxPerShell)
+	}
+	return net.IPv4(10, byte(shell+1), byte(sat/256), byte(sat%256)), nil
+}
+
+// GSTIP returns the virtual IP of a ground station by index.
+func GSTIP(gst int) (net.IP, error) {
+	if gst < 0 || gst >= maxPerShell {
+		return nil, fmt.Errorf("vnet: ground station %d outside [0, %d)", gst, maxPerShell)
+	}
+	return net.IPv4(10, 0, byte(gst/256), byte(gst%256)), nil
+}
+
+// ParseIP inverts SatIP/GSTIP: it returns (shell, sat) for satellite IPs,
+// with shell == -1 and sat == ground-station index for ground stations.
+func ParseIP(ip net.IP) (shell, sat int, err error) {
+	v4 := ip.To4()
+	if v4 == nil || v4[0] != 10 {
+		return 0, 0, fmt.Errorf("vnet: %v is not a testbed address", ip)
+	}
+	idx := int(v4[2])*256 + int(v4[3])
+	if v4[1] == 0 {
+		return -1, idx, nil
+	}
+	return int(v4[1]) - 1, idx, nil
+}
+
+// SatName returns the DNS name of a satellite, e.g. "878.0.celestial".
+func SatName(shell, sat int) string {
+	return fmt.Sprintf("%d.%d.%s", sat, shell, DNSZone)
+}
+
+// GSTName returns the DNS name of a ground station, e.g.
+// "accra.gst.celestial".
+func GSTName(name string) string {
+	return fmt.Sprintf("%s.gst.%s", strings.ToLower(name), DNSZone)
+}
+
+// ParseName decodes a testbed DNS name. It returns (shell, sat, "") for
+// satellite names and (-1, 0, gstName) for ground-station names. Trailing
+// dots are accepted.
+func ParseName(name string) (shell, sat int, gst string, err error) {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	parts := strings.Split(name, ".")
+	if len(parts) != 3 || parts[2] != DNSZone {
+		return 0, 0, "", fmt.Errorf("vnet: %q is not a <x>.<y>.%s name", name, DNSZone)
+	}
+	if parts[1] == "gst" {
+		if parts[0] == "" {
+			return 0, 0, "", fmt.Errorf("vnet: empty ground station name in %q", name)
+		}
+		return -1, 0, parts[0], nil
+	}
+	sat, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("vnet: bad satellite index in %q: %w", name, err)
+	}
+	shell, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("vnet: bad shell index in %q: %w", name, err)
+	}
+	if shell < 0 || sat < 0 {
+		return 0, 0, "", fmt.Errorf("vnet: negative indices in %q", name)
+	}
+	return shell, sat, "", nil
+}

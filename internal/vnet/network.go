@@ -1,0 +1,220 @@
+package vnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"celestial/internal/netem"
+)
+
+// PathInfo describes the current network path between two nodes as the
+// Constellation Calculation computed it.
+type PathInfo struct {
+	// LatencyS is the one-way end-to-end propagation latency in seconds.
+	LatencyS float64
+	// BandwidthKbps is the bottleneck bandwidth along the path.
+	BandwidthKbps float64
+	// OK is false when the nodes are currently not connected.
+	OK bool
+}
+
+// Topology supplies per-pair path information and per-node activity. The
+// coordinator swaps implementations on every update interval.
+type Topology interface {
+	// PathInfo returns the current path characteristics between two
+	// nodes in the constellation-wide numbering.
+	PathInfo(a, b int) PathInfo
+	// NodeActive reports whether a node's machine is active (suspended
+	// machines can neither send nor receive).
+	NodeActive(id int) bool
+}
+
+// Message is one datagram delivered through the virtual network.
+type Message struct {
+	From, To  int
+	SizeBytes int
+	Payload   any
+	SentAt    time.Time
+	// DeliveredAt is filled in on delivery.
+	DeliveredAt time.Time
+	// Corrupted marks netem payload corruption.
+	Corrupted bool
+}
+
+// Latency returns the end-to-end delay this message experienced.
+func (m Message) Latency() time.Duration { return m.DeliveredAt.Sub(m.SentAt) }
+
+// Handler consumes messages delivered to a node.
+type Handler func(Message)
+
+// Send errors.
+var (
+	// ErrUnreachable is returned when no path exists between the nodes.
+	ErrUnreachable = errors.New("vnet: destination unreachable")
+	// ErrSuspended is returned when either endpoint's machine is
+	// suspended or otherwise inactive.
+	ErrSuspended = errors.New("vnet: machine suspended")
+	// ErrNoHandler is returned when the destination has no registered
+	// handler.
+	ErrNoHandler = errors.New("vnet: destination has no handler")
+)
+
+// Network delivers messages between emulated machines with the delays and
+// bandwidth constraints of the current topology. It must be driven from
+// the simulation goroutine.
+type Network struct {
+	sim  *Sim
+	topo Topology
+	// handlers by node ID.
+	handlers map[int]Handler
+	// shapers per directed node pair, created lazily.
+	shapers map[[2]int]*netem.Shaper
+	// impair is added on top of topology delay/bandwidth (loss etc.).
+	impair netem.Params
+	seed   int64
+
+	// delivered counts messages handed to handlers; dropped counts
+	// loss-model drops.
+	delivered uint64
+	dropped   uint64
+}
+
+// NewNetwork creates a network driven by sim. The seed makes the loss and
+// jitter models reproducible.
+func NewNetwork(sim *Sim, topo Topology, seed int64) *Network {
+	return &Network{
+		sim:      sim,
+		topo:     topo,
+		handlers: map[int]Handler{},
+		shapers:  map[[2]int]*netem.Shaper{},
+		seed:     seed,
+	}
+}
+
+// SetTopology swaps the topology, e.g. on a coordinator update. Existing
+// queue state in the per-pair shapers is preserved, mirroring how tc qdisc
+// updates do not drop queued packets.
+func (n *Network) SetTopology(t Topology) { n.topo = t }
+
+// SetImpairments configures additional netem impairments (loss,
+// duplication, corruption, reordering, jitter) applied to every message on
+// top of the topology's delay and bandwidth.
+func (n *Network) SetImpairments(p netem.Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	n.impair = p
+	// Existing shapers pick the new impairments up on their next
+	// parameter refresh in Send.
+	return nil
+}
+
+// Handle registers the message handler of a node, replacing any previous
+// one.
+func (n *Network) Handle(node int, h Handler) { n.handlers[node] = h }
+
+// Stats returns how many messages were delivered and dropped so far.
+func (n *Network) Stats() (delivered, dropped uint64) { return n.delivered, n.dropped }
+
+// Send transmits a message from one node to another. The message
+// experiences the path's propagation delay plus serialization at the
+// bottleneck bandwidth; the registered handler of the destination runs at
+// the delivery time. Send must be called from the simulation goroutine.
+func (n *Network) Send(from, to int, sizeBytes int, payload any) error {
+	if from == to {
+		return fmt.Errorf("vnet: cannot send from node %d to itself", from)
+	}
+	if sizeBytes < 0 {
+		return fmt.Errorf("vnet: negative message size %d", sizeBytes)
+	}
+	if !n.topo.NodeActive(from) || !n.topo.NodeActive(to) {
+		return fmt.Errorf("%w: %d -> %d", ErrSuspended, from, to)
+	}
+	handler, ok := n.handlers[to]
+	if !ok {
+		return fmt.Errorf("%w: node %d", ErrNoHandler, to)
+	}
+	pi := n.topo.PathInfo(from, to)
+	if !pi.OK || math.IsInf(pi.LatencyS, 1) {
+		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
+	}
+
+	shaper, err := n.shaper(from, to, pi)
+	if err != nil {
+		return err
+	}
+	now := n.sim.Now()
+	delivery := shaper.Transmit(now, sizeBytes)
+	if delivery.Lost() {
+		n.dropped++
+		return nil // loss is silent, like the real network
+	}
+	for _, at := range delivery.Arrivals {
+		msg := Message{
+			From: from, To: to, SizeBytes: sizeBytes, Payload: payload,
+			SentAt: now, DeliveredAt: at, Corrupted: delivery.Corrupted,
+		}
+		if err := n.sim.At(at, func() {
+			n.delivered++
+			handler(msg)
+		}); err != nil {
+			return fmt.Errorf("vnet: scheduling delivery: %w", err)
+		}
+	}
+	return nil
+}
+
+// shaper returns the per-pair shaper with parameters refreshed from the
+// current path info.
+func (n *Network) shaper(from, to int, pi PathInfo) (*netem.Shaper, error) {
+	params := n.impair
+	params.Delay = time.Duration(pi.LatencyS * float64(time.Second))
+	params.BandwidthKbps = pi.BandwidthKbps
+
+	key := [2]int{from, to}
+	s, ok := n.shapers[key]
+	if !ok {
+		// Distinct deterministic seed per directed pair.
+		seed := n.seed ^ int64(from)<<32 ^ int64(to)
+		var err error
+		s, err = netem.NewShaper(params, seed)
+		if err != nil {
+			return nil, err
+		}
+		n.shapers[key] = s
+		return s, nil
+	}
+	if err := s.Update(params); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// StaticTopology is a fixed Topology, useful for tests and for modeling
+// plain host networks.
+type StaticTopology struct {
+	// Latency[a][b] in seconds; missing pairs are unreachable.
+	Latency map[int]map[int]float64
+	// BandwidthKbps applies to all pairs; zero means unlimited.
+	BandwidthKbps float64
+	// Inactive marks suspended nodes.
+	Inactive map[int]bool
+}
+
+// PathInfo implements Topology.
+func (s StaticTopology) PathInfo(a, b int) PathInfo {
+	row, ok := s.Latency[a]
+	if !ok {
+		return PathInfo{}
+	}
+	l, ok := row[b]
+	if !ok {
+		return PathInfo{}
+	}
+	return PathInfo{LatencyS: l, BandwidthKbps: s.BandwidthKbps, OK: true}
+}
+
+// NodeActive implements Topology.
+func (s StaticTopology) NodeActive(id int) bool { return !s.Inactive[id] }

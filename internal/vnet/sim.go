@@ -1,0 +1,154 @@
+// Package vnet provides the virtual network substrate of the testbed: a
+// deterministic discrete-event engine driving a virtual clock, the IP and
+// DNS addressing scheme for emulated machines, and a message-passing
+// network whose per-path delays and bandwidth follow the constellation
+// topology.
+//
+// It replaces the host networking layer of the original Celestial (virtual
+// network interfaces, tc qdiscs and the WireGuard host overlay) with an
+// in-process equivalent: applications observe the same end-to-end latency,
+// bandwidth and reachability effects, which is what the paper's evaluation
+// measures.
+package vnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"celestial/internal/clock"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64 // tie-breaker for deterministic ordering
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulation engine. Events run in
+// timestamp order (FIFO among equal timestamps), advancing a virtual clock.
+// All scheduling and execution must happen from one goroutine; this is what
+// makes experiment runs bit-for-bit reproducible.
+type Sim struct {
+	clk *clock.Virtual
+	pq  eventHeap
+	seq uint64
+}
+
+// NewSim creates an engine whose virtual clock starts at the given time.
+func NewSim(start time.Time) *Sim {
+	return &Sim{clk: clock.NewVirtual(start)}
+}
+
+// Clock exposes the engine's clock for components that only need to read
+// time.
+func (s *Sim) Clock() clock.Clock { return s.clk }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.clk.Now() }
+
+// At schedules fn to run at an absolute virtual time, which must not be in
+// the past.
+func (s *Sim) At(t time.Time, fn func()) error {
+	if t.Before(s.Now()) {
+		return fmt.Errorf("vnet: cannot schedule event at %v before now %v", t, s.Now())
+	}
+	s.seq++
+	heap.Push(&s.pq, event{at: t, seq: s.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Sim) After(d time.Duration, fn func()) error {
+	if d < 0 {
+		return fmt.Errorf("vnet: negative delay %v", d)
+	}
+	return s.At(s.Now().Add(d), fn)
+}
+
+// Every schedules fn at t, t+interval, t+2*interval, ... for as long as fn
+// returns true.
+func (s *Sim) Every(start time.Time, interval time.Duration, fn func() bool) error {
+	if interval <= 0 {
+		return fmt.Errorf("vnet: interval must be positive, have %v", interval)
+	}
+	var tick func()
+	at := start
+	tick = func() {
+		if !fn() {
+			return
+		}
+		at = at.Add(interval)
+		// Scheduling forward from a just-executed event cannot fail.
+		if err := s.At(at, tick); err != nil {
+			panic(fmt.Sprintf("vnet: rescheduling recurring event: %v", err))
+		}
+	}
+	return s.At(start, tick)
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.pq) }
+
+// Step executes the next event, advancing the clock to its timestamp. It
+// returns false when no events remain.
+func (s *Sim) Step() bool {
+	if len(s.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.pq).(event)
+	if err := s.clk.Set(e.at); err != nil {
+		// Events are popped in time order from a queue that rejects
+		// past timestamps, so the clock can never move backwards.
+		panic(fmt.Sprintf("vnet: clock regression: %v", err))
+	}
+	e.fn()
+	return true
+}
+
+// RunUntil executes all events with timestamps ≤ t, then advances the
+// clock to exactly t.
+func (s *Sim) RunUntil(t time.Time) error {
+	if t.Before(s.Now()) {
+		return fmt.Errorf("vnet: cannot run until %v, already at %v", t, s.Now())
+	}
+	for len(s.pq) > 0 && !s.pq[0].at.After(t) {
+		s.Step()
+	}
+	return s.clk.Set(t)
+}
+
+// Drain executes events until the queue is empty and returns how many ran.
+// A limit guards against runaway recurring events; zero means no limit.
+func (s *Sim) Drain(limit int) (int, error) {
+	n := 0
+	for s.Step() {
+		n++
+		if limit > 0 && n >= limit {
+			if len(s.pq) > 0 {
+				return n, fmt.Errorf("vnet: drain limit %d reached with %d events pending", limit, len(s.pq))
+			}
+		}
+	}
+	return n, nil
+}
