@@ -1,0 +1,3 @@
+module celestial
+
+go 1.22
