@@ -208,12 +208,16 @@ func (c *Constellation) Snapshot(t float64) (*State, error) {
 		cache:     map[int]graph.ShortestPaths{},
 	}
 
-	// Satellite positions and bounding-box activity.
+	// Satellite positions and bounding-box activity. The position
+	// buffer is reused across shells: PositionsECEF grows it to the
+	// largest shell once and then fills it in place.
+	var buf []geom.Vec3
 	for si, sh := range c.shells {
-		pos, err := sh.PositionsECEF(t, nil)
+		pos, err := sh.PositionsECEF(t, buf)
 		if err != nil {
 			return nil, fmt.Errorf("constellation: t=%v: %w", t, err)
 		}
+		buf = pos
 		for f, p := range pos {
 			id := c.base[si] + f
 			st.Positions[id] = p
