@@ -14,7 +14,10 @@ import (
 
 	"celestial/internal/apps/dart"
 	"celestial/internal/apps/meetup"
+	"celestial/internal/config"
+	"celestial/internal/constellation"
 	"celestial/internal/experiments"
+	"celestial/internal/geom"
 	"celestial/internal/orbit"
 	"celestial/internal/stats"
 )
@@ -109,6 +112,73 @@ func BenchmarkCostComparison(b *testing.B) {
 // constellation update completes within a second.
 func BenchmarkConstellationUpdate(b *testing.B) {
 	runReport(b, experiments.CalcTime)
+}
+
+// starlinkP1Constellation builds the full phase I Starlink constellation
+// (4,409 satellites in five shells, Fig. 1 of the paper) with one ground
+// station, the scale target of the update-pipeline benchmarks below.
+func starlinkP1Constellation(b *testing.B) *constellation.Constellation {
+	b.Helper()
+	var shells []config.Shell
+	for _, sc := range orbit.StarlinkPhase1(orbit.ModelKepler) {
+		shells = append(shells, config.Shell{ShellConfig: sc})
+	}
+	cfg := &config.Config{
+		Shells: shells,
+		GroundStations: []config.GroundStation{
+			{Name: "accra", Location: geom.LatLon{LatDeg: 5.6037, LonDeg: -0.187}},
+		},
+	}
+	cfg.Network.MinElevationDeg = 25
+	if err := config.Finalize(cfg); err != nil {
+		b.Fatal(err)
+	}
+	cons, err := constellation.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cons
+}
+
+// BenchmarkConstellationUpdateStarlinkP1 measures one steady-state update
+// tick — a pooled parallel snapshot plus one shortest-path source, the
+// coordinator's per-tick work — at full Starlink phase 1 scale. Compare
+// against the Sequential variant below for the parallel speedup and
+// allocs/op reduction.
+func BenchmarkConstellationUpdateStarlinkP1(b *testing.B) {
+	cons := starlinkP1Constellation(b)
+	pool := cons.NewSnapshotPool()
+	gst := cons.NodeCount() - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := pool.Snapshot(float64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Latency(gst, 0); err != nil {
+			b.Fatal(err)
+		}
+		pool.Recycle(st)
+	}
+}
+
+// BenchmarkConstellationUpdateStarlinkP1Sequential is the single-threaded,
+// allocate-per-tick baseline of BenchmarkConstellationUpdateStarlinkP1.
+func BenchmarkConstellationUpdateStarlinkP1Sequential(b *testing.B) {
+	cons := starlinkP1Constellation(b)
+	gst := cons.NodeCount() - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := cons.SnapshotSequential(float64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Latency(gst, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFig10IridiumTopology regenerates Fig. 10: the Iridium

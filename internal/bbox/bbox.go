@@ -53,6 +53,14 @@ func (b Box) Validate() error {
 // CrossesAntimeridian reports whether the box wraps around ±180°.
 func (b Box) CrossesAntimeridian() bool { return b.LonMinDeg > b.LonMaxDeg }
 
+// IsWholeEarth reports whether the box covers every location, so callers
+// on hot paths can skip the per-position geodetic conversion entirely (it
+// dominated the constellation update's CPU profile for the default box).
+func (b Box) IsWholeEarth() bool {
+	return b.LatMinDeg <= -90 && b.LatMaxDeg >= 90 &&
+		b.LonMinDeg <= -180 && b.LonMaxDeg >= 180
+}
+
 // Contains reports whether a geodetic location lies within the box.
 // Altitude is ignored: a satellite is "inside" when its ground track is.
 func (b Box) Contains(l geom.LatLon) bool {

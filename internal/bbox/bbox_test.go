@@ -218,3 +218,19 @@ func BenchmarkContains(b *testing.B) {
 		box.Contains(loc)
 	}
 }
+
+func TestIsWholeEarth(t *testing.T) {
+	if !WholeEarth.IsWholeEarth() {
+		t.Error("WholeEarth not recognized")
+	}
+	for _, b := range []Box{
+		{LatMinDeg: -90, LonMinDeg: -180, LatMaxDeg: 90, LonMaxDeg: 179},
+		{LatMinDeg: -89, LonMinDeg: -180, LatMaxDeg: 90, LonMaxDeg: 180},
+		{LatMinDeg: -5, LonMinDeg: -20, LatMaxDeg: 25, LonMaxDeg: 25},
+		{},
+	} {
+		if b.IsWholeEarth() {
+			t.Errorf("%v claims to cover the whole earth", b)
+		}
+	}
+}

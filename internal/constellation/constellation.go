@@ -14,12 +14,14 @@ package constellation
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"celestial/internal/config"
 	"celestial/internal/geom"
 	"celestial/internal/graph"
 	"celestial/internal/orbit"
+	"celestial/internal/par"
 	"celestial/internal/topo"
 )
 
@@ -61,13 +63,21 @@ type Node struct {
 	Name string
 }
 
+// planEdge is one +GRID ISL precomputed in the constellation-wide node
+// numbering. The plan is static; only line-of-sight feasibility and the
+// link distance vary per tick.
+type planEdge struct {
+	a, b int
+}
+
 // Constellation precomputes everything that does not change over time:
-// shells, ISL plans, ground-station positions and the node numbering.
+// shells, the ISL plans flattened to constellation-wide edge arrays,
+// ground-station positions and the node numbering.
 type Constellation struct {
 	cfg    *config.Config
 	shells []*orbit.Shell
-	plans  [][]topo.ISL
-	base   []int // node index base per shell
+	edges  [][]planEdge // per-shell +GRID edges in global node IDs
+	base   []int        // node index base per shell
 	gstPos []geom.Vec3
 	gst    []config.GroundStation
 	nodes  []Node
@@ -87,7 +97,12 @@ func New(cfg *config.Config) (*Constellation, error) {
 			return nil, fmt.Errorf("constellation: shell %d: %w", si, err)
 		}
 		c.shells = append(c.shells, sh)
-		c.plans = append(c.plans, topo.GridLinks(cfg.Shells[si].ShellConfig))
+		plan := topo.GridLinks(cfg.Shells[si].ShellConfig)
+		edges := make([]planEdge, len(plan))
+		for i, isl := range plan {
+			edges[i] = planEdge{a: id + isl.A, b: id + isl.B}
+		}
+		c.edges = append(c.edges, edges)
 		c.base = append(c.base, id)
 		for f := 0; f < sh.Size(); f++ {
 			c.nodes = append(c.nodes, Node{
@@ -165,9 +180,30 @@ func (c *Constellation) Shells() []*orbit.Shell { return c.shells }
 // GroundStations returns the configured ground stations.
 func (c *Constellation) GroundStations() []config.GroundStation { return c.gst }
 
+// pathShards is the shard count of a State's shortest-path cache. Sixteen
+// shards keep lock contention negligible for the host HTTP servers'
+// concurrent queries while staying cheap to clear on buffer reuse.
+const pathShards = 16
+
+// pathEntry is one cached single-source Dijkstra result with singleflight
+// semantics: the first caller computes under the entry's once; concurrent
+// callers for the same source block on it instead of on a global lock.
+type pathEntry struct {
+	once sync.Once
+	sp   graph.ShortestPaths
+	err  error
+}
+
+// pathShard is one lock-striped slice of the path cache.
+type pathShard struct {
+	mu sync.Mutex
+	m  map[int]*pathEntry
+}
+
 // State is one topology snapshot: node positions, available links and
-// lazily computed shortest paths. A State is immutable and safe for
-// concurrent use.
+// lazily computed shortest paths. A State is immutable once computed and
+// safe for concurrent use; States obtained from a SnapshotPool are
+// recycled, see there.
 type State struct {
 	// T is the offset since the constellation epoch in seconds.
 	T float64
@@ -187,86 +223,166 @@ type State struct {
 	// bandwidth in kbps, for bottleneck computation along paths.
 	bw map[[2]int]float64
 
-	mu    sync.Mutex
-	cache map[int]graph.ShortestPaths
+	// paths is the sharded single-source shortest-path cache.
+	paths [pathShards]pathShard
 
 	// uplinks[gi] are the per-ground-station candidate uplinks,
 	// one slice per shell.
 	uplinks [][][]topo.Uplink
+
+	// Per-tick scratch, reused across recycled snapshots: feasibility
+	// flag and distance per planned ISL (flat over all shells, indexed
+	// by plan order).
+	feasible []bool
+	distKm   []float64
+
+	// spares holds Dijkstra result arrays harvested from the previous
+	// tick's path cache when the snapshot is recycled, so steady-state
+	// path queries reuse instead of reallocate them.
+	spares struct {
+		mu   sync.Mutex
+		dist [][]float64
+		prev [][]int
+	}
 }
 
-// Snapshot computes the constellation state t seconds after the epoch.
-func (c *Constellation) Snapshot(t float64) (*State, error) {
-	n := c.NodeCount()
-	st := &State{
-		T:         t,
-		Positions: make([]geom.Vec3, n),
-		Active:    make([]bool, n),
-		c:         c,
-		g:         graph.New(n),
-		bw:        map[[2]int]float64{},
-		cache:     map[int]graph.ShortestPaths{},
-	}
+// dijkstraWorkspaces pools heap scratch across path-cache fills; the
+// result arrays come from the snapshot's spares, the heap from here.
+var dijkstraWorkspaces = sync.Pool{New: func() any { return new(graph.Workspace) }}
 
-	// Satellite positions and bounding-box activity. The position
-	// buffer is reused across shells: PositionsECEF grows it to the
-	// largest shell once and then fills it in place.
-	var buf []geom.Vec3
+// maxSpareResults bounds the per-State freelist of recycled Dijkstra
+// result arrays: enough to cover the usual steady-state query mix (a few
+// dozen distinct sources per tick) without pinning the high-water mark of
+// a one-off many-source burst.
+const maxSpareResults = 64
+
+// Snapshot computes the constellation state t seconds after the epoch,
+// fanning the orbit propagation, ISL feasibility tests and ground-station
+// visibility scans out across GOMAXPROCS workers. The result is
+// byte-identical to SnapshotSequential — parallelism never changes the
+// computed state, preserving the paper's repeatability property.
+func (c *Constellation) Snapshot(t float64) (*State, error) {
+	return c.snapshotInto(new(State), t, runtime.GOMAXPROCS(0))
+}
+
+// SnapshotSequential is the single-threaded reference implementation of
+// Snapshot. It exists for differential testing of the parallel pipeline
+// and as a baseline for benchmarks.
+func (c *Constellation) SnapshotSequential(t float64) (*State, error) {
+	return c.snapshotInto(new(State), t, 1)
+}
+
+// snapshotInto (re)computes the state for offset t into st, reusing any
+// buffers st already holds, with the given worker count. The pipeline has
+// three parallel phases — per-satellite propagation, per-ISL feasibility,
+// per-station visibility — each writing to disjoint pre-sized buffers, and
+// a sequential assembly of links and graph edges in plan order, which keeps
+// the result independent of the worker count.
+func (c *Constellation) snapshotInto(st *State, t float64, workers int) (*State, error) {
+	n := c.NodeCount()
+	st.reset(c, t, n)
+
+	// Phase 1: satellite positions and bounding-box activity, chunked
+	// over each shell's flat index range. For the default whole-earth
+	// box the per-satellite geodetic conversion (the most expensive part
+	// of a tick) is skipped entirely.
+	wholeEarth := c.cfg.BoundingBox.IsWholeEarth()
+	var firstErr par.FirstError
 	for si, sh := range c.shells {
-		pos, err := sh.PositionsECEF(t, buf)
-		if err != nil {
-			return nil, fmt.Errorf("constellation: t=%v: %w", t, err)
-		}
-		buf = pos
-		for f, p := range pos {
-			id := c.base[si] + f
-			st.Positions[id] = p
-			st.Active[id] = c.cfg.BoundingBox.ContainsECEF(p)
-		}
+		base := c.base[si]
+		shellPos := st.Positions[base : base+sh.Size()]
+		par.ForWorkers(sh.Size(), workers, func(lo, hi int) {
+			if err := sh.PositionsECEFRange(t, shellPos, lo, hi); err != nil {
+				firstErr.Set(err)
+				return
+			}
+			for f := lo; f < hi; f++ {
+				st.Active[base+f] = wholeEarth || c.cfg.BoundingBox.ContainsECEF(shellPos[f])
+			}
+		})
+	}
+	if err := firstErr.Err(); err != nil {
+		return nil, fmt.Errorf("constellation: t=%v: %w", t, err)
 	}
 	// Ground stations are always active.
+	gstBase := n - len(c.gst)
 	for gi := range c.gst {
-		id, err := c.GSTNode(gi)
-		if err != nil {
-			return nil, err
-		}
-		st.Positions[id] = c.gstPos[gi]
-		st.Active[id] = true
+		st.Positions[gstBase+gi] = c.gstPos[gi]
+		st.Active[gstBase+gi] = true
 	}
 
-	// ISLs: the +GRID plan filtered by line-of-sight feasibility.
-	for si, plan := range c.plans {
+	// Phase 2: ISL feasibility and length. The +GRID plan is static
+	// (precomputed in New as global-ID edge arrays); only the per-tick
+	// line-of-sight test and distance are computed here, in parallel
+	// over the flattened edge list.
+	planTotal := 0
+	for _, edges := range c.edges {
+		planTotal += len(edges)
+	}
+	st.feasible = resize(st.feasible, planTotal)
+	st.distKm = resize(st.distKm, planTotal)
+	off := 0
+	for si, edges := range c.edges {
+		cutoff := c.cfg.Shells[si].Network.AtmosphereCutoffKm
+		flat := st.feasible[off : off+len(edges)]
+		dist := st.distKm[off : off+len(edges)]
+		par.ForWorkers(len(edges), workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pa, pb := st.Positions[edges[i].a], st.Positions[edges[i].b]
+				flat[i] = topo.Feasible(pa, pb, cutoff)
+				if flat[i] {
+					dist[i] = pa.Distance(pb)
+				}
+			}
+		})
+		off += len(edges)
+	}
+
+	// Phase 3: ground-station visibility scans, one task per station
+	// (each writes only its own uplink buffers).
+	if cap(st.uplinks) < len(c.gst) {
+		st.uplinks = make([][][]topo.Uplink, len(c.gst))
+	}
+	st.uplinks = st.uplinks[:len(c.gst)]
+	par.ForWorkers(len(c.gst), workers, func(glo, ghi int) {
+		for gi := glo; gi < ghi; gi++ {
+			if st.uplinks[gi] == nil {
+				st.uplinks[gi] = make([][]topo.Uplink, len(c.shells))
+			}
+			for si, sh := range c.shells {
+				shellPos := st.Positions[c.base[si] : c.base[si]+sh.Size()]
+				st.uplinks[gi][si] = topo.VisibleSatsInto(
+					c.gstPos[gi], shellPos,
+					c.cfg.Shells[si].Network.MinElevationDeg,
+					st.uplinks[gi][si])
+			}
+		}
+	})
+
+	// Sequential assembly: links, bandwidths and graph edges in the
+	// fixed plan order, so the snapshot is bit-identical regardless of
+	// worker count.
+	off = 0
+	for si, edges := range c.edges {
 		net := c.cfg.Shells[si].Network
-		for _, isl := range plan {
-			a := c.base[si] + isl.A
-			b := c.base[si] + isl.B
-			pa, pb := st.Positions[a], st.Positions[b]
-			if !topo.Feasible(pa, pb, net.AtmosphereCutoffKm) {
+		for i, e := range edges {
+			if !st.feasible[off+i] {
 				continue
 			}
-			l := topo.NewLink(topo.KindISL, a, b, pa.Distance(pb), net.BandwidthKbps)
+			l := topo.NewLink(topo.KindISL, e.a, e.b, st.distKm[off+i], net.BandwidthKbps)
 			st.Links = append(st.Links, l)
-			st.setBandwidth(a, b, l.BandwidthKbps)
-			if err := st.g.AddEdge(a, b, l.LatencyS); err != nil {
-				return nil, fmt.Errorf("constellation: isl %d-%d: %w", a, b, err)
+			st.setBandwidth(e.a, e.b, l.BandwidthKbps)
+			if err := st.g.AddEdge(e.a, e.b, l.LatencyS); err != nil {
+				return nil, fmt.Errorf("constellation: isl %d-%d: %w", e.a, e.b, err)
 			}
 		}
+		off += len(edges)
 	}
-
-	// Ground-to-satellite links: every visible satellite is connected
-	// so that shortest-path routing can choose the best uplink.
-	st.uplinks = make([][][]topo.Uplink, len(c.gst))
 	for gi := range c.gst {
-		gid, err := c.GSTNode(gi)
-		if err != nil {
-			return nil, err
-		}
-		st.uplinks[gi] = make([][]topo.Uplink, len(c.shells))
-		for si, sh := range c.shells {
+		gid := gstBase + gi
+		for si := range c.shells {
 			net := c.cfg.Shells[si].Network
-			shellPos := st.Positions[c.base[si] : c.base[si]+sh.Size()]
-			ups := topo.VisibleSats(c.gstPos[gi], shellPos, net.MinElevationDeg)
-			st.uplinks[gi][si] = ups
+			ups := st.uplinks[gi][si]
 			realized := ups
 			if net.GSTConnectionType == "one" && len(ups) > 1 {
 				// Single-dish terminal: only the closest
@@ -287,30 +403,150 @@ func (c *Constellation) Snapshot(t float64) (*State, error) {
 	return st, nil
 }
 
-// paths returns (computing and caching on first use) the single-source
-// shortest paths from node a.
-func (st *State) paths(a int) (graph.ShortestPaths, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if sp, ok := st.cache[a]; ok {
-		return sp, nil
+// reset prepares st's buffers for recomputation with n nodes, keeping
+// backing arrays so recycled snapshots allocate nothing in steady state.
+func (st *State) reset(c *Constellation, t float64, n int) {
+	st.T = t
+	st.c = c
+	st.Positions = resize(st.Positions, n)
+	st.Active = resize(st.Active, n)
+	for i := range st.Active {
+		st.Active[i] = false
 	}
-	// Ground stations are endpoints of the satellite network, not
-	// routers: only satellites forward traffic.
-	sp, err := st.g.DijkstraTransit(a, func(node int) bool {
-		return st.c.nodes[node].Kind == KindSatellite
-	})
+	st.Links = st.Links[:0]
+	if st.g == nil {
+		st.g = graph.New(n)
+	} else {
+		st.g.Reset(n)
+	}
+	if st.bw == nil {
+		st.bw = map[[2]int]float64{}
+	} else {
+		clear(st.bw)
+	}
+	for i := range st.paths {
+		if st.paths[i].m == nil {
+			st.paths[i].m = map[int]*pathEntry{}
+			continue
+		}
+		// Harvest the old tick's Dijkstra result arrays for reuse
+		// before dropping the entries. The freelist is capped so one
+		// burst of many-source queries does not pin its high-water
+		// mark of ~2*8*N bytes per source forever.
+		st.spares.mu.Lock()
+		for _, e := range st.paths[i].m {
+			if len(st.spares.dist) >= maxSpareResults {
+				break
+			}
+			if e.err == nil && e.sp.Dist != nil {
+				st.spares.dist = append(st.spares.dist, e.sp.Dist)
+				st.spares.prev = append(st.spares.prev, e.sp.Prev)
+			}
+		}
+		st.spares.mu.Unlock()
+		clear(st.paths[i].m)
+	}
+}
+
+// resize returns s with length n, reusing its backing array when possible.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// SnapshotPool recycles State buffers across update ticks so that the
+// steady-state constellation calculation allocates (almost) nothing:
+// positions, activity flags, link slices, graph adjacency, bandwidth maps,
+// path caches and uplink buffers are all reused. The coordinator
+// double-buffers through the pool — a State handed out by Snapshot must be
+// Recycled by the caller once no reader can still hold it.
+type SnapshotPool struct {
+	c  *Constellation
+	mu sync.Mutex
+	// free are recycled states ready for reuse.
+	free []*State
+}
+
+// NewSnapshotPool creates an empty pool for the constellation.
+func (c *Constellation) NewSnapshotPool() *SnapshotPool {
+	return &SnapshotPool{c: c}
+}
+
+// Snapshot computes the state at offset t like Constellation.Snapshot, but
+// into a recycled buffer when one is available.
+func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
+	p.mu.Lock()
+	var st *State
+	if k := len(p.free); k > 0 {
+		st, p.free = p.free[k-1], p.free[:k-1]
+	} else {
+		st = new(State)
+	}
+	p.mu.Unlock()
+	out, err := p.c.snapshotInto(st, t, runtime.GOMAXPROCS(0))
 	if err != nil {
-		return sp, err
+		// The buffers remain reusable even when the computation
+		// failed halfway through.
+		p.Recycle(st)
+		return nil, err
 	}
-	st.cache[a] = sp
-	return sp, nil
+	return out, nil
+}
+
+// Recycle returns a State's buffers to the pool. The State must not be
+// used afterwards; its next Snapshot will overwrite every buffer in place.
+func (p *SnapshotPool) Recycle(st *State) {
+	if st == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, st)
+	p.mu.Unlock()
+}
+
+// pathsFor returns (computing and caching on first use) the single-source
+// shortest paths from node a. The cache is sharded by source and each
+// entry is computed at most once (singleflight): concurrent callers for
+// the same source wait on that entry only, and callers for different
+// sources proceed independently.
+func (st *State) pathsFor(a int) (graph.ShortestPaths, error) {
+	shard := &st.paths[(a%pathShards+pathShards)%pathShards]
+	shard.mu.Lock()
+	e, ok := shard.m[a]
+	if !ok {
+		e = &pathEntry{}
+		shard.m[a] = e
+	}
+	shard.mu.Unlock()
+	e.once.Do(func() {
+		// Recycle result arrays harvested from the previous tick and
+		// borrow pooled heap scratch; the computed result is owned by
+		// this entry for the snapshot's lifetime.
+		st.spares.mu.Lock()
+		var dist []float64
+		var prev []int
+		if k := len(st.spares.dist); k > 0 {
+			dist, st.spares.dist = st.spares.dist[k-1], st.spares.dist[:k-1]
+			prev, st.spares.prev = st.spares.prev[k-1], st.spares.prev[:k-1]
+		}
+		st.spares.mu.Unlock()
+		ws := dijkstraWorkspaces.Get().(*graph.Workspace)
+		// Ground stations are endpoints of the satellite network,
+		// not routers: only satellites forward traffic.
+		e.sp, e.err = st.g.DijkstraTransitInto(a, func(node int) bool {
+			return st.c.nodes[node].Kind == KindSatellite
+		}, dist, prev, ws)
+		dijkstraWorkspaces.Put(ws)
+	})
+	return e.sp, e.err
 }
 
 // Latency returns the one-way end-to-end network latency in seconds
 // between two nodes, or +Inf when they are not connected.
 func (st *State) Latency(a, b int) (float64, error) {
-	sp, err := st.paths(a)
+	sp, err := st.pathsFor(a)
 	if err != nil {
 		return 0, err
 	}
@@ -326,7 +562,7 @@ func (st *State) RTT(a, b int) (float64, error) {
 // Path returns the node sequence of a shortest path between two nodes,
 // inclusive of the endpoints, or nil when unreachable.
 func (st *State) Path(a, b int) ([]int, error) {
-	sp, err := st.paths(a)
+	sp, err := st.pathsFor(a)
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +608,7 @@ func (st *State) BestMeetingPoint(clients []int) (int, float64, error) {
 	}
 	sps := make([]graph.ShortestPaths, len(clients))
 	for i, cl := range clients {
-		sp, err := st.paths(cl)
+		sp, err := st.pathsFor(cl)
 		if err != nil {
 			return 0, 0, err
 		}

@@ -30,9 +30,19 @@ type Coordinator struct {
 	net   *vnet.Network
 	hosts []*host.Host
 
+	// pool recycles snapshot buffers; the coordinator double-buffers
+	// through it (see update) so steady-state ticks allocate ~nothing.
+	pool *constellation.SnapshotPool
+
 	mu      sync.RWMutex
 	current *constellation.State
+	prev    *constellation.State
 	updates int
+	// leases counts concurrent readers per state (see LeaseState);
+	// retired marks states waiting for their last lease before being
+	// recycled.
+	leases  map[*constellation.State]int
+	retired map[*constellation.State]bool
 }
 
 // New builds a coordinator (and its hosts, machines and network) from a
@@ -44,7 +54,12 @@ func New(cfg *config.Config) (*Coordinator, error) {
 		return nil, err
 	}
 	sim := vnet.NewSim(cfg.Epoch)
-	c := &Coordinator{cfg: cfg, cons: cons, sim: sim}
+	c := &Coordinator{
+		cfg: cfg, cons: cons, sim: sim,
+		pool:    cons.NewSnapshotPool(),
+		leases:  map[*constellation.State]int{},
+		retired: map[*constellation.State]bool{},
+	}
 	c.net = vnet.NewNetwork(sim, stateTopology{c}, 1)
 
 	// Hosts: the paper uses identical cloud instances (N2-highcpu-32).
@@ -123,11 +138,49 @@ func (c *Coordinator) HostOf(node int) (*host.Host, error) {
 }
 
 // State returns the most recent constellation state. It is nil before
-// Start.
+// Start. The returned State is valid within the current simulation
+// callback (updates run on the simulation goroutine, and recycling is
+// double-buffered); callers on other goroutines, or callers that retain
+// the state across simulation events, must use LeaseState instead.
 func (c *Coordinator) State() *constellation.State {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.current
+}
+
+// LeaseState returns the most recent constellation state (nil before
+// Start) pinned against buffer recycling, plus a release function that
+// must be called — exactly once, always safe to call — when the caller is
+// done with the state. This is the accessor for concurrent readers such
+// as the HTTP info server: simulated time advances arbitrarily fast in
+// wall-clock terms, so without a lease a handler's state could be
+// recycled and overwritten mid-read.
+func (c *Coordinator) LeaseState() (*constellation.State, func()) {
+	c.mu.Lock()
+	st := c.current
+	if st != nil {
+		c.leases[st]++
+	}
+	c.mu.Unlock()
+	var once sync.Once
+	return st, func() {
+		once.Do(func() {
+			if st == nil {
+				return
+			}
+			c.mu.Lock()
+			c.leases[st]--
+			recycle := c.leases[st] == 0 && c.retired[st]
+			if c.leases[st] == 0 {
+				delete(c.leases, st)
+				delete(c.retired, st)
+			}
+			c.mu.Unlock()
+			if recycle {
+				c.pool.Recycle(st)
+			}
+		})
+	}
 }
 
 // Updates returns how many update cycles have run.
@@ -143,16 +196,27 @@ func (c *Coordinator) ElapsedSeconds() float64 {
 }
 
 // update runs one constellation calculation cycle and pushes the result to
-// the hosts.
+// the hosts. Snapshots are computed into pooled buffers: the state from
+// two updates ago is recycled — unless a concurrent reader holds a lease
+// on it — so steady-state ticks allocate ~nothing.
 func (c *Coordinator) update() error {
-	st, err := c.cons.Snapshot(c.ElapsedSeconds())
+	st, err := c.pool.Snapshot(c.ElapsedSeconds())
 	if err != nil {
 		return fmt.Errorf("coordinator: update at t=%v: %w", c.ElapsedSeconds(), err)
 	}
 	c.mu.Lock()
+	old := c.prev
+	c.prev = c.current
 	c.current = st
 	c.updates++
+	if old != nil && c.leases[old] > 0 {
+		// A concurrent reader still holds the state; its last
+		// release will recycle it.
+		c.retired[old] = true
+		old = nil
+	}
 	c.mu.Unlock()
+	c.pool.Recycle(old)
 
 	for _, h := range c.hosts {
 		if err := h.ApplyActivity(func(id int) bool { return st.Active[id] }); err != nil {

@@ -335,3 +335,94 @@ func BenchmarkUpdateCycle(b *testing.B) {
 		}
 	}
 }
+
+func TestLeaseStatePinsAgainstRecycling(t *testing.T) {
+	c := started(t)
+	st, release := c.LeaseState()
+	if st == nil {
+		t.Fatal("no state after Start")
+	}
+	leasedT := st.T
+	accra, _ := c.Constellation().GSTNodeByName("accra")
+	jbg, _ := c.Constellation().GSTNodeByName("johannesburg")
+	before, err := st.Latency(accra, jbg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run many update ticks: without the lease the state from two
+	// updates ago would be recycled and overwritten in place.
+	if err := c.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Updates() < 10 {
+		t.Fatalf("only %d updates ran", c.Updates())
+	}
+	if st.T != leasedT {
+		t.Fatalf("leased state overwritten: T %v -> %v", leasedT, st.T)
+	}
+	after, err := st.Latency(accra, jbg)
+	if err != nil || after != before {
+		t.Fatalf("leased state latency changed: %v -> %v (%v)", before, after, err)
+	}
+	release()
+	release() // releasing twice is a safe no-op
+	if err := c.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh lease observes the advanced simulation.
+	st2, release2 := c.LeaseState()
+	defer release2()
+	if st2.T <= leasedT {
+		t.Fatalf("state did not advance: T=%v", st2.T)
+	}
+}
+
+func TestLeaseStateConcurrentWithUpdates(t *testing.T) {
+	c := started(t)
+	accra, _ := c.Constellation().GSTNodeByName("accra")
+	jbg, _ := c.Constellation().GSTNodeByName("johannesburg")
+	done := make(chan error, 4)
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			for {
+				select {
+				case <-stop:
+					done <- nil
+					return
+				default:
+				}
+				st, release := c.LeaseState()
+				if st == nil {
+					release()
+					continue
+				}
+				if _, err := st.Latency(accra, jbg); err != nil {
+					release()
+					done <- err
+					return
+				}
+				if _, err := st.Path(jbg, accra); err != nil {
+					release()
+					done <- err
+					return
+				}
+				release()
+			}
+		}()
+	}
+	// Drive the update loop hard while the readers hammer the states.
+	var runErr error
+	for i := 0; i < 20 && runErr == nil; i++ {
+		runErr = c.Run(4 * time.Second)
+	}
+	close(stop)
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+}

@@ -95,8 +95,18 @@ func (t *Testbed) Machine(node int) (*machine.Machine, error) {
 	return t.coord.Machine(node)
 }
 
-// State returns the latest constellation state (nil before Start).
+// State returns the latest constellation state (nil before Start). State
+// buffers are recycled across update ticks: the returned value is valid
+// within the current simulation callback or between Run calls, but must
+// not be retained across further Run progress or read from another
+// goroutine — use LeaseState for that.
 func (t *Testbed) State() *constellation.State { return t.coord.State() }
+
+// LeaseState returns the latest constellation state (nil before Start)
+// pinned against buffer recycling, plus a release function to call —
+// exactly once, always safe — when done. Use this to read the state from
+// another goroutine or to hold it while the emulation advances.
+func (t *Testbed) LeaseState() (*constellation.State, func()) { return t.coord.LeaseState() }
 
 // Start boots all machines, performs the first constellation update, and
 // begins the periodic update loop.

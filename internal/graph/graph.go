@@ -6,7 +6,6 @@
 package graph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -34,6 +33,25 @@ func New(n int) *Graph {
 		n = 0
 	}
 	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// Reset empties the graph and resizes it to n nodes, keeping the adjacency
+// lists' backing arrays so that rebuilding a graph of similar shape (as
+// every constellation tick does) allocates nothing in steady state.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n <= cap(g.adj) {
+		g.adj = g.adj[:n]
+	} else {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]Edge, n-cap(g.adj))...)
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.n = n
+	g.m = 0
 }
 
 // N returns the number of nodes.
@@ -79,18 +97,50 @@ type item struct {
 	dist float64
 }
 
+// minHeap is a hand-rolled binary min-heap over items. container/heap is
+// deliberately not used: its interface{}-based Push/Pop box every item,
+// which made heap traffic the dominant allocation of the constellation
+// update loop.
 type minHeap []item
 
-func (h minHeap) Len() int            { return len(h) }
-func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *minHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *minHeap) push(it item) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].dist <= s[i].dist {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *minHeap) pop() item {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].dist < s[min].dist {
+			min = l
+		}
+		if r < n && s[r].dist < s[min].dist {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // ShortestPaths is the result of a single-source Dijkstra run.
@@ -102,6 +152,15 @@ type ShortestPaths struct {
 	// Prev[v] is the predecessor of v on a shortest path, -1 for the
 	// source and unreachable nodes.
 	Prev []int
+}
+
+// Workspace holds a Dijkstra run's heap scratch so that repeated runs on
+// graphs of similar size reallocate nothing; pair it with
+// DijkstraTransitInto and recycled dist/prev arrays to make a run
+// allocation-free. A Workspace is not safe for concurrent use; give each
+// goroutine its own. The zero value is ready to use.
+type Workspace struct {
+	heap minHeap
 }
 
 // Dijkstra computes single-source shortest paths from src using a binary
@@ -117,21 +176,51 @@ func (g *Graph) Dijkstra(src int) (ShortestPaths, error) {
 // of the satellite network rather than routers. A nil predicate allows all
 // nodes.
 func (g *Graph) DijkstraTransit(src int, transit func(node int) bool) (ShortestPaths, error) {
+	return g.dijkstra(src, transit, nil, nil, nil)
+}
+
+// DijkstraTransitInto is DijkstraTransit writing into caller-owned result
+// buffers: dist and prev back the returned ShortestPaths when they have
+// sufficient capacity and are reallocated otherwise; either way the caller
+// owns the result. A non-nil ws lends only its heap scratch. This is the
+// entry point of the snapshot path cache, which recycles result arrays
+// from the previous tick.
+func (g *Graph) DijkstraTransitInto(src int, transit func(node int) bool, dist []float64, prev []int, ws *Workspace) (ShortestPaths, error) {
+	var h *minHeap
+	if ws != nil {
+		h = &ws.heap
+	}
+	return g.dijkstra(src, transit, dist, prev, h)
+}
+
+// dijkstra is the shared Dijkstra core: dist and prev are used as result
+// backing when large enough, h as heap scratch when non-nil.
+func (g *Graph) dijkstra(src int, transit func(node int) bool, dist []float64, prev []int, h *minHeap) (ShortestPaths, error) {
 	sp := ShortestPaths{Source: src}
 	if src < 0 || src >= g.n {
 		return sp, fmt.Errorf("graph: source %d out of range [0, %d)", src, g.n)
 	}
-	sp.Dist = make([]float64, g.n)
-	sp.Prev = make([]int, g.n)
+	if cap(dist) < g.n {
+		dist = make([]float64, g.n)
+	}
+	if cap(prev) < g.n {
+		prev = make([]int, g.n)
+	}
+	sp.Dist = dist[:g.n]
+	sp.Prev = prev[:g.n]
 	for i := range sp.Dist {
 		sp.Dist[i] = Inf
 		sp.Prev[i] = -1
 	}
 	sp.Dist[src] = 0
 
-	h := &minHeap{{node: src, dist: 0}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(item)
+	if h == nil {
+		h = &minHeap{}
+	}
+	*h = (*h)[:0]
+	h.push(item{node: src, dist: 0})
+	for len(*h) > 0 {
+		it := h.pop()
 		if it.dist > sp.Dist[it.node] {
 			continue // stale entry
 		}
@@ -142,7 +231,7 @@ func (g *Graph) DijkstraTransit(src int, transit func(node int) bool) (ShortestP
 			if nd := it.dist + e.Weight; nd < sp.Dist[e.To] {
 				sp.Dist[e.To] = nd
 				sp.Prev[e.To] = it.node
-				heap.Push(h, item{node: e.To, dist: nd})
+				h.push(item{node: e.To, dist: nd})
 			}
 		}
 	}

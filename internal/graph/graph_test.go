@@ -387,3 +387,84 @@ func TestDijkstraTransit(t *testing.T) {
 		t.Errorf("source not expanded: %v", sp.Dist)
 	}
 }
+
+func TestDijkstraTransitIntoMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := New(64)
+	for i := 0; i < 200; i++ {
+		a, b := rng.Intn(64), rng.Intn(64)
+		if a == b {
+			continue
+		}
+		if err := g.AddEdge(a, b, rng.Float64()*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ws Workspace
+	dist := make([]float64, 64)
+	prev := make([]int, 64)
+	for src := 0; src < 64; src += 7 {
+		want, err := g.DijkstraTransit(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.DijkstraTransitInto(src, nil, dist, prev, &ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Dist, got.Dist) || !reflect.DeepEqual(want.Prev, got.Prev) {
+			t.Fatalf("src %d: buffer-reusing run diverges from allocating run", src)
+		}
+		// Sufficient capacity: the result is backed by the given
+		// buffers, no reallocation.
+		if &got.Dist[0] != &dist[0] || &got.Prev[0] != &prev[0] {
+			t.Fatalf("src %d: result did not reuse the provided buffers", src)
+		}
+	}
+	// Undersized buffers are replaced, not overrun.
+	got, err := g.DijkstraTransitInto(0, nil, make([]float64, 3), make([]int, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Dist) != 64 || len(got.Prev) != 64 {
+		t.Fatalf("undersized buffers: result sized %d/%d", len(got.Dist), len(got.Prev))
+	}
+	if _, err := g.DijkstraTransitInto(-1, nil, dist, prev, &ws); err == nil {
+		t.Error("accepted invalid source")
+	}
+}
+
+func TestGraphReset(t *testing.T) {
+	g := lineGraph(t, 5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("line graph shape %d/%d", g.N(), g.M())
+	}
+	g.Reset(3)
+	if g.N() != 3 || g.M() != 0 {
+		t.Fatalf("after Reset(3): %d nodes, %d edges", g.N(), g.M())
+	}
+	for v := 0; v < 3; v++ {
+		if len(g.Neighbors(v)) != 0 {
+			t.Fatalf("node %d kept neighbors after reset", v)
+		}
+	}
+	// Growing past the original capacity works too.
+	g.Reset(8)
+	if g.N() != 8 {
+		t.Fatalf("after Reset(8): %d nodes", g.N())
+	}
+	if err := g.AddEdge(6, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := g.Dijkstra(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Dist[7] != 1 || !math.IsInf(sp.Dist[0], 1) {
+		t.Fatalf("rebuilt graph distances wrong: %v", sp.Dist)
+	}
+	g.Reset(-1)
+	if g.N() != 0 {
+		t.Fatalf("Reset(-1) -> %d nodes", g.N())
+	}
+}

@@ -144,15 +144,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// state fetches the current snapshot or reports 503 (before the first
-// update).
-func (s *Server) state(w http.ResponseWriter) *constellation.State {
-	st := s.coord.State()
+// state leases the current snapshot or reports 503 (before the first
+// update). Handlers run concurrently with the simulation's update loop,
+// which recycles snapshot buffers — the lease pins the state until the
+// returned release function is called (it is a safe no-op when the state
+// is nil).
+func (s *Server) state(w http.ResponseWriter) (*constellation.State, func()) {
+	st, release := s.coord.LeaseState()
 	if st == nil {
+		release()
 		writeError(w, http.StatusServiceUnavailable, "no constellation state yet")
-		return nil
+		return nil, release
 	}
-	return st
+	return st, release
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -209,7 +213,8 @@ func (s *Server) handleSat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	st := s.state(w)
+	st, release := s.state(w)
+	defer release()
 	if st == nil {
 		return
 	}
@@ -236,7 +241,8 @@ func (s *Server) handleGST(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	st := s.state(w)
+	st, release := s.state(w)
+	defer release()
 	if st == nil {
 		return
 	}
@@ -297,7 +303,8 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	st := s.state(w)
+	st, release := s.state(w)
+	defer release()
 	if st == nil {
 		return
 	}

@@ -278,15 +278,35 @@ func (s *Shell) PositionsECEF(tSeconds float64, dst []geom.Vec3) ([]geom.Vec3, e
 		dst = make([]geom.Vec3, n)
 	}
 	dst = dst[:n]
+	if err := s.PositionsECEFRange(tSeconds, dst, 0, n); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// PositionsECEFRange fills dst[lo:hi] with the Earth-fixed positions of
+// satellites lo..hi-1 at an offset of t seconds after the epoch. dst must
+// be a full shell-sized slice (len >= Size()); dst[i] receives satellite
+// i's position, so disjoint ranges may be filled concurrently from
+// different goroutines — this is the unit of work of the parallel snapshot
+// pipeline.
+func (s *Shell) PositionsECEFRange(tSeconds float64, dst []geom.Vec3, lo, hi int) error {
+	n := s.Size()
+	if lo < 0 || hi > n || lo > hi {
+		return fmt.Errorf("orbit: %s: range [%d, %d) outside [0, %d)", s.cfg.Name, lo, hi, n)
+	}
+	if len(dst) < hi {
+		return fmt.Errorf("orbit: %s: destination of %d for range ending %d", s.cfg.Name, len(dst), hi)
+	}
 	gmst := geom.GMST(s.epochJD + tSeconds/86400)
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		eci, err := s.PositionECI(i, tSeconds)
 		if err != nil {
-			return nil, fmt.Errorf("orbit: %s sat %d: %w", s.cfg.Name, i, err)
+			return fmt.Errorf("orbit: %s sat %d: %w", s.cfg.Name, i, err)
 		}
 		dst[i] = geom.ECIToECEF(eci, gmst)
 	}
-	return dst, nil
+	return nil
 }
 
 // OrbitalPeriodSeconds returns the shell's orbital period.

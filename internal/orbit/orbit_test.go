@@ -335,3 +335,40 @@ func BenchmarkShell1584SGP4(b *testing.B) {
 		}
 	}
 }
+
+func TestPositionsECEFRangeMatchesFull(t *testing.T) {
+	s, err := NewShell(smallShell(ModelKepler), testEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.PositionsECEF(120, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the same buffer in three disjoint ranges.
+	dst := make([]geom.Vec3, s.Size())
+	cut1, cut2 := s.Size()/3, 2*s.Size()/3
+	for _, r := range [][2]int{{0, cut1}, {cut1, cut2}, {cut2, s.Size()}} {
+		if err := s.PositionsECEFRange(120, dst, r[0], r[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range full {
+		if full[i] != dst[i] {
+			t.Fatalf("sat %d: range fill %v != full fill %v", i, dst[i], full[i])
+		}
+	}
+	// Invalid ranges and short destinations are rejected.
+	if err := s.PositionsECEFRange(0, dst, -1, 2); err == nil {
+		t.Error("accepted negative lo")
+	}
+	if err := s.PositionsECEFRange(0, dst, 2, 1); err == nil {
+		t.Error("accepted lo > hi")
+	}
+	if err := s.PositionsECEFRange(0, dst, 0, s.Size()+1); err == nil {
+		t.Error("accepted hi > size")
+	}
+	if err := s.PositionsECEFRange(0, dst[:2], 0, s.Size()); err == nil {
+		t.Error("accepted short destination")
+	}
+}

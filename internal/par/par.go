@@ -1,0 +1,80 @@
+// Package par provides the small deterministic fork-join helper used by the
+// constellation calculation hot path: it splits an index range into
+// contiguous chunks and processes them on a worker pool sized to
+// GOMAXPROCS. Because every chunk covers a disjoint sub-range and workers
+// only write to their own sub-range, the result of a parallel run is
+// identical to a sequential one — which is what keeps parallel snapshots
+// byte-identical to the sequential reference and preserves the paper's
+// repeatability property.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For runs fn over the half-open chunks of [0, n) on up to GOMAXPROCS
+// goroutines and blocks until all chunks are done. fn must only touch data
+// belonging to its own [lo, hi) sub-range. With n <= 0 it is a no-op; with
+// one available worker (or a tiny n) it degrades to a direct call, so the
+// sequential and parallel paths share the same code.
+func For(n int, fn func(lo, hi int)) {
+	ForWorkers(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForWorkers is For with an explicit worker count; workers < 1 is treated
+// as 1. It is the hook the sequential reference implementation uses
+// (workers = 1 runs chunks in order on the calling goroutine).
+func ForWorkers(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	// Even split: the first rem chunks get one extra element.
+	size := n / workers
+	rem := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + size
+		if w < rem {
+			hi++
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// FirstError collects at most one error from concurrent chunk workers. The
+// zero value is ready to use; it is safe for concurrent Set calls.
+type FirstError struct {
+	mu  sync.Mutex
+	err error
+}
+
+// Set records err if it is the first non-nil error seen.
+func (f *FirstError) Set(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// Err returns the first recorded error, or nil. Call it only after the
+// parallel section has completed.
+func (f *FirstError) Err() error { return f.err }

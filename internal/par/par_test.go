@@ -1,0 +1,70 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		hits := make([]int32, n)
+		For(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("n=%d: bad chunk [%d, %d)", n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForWorkersSequentialOrder(t *testing.T) {
+	var got []int
+	ForWorkers(10, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			got = append(got, i)
+		}
+	})
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential order broken at %d: %v", i, got)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("visited %d of 10", len(got))
+	}
+}
+
+func TestForWorkersMoreWorkersThanItems(t *testing.T) {
+	var count int32
+	ForWorkers(3, 64, func(lo, hi int) {
+		atomic.AddInt32(&count, int32(hi-lo))
+	})
+	if count != 3 {
+		t.Fatalf("visited %d of 3", count)
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	var f FirstError
+	if f.Err() != nil {
+		t.Fatal("zero value has an error")
+	}
+	f.Set(nil)
+	if f.Err() != nil {
+		t.Fatal("Set(nil) recorded an error")
+	}
+	first := errors.New("first")
+	f.Set(first)
+	f.Set(errors.New("second"))
+	if f.Err() != first {
+		t.Fatalf("Err() = %v, want first", f.Err())
+	}
+}

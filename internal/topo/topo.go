@@ -103,7 +103,15 @@ type Uplink struct {
 // station position must be in the same Earth-fixed frame as the satellite
 // positions.
 func VisibleSats(station geom.Vec3, sats []geom.Vec3, minElevDeg float64) []Uplink {
-	var out []Uplink
+	return VisibleSatsInto(station, sats, minElevDeg, nil)
+}
+
+// VisibleSatsInto is VisibleSats writing into buf (which is truncated and
+// grown as needed), so per-tick visibility scans can reuse one allocation
+// per ground station and shell. The returned slice aliases buf's backing
+// array when it had sufficient capacity.
+func VisibleSatsInto(station geom.Vec3, sats []geom.Vec3, minElevDeg float64, buf []Uplink) []Uplink {
+	out := buf[:0]
 	for i, s := range sats {
 		el := geom.ElevationDeg(station, s)
 		if el >= minElevDeg {

@@ -290,3 +290,34 @@ func BenchmarkVisibleSats1584(b *testing.B) {
 		VisibleSats(station, pos, 25)
 	}
 }
+
+func TestVisibleSatsIntoReusesBuffer(t *testing.T) {
+	sh, err := orbit.NewShell(delta(24, 22), 2459580.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := sh.PositionsECEF(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	station := geom.LatLon{LatDeg: 5.6, LonDeg: -0.19}.ECEF()
+	want := VisibleSats(station, pos, 25)
+	if len(want) == 0 {
+		t.Fatal("no visible satellites in a 528-sat shell")
+	}
+	// A warm buffer (filled with garbage from another scan) must be
+	// truncated and produce identical results without reallocating.
+	buf := make([]Uplink, 3, len(want)+4)
+	got := VisibleSatsInto(station, pos, 25, buf)
+	if len(got) != len(want) {
+		t.Fatalf("got %d uplinks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("uplink %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("buffer was reallocated despite sufficient capacity")
+	}
+}
