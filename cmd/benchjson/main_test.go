@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: celestial
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkTickUpdate/steady-diff-8         	      40	   3583675 ns/op	         0.25 carried-paths/op	         0.5800 empty-tick-frac	  245413 B/op	     992 allocs/op
+BenchmarkTickUpdate/from-scratch-8        	      40	  17597944 ns/op	 7256294 B/op	   20435 allocs/op
+PASS
+ok  	celestial	0.992s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkTickUpdate/steady-diff" {
+		t.Errorf("name = %q (GOMAXPROCS suffix should be stripped)", r.Name)
+	}
+	if r.Package != "celestial" || r.Iterations != 40 {
+		t.Errorf("result = %+v", r)
+	}
+	if r.NsPerOp != 3583675 || r.BytesPerOp != 245413 || r.AllocsPer != 992 {
+		t.Errorf("std metrics = %+v", r)
+	}
+	if r.Metrics["empty-tick-frac"] != 0.58 || r.Metrics["carried-paths/op"] != 0.25 {
+		t.Errorf("custom metrics = %+v", r.Metrics)
+	}
+	if rep.Results[1].Metrics != nil {
+		t.Errorf("unexpected custom metrics: %+v", rep.Results[1].Metrics)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep, err := Parse(strings.NewReader("hello\nBenchmarkBroken\nBenchmarkAlso xx\nok done\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("results = %+v", rep.Results)
+	}
+}

@@ -16,10 +16,12 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"celestial/internal/config"
 	"celestial/internal/geom"
 	"celestial/internal/graph"
+	"celestial/internal/netem"
 	"celestial/internal/orbit"
 	"celestial/internal/par"
 	"celestial/internal/topo"
@@ -81,6 +83,11 @@ type Constellation struct {
 	gstPos []geom.Vec3
 	gst    []config.GroundStation
 	nodes  []Node
+	// visCell is the per-shell grid cell size of the spatial visibility
+	// index, sized once from the shell altitude and elevation mask.
+	visCell []float64
+	// bruteVis disables the visibility index (see SetBruteVisibility).
+	bruteVis bool
 }
 
 // New builds a Constellation from a validated configuration.
@@ -104,6 +111,8 @@ func New(cfg *config.Config) (*Constellation, error) {
 		}
 		c.edges = append(c.edges, edges)
 		c.base = append(c.base, id)
+		c.visCell = append(c.visCell, topo.SuggestedCellDeg(
+			cfg.Shells[si].ShellConfig.AltitudeKm, cfg.Shells[si].Network.MinElevationDeg))
 		for f := 0; f < sh.Size(); f++ {
 			c.nodes = append(c.nodes, Node{
 				ID: id, Kind: KindSatellite, Shell: si, Sat: f,
@@ -177,6 +186,13 @@ func (c *Constellation) GSTNodeByName(name string) (int, error) {
 // Shells returns the instantiated shells.
 func (c *Constellation) Shells() []*orbit.Shell { return c.shells }
 
+// SetBruteVisibility disables (on=true) or re-enables the per-shell
+// spatial visibility index, falling back to the exhaustive per-station
+// scan. Snapshots are identical either way (topo.VisIndex guarantees it);
+// the knob exists for differential tests and for benchmarking the index.
+// It must not be toggled concurrently with snapshot computation.
+func (c *Constellation) SetBruteVisibility(on bool) { c.bruteVis = on }
+
 // GroundStations returns the configured ground stations.
 func (c *Constellation) GroundStations() []config.GroundStation { return c.gst }
 
@@ -188,10 +204,19 @@ const pathShards = 16
 // pathEntry is one cached single-source Dijkstra result with singleflight
 // semantics: the first caller computes under the entry's once; concurrent
 // callers for the same source block on it instead of on a global lock.
+// done flips after the once completes, letting the pool's path carry-over
+// share finished entries between states without waiting on in-flight
+// ones. shared marks entries listed by more than one state (set under the
+// source shard's lock during carry-over, read during reset, which the
+// pool's snapshot lock orders after any carry-over): their result arrays
+// must never be harvested for reuse, since a reader may still hold them
+// through a lease on another state.
 type pathEntry struct {
-	once sync.Once
-	sp   graph.ShortestPaths
-	err  error
+	once   sync.Once
+	done   atomic.Bool
+	shared bool
+	sp     graph.ShortestPaths
+	err    error
 }
 
 // pathShard is one lock-striped slice of the path cache.
@@ -236,6 +261,22 @@ type State struct {
 	feasible []bool
 	distKm   []float64
 
+	// visIdx is the per-shell spatial visibility index rebuilt each tick.
+	visIdx []topo.VisIndex
+
+	// Link fingerprint for diffing against the previous tick, recorded
+	// during assembly. islQ holds the delay quantum per planned ISL (-1
+	// when infeasible); gslSat/gslQ hold the realized uplinks' satellite
+	// node IDs and delay quanta in closest-first order, with gslOff
+	// delimiting the (station, shell) runs at index gi*shells+si.
+	islQ   []int32
+	gslSat []int32
+	gslQ   []int32
+	gslOff []int32
+
+	// diff is how this snapshot differs from the previous pooled one.
+	diff Diff
+
 	// spares holds Dijkstra result arrays harvested from the previous
 	// tick's path cache when the snapshot is recycled, so steady-state
 	// path queries reuse instead of reallocate them.
@@ -262,14 +303,24 @@ const maxSpareResults = 64
 // byte-identical to SnapshotSequential — parallelism never changes the
 // computed state, preserving the paper's repeatability property.
 func (c *Constellation) Snapshot(t float64) (*State, error) {
-	return c.snapshotInto(new(State), t, runtime.GOMAXPROCS(0))
+	st, err := c.snapshotInto(new(State), t, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return nil, err
+	}
+	st.computeDiffFrom(nil)
+	return st, nil
 }
 
 // SnapshotSequential is the single-threaded reference implementation of
 // Snapshot. It exists for differential testing of the parallel pipeline
 // and as a baseline for benchmarks.
 func (c *Constellation) SnapshotSequential(t float64) (*State, error) {
-	return c.snapshotInto(new(State), t, 1)
+	st, err := c.snapshotInto(new(State), t, 1)
+	if err != nil {
+		return nil, err
+	}
+	st.computeDiffFrom(nil)
+	return st, nil
 }
 
 // snapshotInto (re)computes the state for offset t into st, reusing any
@@ -338,8 +389,23 @@ func (c *Constellation) snapshotInto(st *State, t float64, workers int) (*State,
 		off += len(edges)
 	}
 
-	// Phase 3: ground-station visibility scans, one task per station
-	// (each writes only its own uplink buffers).
+	// Phase 3: ground-station visibility, one task per station (each
+	// writes only its own uplink buffers). A per-shell spatial index over
+	// the satellites' ground-track cells, built once and shared by all
+	// stations, replaces the brute-force O(G×S) elevation scan; each
+	// station only tests satellites whose cell can clear its elevation
+	// mask. Query results are identical to the exhaustive scan (see
+	// topo.VisIndex), so the index never changes the computed state.
+	if cap(st.visIdx) < len(c.shells) {
+		st.visIdx = make([]topo.VisIndex, len(c.shells))
+	}
+	st.visIdx = st.visIdx[:len(c.shells)]
+	if !c.bruteVis && len(c.gst) > 0 {
+		for si, sh := range c.shells {
+			shellPos := st.Positions[c.base[si] : c.base[si]+sh.Size()]
+			st.visIdx[si].Build(shellPos, c.visCell[si], workers)
+		}
+	}
 	if cap(st.uplinks) < len(c.gst) {
 		st.uplinks = make([][][]topo.Uplink, len(c.gst))
 	}
@@ -350,34 +416,54 @@ func (c *Constellation) snapshotInto(st *State, t float64, workers int) (*State,
 				st.uplinks[gi] = make([][]topo.Uplink, len(c.shells))
 			}
 			for si, sh := range c.shells {
-				shellPos := st.Positions[c.base[si] : c.base[si]+sh.Size()]
-				st.uplinks[gi][si] = topo.VisibleSatsInto(
-					c.gstPos[gi], shellPos,
-					c.cfg.Shells[si].Network.MinElevationDeg,
-					st.uplinks[gi][si])
+				minElev := c.cfg.Shells[si].Network.MinElevationDeg
+				if c.bruteVis {
+					shellPos := st.Positions[c.base[si] : c.base[si]+sh.Size()]
+					st.uplinks[gi][si] = topo.VisibleSatsInto(
+						c.gstPos[gi], shellPos, minElev, st.uplinks[gi][si])
+					continue
+				}
+				st.uplinks[gi][si] = st.visIdx[si].VisibleInto(
+					c.gstPos[gi], minElev, st.uplinks[gi][si])
 			}
 		}
 	})
 
 	// Sequential assembly: links, bandwidths and graph edges in the
 	// fixed plan order, so the snapshot is bit-identical regardless of
-	// worker count.
+	// worker count. Plan edges were validated when the constellation was
+	// built, so the graph's unchecked insertion path applies. Realized
+	// link latencies are quantized to the netem emulation granularity:
+	// the emulated network cannot distinguish sub-quantum differences,
+	// and quantizing here makes adjacent ticks' graphs bit-identical
+	// whenever no link moved by a full quantum — the foundation of the
+	// diff engine and the path-cache carry-over. The delay quantum and
+	// the realized uplink sequences are recorded as this tick's link
+	// fingerprint for computeDiffFrom.
+	st.islQ = resize(st.islQ, planTotal)
 	off = 0
 	for si, edges := range c.edges {
 		net := c.cfg.Shells[si].Network
 		for i, e := range edges {
 			if !st.feasible[off+i] {
+				st.islQ[off+i] = -1
 				continue
 			}
 			l := topo.NewLink(topo.KindISL, e.a, e.b, st.distKm[off+i], net.BandwidthKbps)
+			q := netem.LatencyQuanta(l.LatencyS)
+			l.LatencyS = float64(q) * netem.DelayQuantumSeconds
+			st.islQ[off+i] = int32(q)
 			st.Links = append(st.Links, l)
 			st.setBandwidth(e.a, e.b, l.BandwidthKbps)
-			if err := st.g.AddEdge(e.a, e.b, l.LatencyS); err != nil {
-				return nil, fmt.Errorf("constellation: isl %d-%d: %w", e.a, e.b, err)
-			}
+			st.g.AddEdgeUnchecked(e.a, e.b, l.LatencyS)
 		}
 		off += len(edges)
 	}
+	st.gslSat = st.gslSat[:0]
+	st.gslQ = st.gslQ[:0]
+	st.gslOff = resize(st.gslOff, len(c.gst)*len(c.shells)+1)
+	st.gslOff[0] = 0
+	run := 0
 	for gi := range c.gst {
 		gid := gstBase + gi
 		for si := range c.shells {
@@ -392,12 +478,16 @@ func (c *Constellation) snapshotInto(st *State, t float64, workers int) (*State,
 			for _, up := range realized {
 				sid := c.base[si] + up.Sat
 				l := topo.NewLink(topo.KindGSL, gid, sid, up.DistanceKm, net.GSTBandwidthKbps)
+				q := netem.LatencyQuanta(l.LatencyS)
+				l.LatencyS = float64(q) * netem.DelayQuantumSeconds
+				st.gslSat = append(st.gslSat, int32(sid))
+				st.gslQ = append(st.gslQ, int32(q))
 				st.Links = append(st.Links, l)
 				st.setBandwidth(gid, sid, l.BandwidthKbps)
-				if err := st.g.AddEdge(gid, sid, l.LatencyS); err != nil {
-					return nil, fmt.Errorf("constellation: gsl %d-%d: %w", gid, sid, err)
-				}
+				st.g.AddEdgeUnchecked(gid, sid, l.LatencyS)
 			}
+			run++
+			st.gslOff[run] = int32(len(st.gslSat))
 		}
 	}
 	return st, nil
@@ -432,13 +522,16 @@ func (st *State) reset(c *Constellation, t float64, n int) {
 		// Harvest the old tick's Dijkstra result arrays for reuse
 		// before dropping the entries. The freelist is capped so one
 		// burst of many-source queries does not pin its high-water
-		// mark of ~2*8*N bytes per source forever.
+		// mark of ~2*8*N bytes per source forever. Entries shared by
+		// the path carry-over are skipped: another state (or a reader
+		// holding a lease on one) may still reference their arrays, so
+		// they go to the garbage collector instead of being reused.
 		st.spares.mu.Lock()
 		for _, e := range st.paths[i].m {
 			if len(st.spares.dist) >= maxSpareResults {
 				break
 			}
-			if e.err == nil && e.sp.Dist != nil {
+			if e.err == nil && e.sp.Dist != nil && !e.shared {
 				st.spares.dist = append(st.spares.dist, e.sp.Dist)
 				st.spares.prev = append(st.spares.prev, e.sp.Prev)
 			}
@@ -462,11 +555,28 @@ func resize[T any](s []T, n int) []T {
 // path caches and uplink buffers are all reused. The coordinator
 // double-buffers through the pool — a State handed out by Snapshot must be
 // Recycled by the caller once no reader can still hold it.
+//
+// The pool is also the diff engine's anchor: each Snapshot compares its
+// link fingerprint against the previous pooled snapshot (which the
+// double-buffer discipline keeps alive and readable) and records the
+// result in State.Diff. When the diff is empty — no link appeared,
+// disappeared or changed its delay quantum, no activity flipped — the
+// previous snapshot's computed shortest-path entries are transplanted into
+// the new one instead of being recomputed. Concurrent Snapshot calls are
+// serialized; Recycle may be called concurrently at any time.
 type SnapshotPool struct {
-	c  *Constellation
-	mu sync.Mutex
+	c *Constellation
+	// snapMu serializes Snapshot computations: the previous state's
+	// fingerprint and path shards are read during a compute, so no other
+	// compute may be overwriting a buffer meanwhile.
+	snapMu sync.Mutex
+	mu     sync.Mutex
 	// free are recycled states ready for reuse.
 	free []*State
+	// last is the newest computed state, the diff base for the next
+	// tick. It is cleared when recycled (a recycled buffer may be
+	// overwritten at any time and cannot serve as a base).
+	last *State
 }
 
 // NewSnapshotPool creates an empty pool for the constellation.
@@ -475,14 +585,24 @@ func (c *Constellation) NewSnapshotPool() *SnapshotPool {
 }
 
 // Snapshot computes the state at offset t like Constellation.Snapshot, but
-// into a recycled buffer when one is available.
+// into a recycled buffer when one is available, and diffs the result
+// against the pool's previous snapshot (see SnapshotPool). Single-buffered
+// use — recycling each state before taking the next — still works but
+// yields Full diffs, since the only possible base is the very buffer being
+// overwritten; keep two states in flight to get deltas and path carry-over.
 func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
+	p.snapMu.Lock()
+	defer p.snapMu.Unlock()
 	p.mu.Lock()
 	var st *State
 	if k := len(p.free); k > 0 {
 		st, p.free = p.free[k-1], p.free[:k-1]
 	} else {
 		st = new(State)
+	}
+	prev := p.last
+	if prev == st {
+		prev, p.last = nil, nil
 	}
 	p.mu.Unlock()
 	out, err := p.c.snapshotInto(st, t, runtime.GOMAXPROCS(0))
@@ -492,6 +612,13 @@ func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
 		p.Recycle(st)
 		return nil, err
 	}
+	out.computeDiffFrom(prev)
+	if prev != nil && out.diff.Empty() {
+		out.diff.CarriedPaths = transplantPaths(prev, out)
+	}
+	p.mu.Lock()
+	p.last = out
+	p.mu.Unlock()
 	return out, nil
 }
 
@@ -502,6 +629,9 @@ func (p *SnapshotPool) Recycle(st *State) {
 		return
 	}
 	p.mu.Lock()
+	if st == p.last {
+		p.last = nil
+	}
 	p.free = append(p.free, st)
 	p.mu.Unlock()
 }
@@ -539,6 +669,7 @@ func (st *State) pathsFor(a int) (graph.ShortestPaths, error) {
 			return st.c.nodes[node].Kind == KindSatellite
 		}, dist, prev, ws)
 		dijkstraWorkspaces.Put(ws)
+		e.done.Store(true)
 	})
 	return e.sp, e.err
 }

@@ -7,6 +7,7 @@ import (
 	"celestial/internal/bbox"
 	"celestial/internal/config"
 	"celestial/internal/geom"
+	"celestial/internal/netem"
 	"celestial/internal/orbit"
 	"celestial/internal/topo"
 )
@@ -181,12 +182,14 @@ func TestPathIsConnectedThroughLinks(t *testing.T) {
 			t.Errorf("intermediate node %d is %v", id, node.Kind)
 		}
 	}
-	// Path latency equals reported latency.
+	// Path latency equals reported latency. Realized links carry
+	// delays quantized to the netem emulation granularity, so the sum
+	// compares per-segment quantized delays.
 	lat, _ := st.Latency(accra, jbg)
 	sum := 0.0
 	for i := 0; i+1 < len(path); i++ {
 		seg := st.Positions[path[i]].Distance(st.Positions[path[i+1]])
-		sum += geom.PropagationDelay(seg)
+		sum += netem.QuantizeLatency(geom.PropagationDelay(seg))
 	}
 	if math.Abs(sum-lat) > 1e-9 {
 		t.Errorf("path latency %v != reported %v", sum, lat)

@@ -1,0 +1,209 @@
+package constellation
+
+import "math"
+
+// LinkDelta is one changed link in a Diff, in constellation-wide node IDs.
+// OldQ and NewQ are the link's one-way delay in netem.DelayQuantum units on
+// the base and the new snapshot; -1 marks a side on which the link does not
+// exist.
+type LinkDelta struct {
+	A, B       int
+	OldQ, NewQ int32
+}
+
+// Diff describes how a snapshot differs from the previous pooled snapshot,
+// at the granularity the emulated network can express: link delays are
+// compared as netem.DelayQuantum counts, so satellite motion too small to
+// change any emulated delay produces an empty diff. This mirrors the
+// paper's coordinator, which distributes only the difference between
+// consecutive constellation states to the hosts instead of reprogramming
+// the whole network every epoch.
+//
+// A Diff is owned by its State and reuses its slices across recycled
+// snapshots; callers that retain diff information across ticks should copy
+// it (or keep Stats()).
+type Diff struct {
+	// T is the snapshot's offset; BaseT the compared-against snapshot's
+	// offset (NaN when Full).
+	T, BaseT float64
+	// Full marks a diff with no usable base: the first snapshot, a
+	// non-pooled snapshot, or a pool used single-buffered (the only
+	// previous state was the buffer being overwritten). Consumers must
+	// treat every link and node as changed.
+	Full bool
+	// Added and Removed are links that appeared or disappeared. A
+	// station/shell whose realized uplink sequence changed is shipped
+	// wholesale (old links removed, new links added) rather than
+	// per-satellite matched: sequence changes are rare handover events,
+	// and the closest-first order itself fixes the graph's adjacency
+	// order, so an order change alone also invalidates derived state.
+	Added, Removed []LinkDelta
+	// DelayChanged are links present on both sides whose delay moved by
+	// at least one quantum.
+	DelayChanged []LinkDelta
+	// Activated and Deactivated are nodes whose bounding-box activity
+	// flipped.
+	Activated, Deactivated []int32
+	// CarriedPaths counts shortest-path cache entries transplanted from
+	// the base state because the diff was empty.
+	CarriedPaths int
+}
+
+// Empty reports whether the diff is empty at emulation granularity: no
+// link appeared, disappeared or changed its delay quantum, and no node
+// changed activity. An empty diff means the snapshot's link graph is
+// bit-identical to the base state's, so consumers can keep every derived
+// structure — netem shaper parameters, shortest-path trees — untouched.
+func (d *Diff) Empty() bool {
+	return !d.Full && len(d.Added) == 0 && len(d.Removed) == 0 &&
+		len(d.DelayChanged) == 0 && len(d.Activated) == 0 && len(d.Deactivated) == 0
+}
+
+// DiffStats is a plain-counts summary of a Diff, safe to retain after the
+// underlying State is recycled.
+type DiffStats struct {
+	T, BaseT     float64
+	Full, Empty  bool
+	Added        int
+	Removed      int
+	DelayChanged int
+	Activated    int
+	Deactivated  int
+	CarriedPaths int
+}
+
+// Stats summarizes the diff.
+func (d *Diff) Stats() DiffStats {
+	return DiffStats{
+		T: d.T, BaseT: d.BaseT, Full: d.Full, Empty: d.Empty(),
+		Added: len(d.Added), Removed: len(d.Removed),
+		DelayChanged: len(d.DelayChanged),
+		Activated:    len(d.Activated), Deactivated: len(d.Deactivated),
+		CarriedPaths: d.CarriedPaths,
+	}
+}
+
+// Diff returns how this snapshot differs from the previous pooled snapshot
+// (a Full diff for non-pooled snapshots). The returned value is owned by
+// the State and valid until it is recycled.
+func (st *State) Diff() *Diff { return &st.diff }
+
+// computeDiffFrom fills st.diff by comparing st's link fingerprint — the
+// per-plan-edge ISL delay quanta and the per-station realized uplink
+// sequences recorded during assembly — against prev's. prev must be a
+// fully computed snapshot of the same constellation that stays readable
+// for the duration of the call; nil yields a Full diff.
+func (st *State) computeDiffFrom(prev *State) {
+	d := &st.diff
+	d.T = st.T
+	d.BaseT = math.NaN()
+	d.Full = false
+	d.Added = d.Added[:0]
+	d.Removed = d.Removed[:0]
+	d.DelayChanged = d.DelayChanged[:0]
+	d.Activated = d.Activated[:0]
+	d.Deactivated = d.Deactivated[:0]
+	d.CarriedPaths = 0
+	if prev == nil || prev.c != st.c || len(prev.islQ) != len(st.islQ) ||
+		len(prev.gslOff) != len(st.gslOff) || len(prev.Active) != len(st.Active) {
+		d.Full = true
+		return
+	}
+	d.BaseT = prev.T
+
+	// ISLs: the +GRID plan is static, so plan edge i compares positionally.
+	off := 0
+	for _, edges := range st.c.edges {
+		for i, e := range edges {
+			oq, nq := prev.islQ[off+i], st.islQ[off+i]
+			switch {
+			case oq == nq:
+			case oq < 0:
+				d.Added = append(d.Added, LinkDelta{A: e.a, B: e.b, OldQ: -1, NewQ: nq})
+			case nq < 0:
+				d.Removed = append(d.Removed, LinkDelta{A: e.a, B: e.b, OldQ: oq, NewQ: -1})
+			default:
+				d.DelayChanged = append(d.DelayChanged, LinkDelta{A: e.a, B: e.b, OldQ: oq, NewQ: nq})
+			}
+		}
+		off += len(edges)
+	}
+
+	// GSLs: compare each station/shell's realized closest-first sequence.
+	shells := len(st.c.shells)
+	gstBase := len(st.Active) - len(st.c.gst)
+	for gi := range st.c.gst {
+		gid := gstBase + gi
+		for si := 0; si < shells; si++ {
+			k := gi*shells + si
+			po, p1 := prev.gslOff[k], prev.gslOff[k+1]
+			no, n1 := st.gslOff[k], st.gslOff[k+1]
+			if int32sEqual(prev.gslSat[po:p1], st.gslSat[no:n1]) {
+				for j := int32(0); j < p1-po; j++ {
+					if oq, nq := prev.gslQ[po+j], st.gslQ[no+j]; oq != nq {
+						d.DelayChanged = append(d.DelayChanged,
+							LinkDelta{A: gid, B: int(st.gslSat[no+j]), OldQ: oq, NewQ: nq})
+					}
+				}
+				continue
+			}
+			for j := po; j < p1; j++ {
+				d.Removed = append(d.Removed, LinkDelta{A: gid, B: int(prev.gslSat[j]), OldQ: prev.gslQ[j], NewQ: -1})
+			}
+			for j := no; j < n1; j++ {
+				d.Added = append(d.Added, LinkDelta{A: gid, B: int(st.gslSat[j]), OldQ: -1, NewQ: st.gslQ[j]})
+			}
+		}
+	}
+
+	for i := range st.Active {
+		if prev.Active[i] != st.Active[i] {
+			if st.Active[i] {
+				d.Activated = append(d.Activated, int32(i))
+			} else {
+				d.Deactivated = append(d.Deactivated, int32(i))
+			}
+		}
+	}
+}
+
+// int32sEqual reports elementwise equality.
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// transplantPaths shares the completed shortest-path cache entries of prev
+// with next, so that a tick with an empty diff — whose graph is
+// bit-identical to the previous one — serves path queries without
+// recomputing any Dijkstra tree. Shared entries are marked and thereby
+// exempted from the spare-array harvest in reset: a reader may still be
+// holding the entry's result arrays through a lease on *any* state that
+// ever listed it (the donor included), so those arrays must never be
+// recycled for new computations — they are simply left to the garbage
+// collector once the last referencing state lets go. Only completed
+// entries are shared; an entry whose computation is in flight on prev
+// stays exclusive to it.
+func transplantPaths(prev, next *State) int {
+	shared := 0
+	for i := range prev.paths {
+		src, dst := &prev.paths[i], &next.paths[i]
+		src.mu.Lock()
+		for a, e := range src.m {
+			if e.done.Load() && e.err == nil {
+				e.shared = true
+				dst.m[a] = e
+				shared++
+			}
+		}
+		src.mu.Unlock()
+	}
+	return shared
+}

@@ -7,6 +7,7 @@ import (
 
 	"celestial/internal/bbox"
 	"celestial/internal/geom"
+	"celestial/internal/netem"
 	"celestial/internal/orbit"
 	"celestial/internal/topo"
 )
@@ -35,8 +36,8 @@ func TestSnapshotInvariants(t *testing.T) {
 				t.Logf("t=%v: link distance mismatch", ts)
 				return false
 			}
-			if math.Abs(l.LatencyS-geom.PropagationDelay(d)) > 1e-12 {
-				t.Logf("t=%v: latency != distance/c", ts)
+			if l.LatencyS != netem.QuantizeLatency(geom.PropagationDelay(d)) {
+				t.Logf("t=%v: latency != quantized distance/c", ts)
 				return false
 			}
 			switch l.Kind {

@@ -34,10 +34,11 @@ type Coordinator struct {
 	// through it (see update) so steady-state ticks allocate ~nothing.
 	pool *constellation.SnapshotPool
 
-	mu      sync.RWMutex
-	current *constellation.State
-	prev    *constellation.State
-	updates int
+	mu       sync.RWMutex
+	current  *constellation.State
+	prev     *constellation.State
+	updates  int
+	lastDiff constellation.DiffStats
 	// leases counts concurrent readers per state (see LeaseState);
 	// retired marks states waiting for their last lease before being
 	// recycled.
@@ -190,25 +191,45 @@ func (c *Coordinator) Updates() int {
 	return c.updates
 }
 
+// LastDiff returns the statistics of the most recent update's
+// constellation diff: how many links appeared, disappeared or changed
+// their delay quantum, how many nodes flipped activity, and how many
+// shortest-path cache entries were carried over. An Empty diff means the
+// update distributed nothing — the emulated network was provably unchanged
+// at netem granularity.
+func (c *Coordinator) LastDiff() constellation.DiffStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.lastDiff
+}
+
 // ElapsedSeconds returns the virtual time since the epoch.
 func (c *Coordinator) ElapsedSeconds() float64 {
 	return c.sim.Now().Sub(c.cfg.Epoch).Seconds()
 }
 
-// update runs one constellation calculation cycle and pushes the result to
-// the hosts. Snapshots are computed into pooled buffers: the state from
-// two updates ago is recycled — unless a concurrent reader holds a lease
-// on it — so steady-state ticks allocate ~nothing.
+// update runs one constellation calculation cycle and distributes the
+// difference to the hosts, like the paper's coordinator ships link deltas
+// instead of reprogramming the whole network every epoch. Snapshots are
+// computed into pooled buffers: the state from two updates ago is recycled
+// — unless a concurrent reader holds a lease on it — so steady-state ticks
+// allocate ~nothing. The pool diffs each snapshot against the previous
+// one; an empty diff (sub-quantum satellite motion) leaves the virtual
+// network's shaper parameters and the hosts' machine activity untouched,
+// and the snapshot arrives with the previous tick's shortest-path cache
+// already transplanted.
 func (c *Coordinator) update() error {
 	st, err := c.pool.Snapshot(c.ElapsedSeconds())
 	if err != nil {
 		return fmt.Errorf("coordinator: update at t=%v: %w", c.ElapsedSeconds(), err)
 	}
+	d := st.Diff()
 	c.mu.Lock()
 	old := c.prev
 	c.prev = c.current
 	c.current = st
 	c.updates++
+	c.lastDiff = d.Stats()
 	if old != nil && c.leases[old] > 0 {
 		// A concurrent reader still holds the state; its last
 		// release will recycle it.
@@ -218,9 +239,24 @@ func (c *Coordinator) update() error {
 	c.mu.Unlock()
 	c.pool.Recycle(old)
 
-	for _, h := range c.hosts {
-		if err := h.ApplyActivity(func(id int) bool { return st.Active[id] }); err != nil {
-			return err
+	if !d.Empty() {
+		// Links changed: cached per-pair paths and shaper parameters in
+		// the virtual network are stale.
+		c.net.InvalidatePaths()
+	}
+	switch {
+	case d.Full || len(d.Activated) > 0 || len(d.Deactivated) > 0:
+		for _, h := range c.hosts {
+			if err := h.ApplyActivity(func(id int) bool { return st.Active[id] }); err != nil {
+				return err
+			}
+		}
+	case !d.Empty():
+		// Delta-only tick: the hosts reprogram links (manager CPU
+		// spike) but no machine changes state, so the per-machine
+		// activity sweep is skipped.
+		for _, h := range c.hosts {
+			h.NoteUpdate()
 		}
 	}
 	return nil

@@ -426,3 +426,56 @@ func TestLeaseStateConcurrentWithUpdates(t *testing.T) {
 		t.Fatal(runErr)
 	}
 }
+
+func TestLastDiffTracksUpdates(t *testing.T) {
+	c := started(t)
+	first := c.LastDiff()
+	if !first.Full {
+		t.Fatalf("first update diff = %+v, want Full", first)
+	}
+	// Advance through several 2 s update ticks: every subsequent diff has
+	// the previous tick as its base, and the steady state at this small
+	// scale mixes empty and delta ticks.
+	if err := c.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d := c.LastDiff()
+	if d.Full {
+		t.Fatalf("steady-state diff = %+v, want a based diff", d)
+	}
+	if d.T <= d.BaseT {
+		t.Fatalf("diff window = %v -> %v", d.BaseT, d.T)
+	}
+	if d.Empty && (d.Added+d.Removed+d.DelayChanged+d.Activated+d.Deactivated) != 0 {
+		t.Fatalf("inconsistent stats: %+v", d)
+	}
+}
+
+// TestDiffDrivenUpdatesPreserveDelivery locks in that version-gated shaper
+// refresh plus empty-diff skipping does not change what the network
+// delivers: messages keep flowing and track topology changes across many
+// update ticks (the behavior asserted in detail by
+// TestTopologyTracksUpdates; this adds the LastDiff linkage).
+func TestDiffDrivenUpdatesPreserveDelivery(t *testing.T) {
+	c := started(t)
+	accra, _ := c.Constellation().GSTNodeByName("accra")
+	jbg, _ := c.Constellation().GSTNodeByName("johannesburg")
+	delivered := 0
+	c.Network().Handle(jbg, func(vnet.Message) { delivered++ })
+	c.Network().Handle(accra, func(vnet.Message) {})
+	if err := c.Sim().Every(c.Sim().Now(), time.Second, func() bool {
+		_ = c.Network().Send(accra, jbg, 100, nil)
+		return delivered < 30
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(45 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered < 30 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+	if c.LastDiff().T == 0 && c.LastDiff().Full {
+		t.Fatalf("diff stats never advanced: %+v", c.LastDiff())
+	}
+}

@@ -73,10 +73,20 @@ func (g *Graph) AddEdge(a, b int, weight float64) error {
 	if weight < 0 || math.IsNaN(weight) {
 		return fmt.Errorf("graph: invalid weight %v on edge (%d, %d)", weight, a, b)
 	}
+	g.AddEdgeUnchecked(a, b, weight)
+	return nil
+}
+
+// AddEdgeUnchecked inserts an undirected edge without the range, self-loop
+// and weight validation of AddEdge. It is the fast path for callers whose
+// edges are validated once at construction time — the constellation's
+// per-tick graph rebuild inserts tens of thousands of precomputed plan
+// edges and must not pay per-edge checks or error allocation. Out-of-range
+// nodes panic; external callers should use AddEdge.
+func (g *Graph) AddEdgeUnchecked(a, b int, weight float64) {
 	g.adj[a] = append(g.adj[a], Edge{To: b, Weight: weight})
 	g.adj[b] = append(g.adj[b], Edge{To: a, Weight: weight})
 	g.m++
-	return nil
 }
 
 // Neighbors returns the adjacency list of a node. The returned slice is

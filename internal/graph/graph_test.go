@@ -468,3 +468,68 @@ func TestGraphReset(t *testing.T) {
 		t.Fatalf("Reset(-1) -> %d nodes", g.N())
 	}
 }
+
+func TestAddEdgeUncheckedMatchesAddEdge(t *testing.T) {
+	a, b := New(5), New(5)
+	type e struct {
+		u, v int
+		w    float64
+	}
+	edges := []e{{0, 1, 1.5}, {1, 2, 0.25}, {2, 4, 3}, {0, 4, 0.1}}
+	for _, ed := range edges {
+		if err := a.AddEdge(ed.u, ed.v, ed.w); err != nil {
+			t.Fatal(err)
+		}
+		b.AddEdgeUnchecked(ed.u, ed.v, ed.w)
+	}
+	if a.M() != b.M() {
+		t.Fatalf("edge counts differ: %d vs %d", a.M(), b.M())
+	}
+	for v := 0; v < 5; v++ {
+		an, bn := a.Neighbors(v), b.Neighbors(v)
+		if len(an) != len(bn) {
+			t.Fatalf("node %d degree: %d vs %d", v, len(an), len(bn))
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatalf("node %d adjacency %d: %+v vs %+v", v, i, an[i], bn[i])
+			}
+		}
+	}
+	spA, err1 := a.Dijkstra(0)
+	spB, err2 := b.Dijkstra(0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for v := range spA.Dist {
+		if spA.Dist[v] != spB.Dist[v] {
+			t.Fatalf("dist %d: %v vs %v", v, spA.Dist[v], spB.Dist[v])
+		}
+	}
+}
+
+func BenchmarkAddEdgeChecked(b *testing.B) {
+	g := New(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%10000 == 0 {
+			g.Reset(1000)
+		}
+		if err := g.AddEdge(i%999, (i+1)%999, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddEdgeUnchecked(b *testing.B) {
+	g := New(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%10000 == 0 {
+			g.Reset(1000)
+		}
+		g.AddEdgeUnchecked(i%999, (i+1)%999, 1)
+	}
+}

@@ -249,6 +249,19 @@ func (h *Host) ApplyActivity(active func(id int) bool) error {
 	return nil
 }
 
+// NoteUpdate records that a constellation update reprogrammed this host's
+// network links without changing any machine's activity, so the manager
+// CPU trace still shows the per-update spike. The coordinator calls it on
+// delta-only ticks, where the O(machines) activity sweep of ApplyActivity
+// is skipped; a tick whose diff is entirely empty distributes nothing and
+// causes no spike.
+func (h *Host) NoteUpdate() {
+	now := h.sched.Now()
+	h.mu.Lock()
+	h.lastUpdate = now
+	h.mu.Unlock()
+}
+
 // Sample measures the host's resource usage now and appends it to the
 // trace.
 func (h *Host) Sample() UsagePoint {

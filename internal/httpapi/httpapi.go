@@ -19,6 +19,7 @@ import (
 	"celestial/internal/constellation"
 	"celestial/internal/coordinator"
 	"celestial/internal/geom"
+	"celestial/internal/netem"
 	"celestial/internal/vnet"
 )
 
@@ -336,10 +337,13 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "resolving path nodes")
 			return
 		}
+		// Per-segment latency as the emulation realizes it: link delays
+		// are quantized to the netem granularity, so quantized segments
+		// sum exactly to the reported end-to-end latency.
 		d := st.Positions[path[i]].Distance(st.Positions[path[i+1]])
 		resp.Segments = append(resp.Segments, PathSegment{
 			From: a.Name, To: b.Name, DistanceKm: d,
-			LatencyMs: geom.PropagationDelay(d) * 1000,
+			LatencyMs: netem.QuantizeLatency(geom.PropagationDelay(d)) * 1000,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -16,6 +16,7 @@ package netem
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 )
@@ -23,6 +24,10 @@ import (
 // DelayQuantum is the granularity at which propagation delays are emulated.
 // Celestial injects emulated network delays with 0.1 ms accuracy.
 const DelayQuantum = 100 * time.Microsecond
+
+// DelayQuantumSeconds is DelayQuantum expressed in seconds, for code that
+// carries latencies as float64 seconds (the constellation calculation).
+const DelayQuantumSeconds = float64(DelayQuantum) / float64(time.Second)
 
 // Params configure one link direction.
 type Params struct {
@@ -77,6 +82,24 @@ func QuantizeDelay(d time.Duration) time.Duration {
 		return 0
 	}
 	return (d + DelayQuantum/2) / DelayQuantum * DelayQuantum
+}
+
+// LatencyQuanta returns the number of DelayQuantum steps a latency in
+// seconds rounds to. Two latencies are emulated identically exactly when
+// their quanta are equal, which is what the constellation diff engine keys
+// link-delay changes on: sub-quantum jitter maps to the same quantum and
+// therefore to an empty diff entry.
+func LatencyQuanta(s float64) int64 {
+	if s <= 0 {
+		return 0
+	}
+	return int64(math.Round(s / DelayQuantumSeconds))
+}
+
+// QuantizeLatency rounds a latency in seconds to the emulation granularity,
+// the float-seconds counterpart of QuantizeDelay.
+func QuantizeLatency(s float64) float64 {
+	return float64(LatencyQuanta(s)) * DelayQuantumSeconds
 }
 
 // Delivery is the outcome of transmitting one packet.

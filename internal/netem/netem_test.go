@@ -245,3 +245,28 @@ func BenchmarkTransmit(b *testing.B) {
 		s.Transmit(t0, 1500)
 	}
 }
+
+func TestQuantizeLatencyMatchesQuantizeDelay(t *testing.T) {
+	for _, s := range []float64{0, 1e-9, 4.9e-5, 5e-5, 1e-4, 1.49e-4, 1.51e-4, 0.0087, 0.046, 1.23456} {
+		wantQ := int64(QuantizeDelay(time.Duration(s*float64(time.Second))) / DelayQuantum)
+		if got := LatencyQuanta(s); got != wantQ {
+			t.Errorf("LatencyQuanta(%v) = %d, want %d", s, got, wantQ)
+		}
+		q := QuantizeLatency(s)
+		if q != float64(LatencyQuanta(s))*DelayQuantumSeconds {
+			t.Errorf("QuantizeLatency(%v) = %v inconsistent with quanta", s, q)
+		}
+		if diff := q - s; diff > DelayQuantumSeconds/2+1e-12 || diff < -DelayQuantumSeconds/2-1e-12 {
+			t.Errorf("QuantizeLatency(%v) = %v off by more than half a quantum", s, q)
+		}
+	}
+	if QuantizeLatency(-1) != 0 || LatencyQuanta(-1) != 0 {
+		t.Error("negative latency must quantize to zero")
+	}
+	// Idempotence: quantizing a quantized value is a no-op.
+	for _, s := range []float64{0.0087, 0.0461, 0.25} {
+		if q := QuantizeLatency(s); QuantizeLatency(q) != q {
+			t.Errorf("QuantizeLatency not idempotent at %v", s)
+		}
+	}
+}

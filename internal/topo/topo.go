@@ -106,6 +106,23 @@ func VisibleSats(station geom.Vec3, sats []geom.Vec3, minElevDeg float64) []Upli
 	return VisibleSatsInto(station, sats, minElevDeg, nil)
 }
 
+// byDistance sorts uplinks by ascending slant range, breaking exact
+// distance ties by satellite index. The named type avoids the per-call
+// closure and interface allocations of sort.Slice in the hot visibility
+// loop, and the tie-break makes the order a total one: any enumeration of
+// the same visible set (brute-force scan or spatial index) sorts to the
+// same sequence.
+type byDistance []Uplink
+
+func (u byDistance) Len() int      { return len(u) }
+func (u byDistance) Swap(i, j int) { u[i], u[j] = u[j], u[i] }
+func (u byDistance) Less(i, j int) bool {
+	if u[i].DistanceKm != u[j].DistanceKm {
+		return u[i].DistanceKm < u[j].DistanceKm
+	}
+	return u[i].Sat < u[j].Sat
+}
+
 // VisibleSatsInto is VisibleSats writing into buf (which is truncated and
 // grown as needed), so per-tick visibility scans can reuse one allocation
 // per ground station and shell. The returned slice aliases buf's backing
@@ -122,7 +139,7 @@ func VisibleSatsInto(station geom.Vec3, sats []geom.Vec3, minElevDeg float64, bu
 			})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].DistanceKm < out[j].DistanceKm })
+	sort.Sort(byDistance(out))
 	return out
 }
 

@@ -1,0 +1,254 @@
+package topo
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"celestial/internal/geom"
+	"celestial/internal/par"
+)
+
+// VisIndex is a per-tick spatial index over one shell's satellite
+// positions: satellites are bucketed into a uniform geocentric lat/lon
+// grid, and a ground station only tests the satellites whose ground-track
+// cell can clear its elevation mask. This replaces the O(G×S) brute-force
+// visibility scan — the dominant per-tick cost at Starlink scale with many
+// ground stations — with an O(S) build shared by all stations plus an
+// O(footprint) query per station.
+//
+// The candidate bound is exact for the geocentric elevation model used by
+// geom.ElevationDeg: a satellite at radius r is at elevation ≥ e from a
+// station at radius rs only if the central angle between the two radial
+// directions is at most ψmax = 90° − e − asin(rs·cos e / r), which grows
+// with r; using the shell's maximum radius for r therefore never excludes
+// a visible satellite. Every candidate still runs the same elevation test
+// as the brute-force scan, so the index changes which satellites are
+// *examined*, never which are *returned* — query results are identical to
+// VisibleSatsInto for any minimum elevation ≥ 0.
+//
+// A VisIndex is built for one snapshot's positions and queried read-only;
+// Build may be called again each tick to reuse all buffers. Build and
+// queries must not overlap.
+type VisIndex struct {
+	sats        []geom.Vec3
+	cellDeg     float64
+	latCells    int
+	lonCells    int
+	maxRadiusKm float64
+
+	// cellOf[i] is the grid cell of satellite i; start/idx are the CSR
+	// buckets (idx holds satellite indices grouped by cell, ascending
+	// within each cell so queries enumerate candidates deterministically).
+	cellOf []int32
+	start  []int32
+	cur    []int32
+	idx    []int32
+}
+
+// visIndexMaxRadius tracks the largest satellite radius seen by concurrent
+// build workers. Max is commutative and exact in floating point, so the
+// result is independent of the chunking — a requirement for parallel
+// snapshots staying byte-identical to sequential ones.
+type visIndexMaxRadius struct {
+	mu sync.Mutex
+	r  float64
+}
+
+// Build indexes the given satellite positions on a grid with ~cellSizeDeg
+// cells, fanning the per-satellite spherical coordinate computation over
+// the given worker count. The positions slice is retained (not copied)
+// until the next Build.
+func (ix *VisIndex) Build(sats []geom.Vec3, cellSizeDeg float64, workers int) {
+	if cellSizeDeg <= 0 {
+		cellSizeDeg = 8
+	}
+	cellSizeDeg = math.Min(math.Max(cellSizeDeg, 1), 30)
+	ix.sats = sats
+	ix.cellDeg = cellSizeDeg
+	ix.latCells = int(math.Ceil(180 / cellSizeDeg))
+	ix.lonCells = int(math.Ceil(360 / cellSizeDeg))
+	cells := ix.latCells * ix.lonCells
+
+	ix.cellOf = resizeInt32(ix.cellOf, len(sats))
+	ix.start = resizeInt32(ix.start, cells+1)
+	ix.cur = resizeInt32(ix.cur, cells)
+	ix.idx = resizeInt32(ix.idx, len(sats))
+	if len(sats) == 0 {
+		for i := range ix.start {
+			ix.start[i] = 0
+		}
+		ix.maxRadiusKm = 0
+		return
+	}
+
+	var maxR visIndexMaxRadius
+	par.ForWorkers(len(sats), workers, func(lo, hi int) {
+		localMax := 0.0
+		for i := lo; i < hi; i++ {
+			s := sats[i]
+			r := s.Norm()
+			if r > localMax {
+				localMax = r
+			}
+			ix.cellOf[i] = int32(ix.cellAt(latDegOf(s, r), geom.Deg(math.Atan2(s.Y, s.X))))
+		}
+		maxR.mu.Lock()
+		if localMax > maxR.r {
+			maxR.r = localMax
+		}
+		maxR.mu.Unlock()
+	})
+	ix.maxRadiusKm = maxR.r
+
+	// Counting sort into CSR buckets, ascending satellite index per cell.
+	for i := range ix.start {
+		ix.start[i] = 0
+	}
+	for _, c := range ix.cellOf {
+		ix.start[c+1]++
+	}
+	for c := 0; c < cells; c++ {
+		ix.start[c+1] += ix.start[c]
+		ix.cur[c] = ix.start[c]
+	}
+	for i, c := range ix.cellOf {
+		ix.idx[ix.cur[c]] = int32(i)
+		ix.cur[c]++
+	}
+}
+
+// latDegOf returns the geocentric latitude of a position with known radius.
+func latDegOf(p geom.Vec3, r float64) float64 {
+	if r == 0 {
+		return 0
+	}
+	s := p.Z / r
+	if s > 1 {
+		s = 1
+	} else if s < -1 {
+		s = -1
+	}
+	return geom.Deg(math.Asin(s))
+}
+
+// cellAt maps geocentric coordinates to a grid cell.
+func (ix *VisIndex) cellAt(latDeg, lonDeg float64) int {
+	li := int((latDeg + 90) / ix.cellDeg)
+	if li < 0 {
+		li = 0
+	} else if li >= ix.latCells {
+		li = ix.latCells - 1
+	}
+	lo := int((lonDeg + 180) / ix.cellDeg)
+	if lo < 0 {
+		lo = 0
+	} else if lo >= ix.lonCells {
+		lo = ix.lonCells - 1
+	}
+	return li*ix.lonCells + lo
+}
+
+// VisibleInto returns the satellites at least minElevDeg above the
+// station's horizon, sorted like VisibleSatsInto (ascending slant range,
+// ties by index), writing into buf. It produces exactly the set and order
+// of VisibleSatsInto over the indexed positions.
+func (ix *VisIndex) VisibleInto(station geom.Vec3, minElevDeg float64, buf []Uplink) []Uplink {
+	out := buf[:0]
+	if len(ix.sats) == 0 {
+		return out
+	}
+	if minElevDeg < 0 {
+		// Negative masks see below the geometric horizon; the cap bound
+		// does not apply, so fall back to the exhaustive scan.
+		return VisibleSatsInto(station, ix.sats, minElevDeg, buf)
+	}
+	rs := station.Norm()
+	e := geom.Rad(minElevDeg)
+
+	// Largest central angle at which any indexed satellite can still be
+	// above the mask, padded for float rounding; the grid walk rounds
+	// outward to whole cells on top of this.
+	arg := rs * math.Cos(e) / ix.maxRadiusKm
+	if arg > 1 {
+		arg = 1
+	}
+	psiDeg := geom.Deg(math.Pi/2 - e - math.Asin(arg))
+	if psiDeg < 0 {
+		psiDeg = 0
+	}
+	psiDeg += 1e-6
+
+	latS := latDegOf(station, rs)
+	lonS := geom.Deg(math.Atan2(station.Y, station.X))
+
+	b0 := int(math.Floor((latS - psiDeg + 90) / ix.cellDeg))
+	b1 := int(math.Floor((latS + psiDeg + 90) / ix.cellDeg))
+	if b0 < 0 {
+		b0 = 0
+	}
+	if b1 >= ix.latCells {
+		b1 = ix.latCells - 1
+	}
+
+	// Longitude half-width of the visibility cap: the cap's extreme
+	// longitudes satisfy Δλ = asin(sin ψ / cos φ). Caps touching a pole
+	// span all longitudes.
+	l0, l1 := 0, ix.lonCells-1
+	if latS-psiDeg > -90+1e-9 && latS+psiDeg < 90-1e-9 {
+		sinPsi := math.Sin(geom.Rad(psiDeg))
+		cosLat := math.Cos(geom.Rad(latS))
+		ratio := sinPsi / cosLat
+		if ratio < 1 {
+			dLon := geom.Deg(math.Asin(ratio)) + 1e-6
+			l0 = int(math.Floor((lonS - dLon + 180) / ix.cellDeg))
+			l1 = int(math.Floor((lonS + dLon + 180) / ix.cellDeg))
+			if l1-l0+1 >= ix.lonCells {
+				l0, l1 = 0, ix.lonCells-1
+			}
+		}
+	}
+
+	for band := b0; band <= b1; band++ {
+		for k := l0; k <= l1; k++ {
+			lc := k % ix.lonCells
+			if lc < 0 {
+				lc += ix.lonCells
+			}
+			cell := band*ix.lonCells + lc
+			for _, si := range ix.idx[ix.start[cell]:ix.start[cell+1]] {
+				s := ix.sats[si]
+				el := geom.ElevationDeg(station, s)
+				if el >= minElevDeg {
+					out = append(out, Uplink{
+						Sat:          int(si),
+						DistanceKm:   station.Distance(s),
+						ElevationDeg: el,
+					})
+				}
+			}
+		}
+	}
+	sort.Sort(byDistance(out))
+	return out
+}
+
+// SuggestedCellDeg returns a grid cell size matched to a shell: roughly the
+// footprint radius of a satellite at the given altitude for the given
+// elevation mask, so a query visits a handful of cells.
+func SuggestedCellDeg(altKm, minElevDeg float64) float64 {
+	if minElevDeg < 0 {
+		minElevDeg = 0
+	}
+	deg := geom.Deg(geom.Footprint(altKm, minElevDeg))
+	return math.Min(math.Max(deg, 1), 30)
+}
+
+// resizeInt32 returns s with length n, reusing its backing array when
+// possible.
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,197 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"celestial/internal/geom"
+	"celestial/internal/orbit"
+)
+
+// shellPositions propagates a small shell to get realistic satellite
+// positions for index tests.
+func shellPositions(t testing.TB, offset float64) []geom.Vec3 {
+	t.Helper()
+	sh, err := orbit.NewShell(orbit.ShellConfig{
+		Name: "t", Planes: 12, SatsPerPlane: 12, AltitudeKm: 550,
+		InclinationDeg: 53, ArcDeg: 360, PhasingFactor: 5, Model: orbit.ModelKepler,
+	}, 2459683.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]geom.Vec3, sh.Size())
+	if _, err := sh.PositionsECEF(offset, pos); err != nil {
+		t.Fatal(err)
+	}
+	return pos
+}
+
+func assertUplinksEqual(t *testing.T, want, got []Uplink, ctx string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d uplinks", ctx, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: uplink %d: %+v vs %+v", ctx, i, want[i], got[i])
+		}
+	}
+}
+
+// TestVisIndexMatchesBruteForce is the core correctness property: for
+// random stations and elevation masks, the indexed query returns exactly
+// the brute-force result, element for element.
+func TestVisIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, offset := range []float64{0, 137, 2900} {
+		pos := shellPositions(t, offset)
+		var ix VisIndex
+		ix.Build(pos, SuggestedCellDeg(550, 25), 4)
+		for trial := 0; trial < 60; trial++ {
+			loc := geom.LatLon{
+				LatDeg: rng.Float64()*176 - 88,
+				LonDeg: rng.Float64()*360 - 180,
+				AltKm:  rng.Float64() * 2,
+			}
+			station := loc.ECEF()
+			minElev := rng.Float64() * 60
+			want := VisibleSats(station, pos, minElev)
+			got := ix.VisibleInto(station, minElev, nil)
+			assertUplinksEqual(t, want, got, "random station")
+		}
+	}
+}
+
+// TestVisIndexPolarStations exercises the all-longitude path of the grid
+// walk: a polar station's visibility cap touches the pole.
+func TestVisIndexPolarStations(t *testing.T) {
+	pos := shellPositions(t, 42)
+	var ix VisIndex
+	ix.Build(pos, 4, 2)
+	for _, lat := range []float64{89.9, -89.9, 87, -87} {
+		station := geom.LatLon{LatDeg: lat, LonDeg: 13}.ECEF()
+		for _, elev := range []float64{0, 10, 25} {
+			want := VisibleSats(station, pos, elev)
+			got := ix.VisibleInto(station, elev, nil)
+			assertUplinksEqual(t, want, got, "polar station")
+		}
+	}
+}
+
+// TestVisIndexDateLineStation exercises longitude wraparound.
+func TestVisIndexDateLineStation(t *testing.T) {
+	pos := shellPositions(t, 99)
+	var ix VisIndex
+	ix.Build(pos, 6, 3)
+	for _, lon := range []float64{179.9, -179.9, 180} {
+		station := geom.LatLon{LatDeg: 21.3, LonDeg: lon}.ECEF()
+		want := VisibleSats(station, pos, 25)
+		got := ix.VisibleInto(station, 25, nil)
+		assertUplinksEqual(t, want, got, "date-line station")
+	}
+}
+
+// TestVisIndexNegativeMaskFallsBack documents the exhaustive-scan fallback
+// for masks below the geometric horizon.
+func TestVisIndexNegativeMaskFallsBack(t *testing.T) {
+	pos := shellPositions(t, 0)
+	var ix VisIndex
+	ix.Build(pos, 8, 1)
+	station := geom.LatLon{LatDeg: 5.6, LonDeg: -0.19}.ECEF()
+	want := VisibleSats(station, pos, -5)
+	got := ix.VisibleInto(station, -5, nil)
+	assertUplinksEqual(t, want, got, "negative mask")
+}
+
+// TestVisIndexEmptyAndRebuild covers the zero-satellite edge case and
+// buffer reuse across rebuilds.
+func TestVisIndexEmptyAndRebuild(t *testing.T) {
+	var ix VisIndex
+	ix.Build(nil, 8, 4)
+	station := geom.LatLon{LatDeg: 0, LonDeg: 0}.ECEF()
+	if got := ix.VisibleInto(station, 25, nil); len(got) != 0 {
+		t.Fatalf("empty index returned %d uplinks", len(got))
+	}
+	for _, offset := range []float64{0, 61, 1234} {
+		pos := shellPositions(t, offset)
+		ix.Build(pos, 8, 4)
+		want := VisibleSats(station, pos, 25)
+		got := ix.VisibleInto(station, 25, nil)
+		assertUplinksEqual(t, want, got, "rebuild")
+	}
+}
+
+// TestVisIndexWorkerCountInvariance locks in that the parallel build is
+// deterministic: any worker count produces the same buckets and the same
+// query results.
+func TestVisIndexWorkerCountInvariance(t *testing.T) {
+	pos := shellPositions(t, 500)
+	station := geom.LatLon{LatDeg: 52.5, LonDeg: 13.4}.ECEF()
+	var ref VisIndex
+	ref.Build(pos, 5, 1)
+	want := ref.VisibleInto(station, 25, nil)
+	for _, workers := range []int{2, 3, 8, 64} {
+		var ix VisIndex
+		ix.Build(pos, 5, workers)
+		if ix.maxRadiusKm != ref.maxRadiusKm {
+			t.Fatalf("workers=%d: max radius %v vs %v", workers, ix.maxRadiusKm, ref.maxRadiusKm)
+		}
+		got := ix.VisibleInto(station, 25, nil)
+		assertUplinksEqual(t, want, got, "worker invariance")
+	}
+}
+
+func TestSuggestedCellDeg(t *testing.T) {
+	if d := SuggestedCellDeg(550, 25); d < 1 || d > 30 {
+		t.Errorf("cell size out of range: %v", d)
+	}
+	// Higher shells see farther: larger suggested cells.
+	if SuggestedCellDeg(1300, 25) <= SuggestedCellDeg(550, 25) {
+		t.Error("cell size not increasing with altitude")
+	}
+	if d := SuggestedCellDeg(550, -10); math.IsNaN(d) || d < 1 {
+		t.Errorf("negative mask cell size: %v", d)
+	}
+}
+
+// BenchmarkVisibilityBrute100Stations and its Indexed twin measure the
+// visibility-scan replacement at a many-station scale on one shell.
+func BenchmarkVisibilityBrute100Stations(b *testing.B) {
+	pos := shellPositions(b, 0)
+	stations := benchStations(100)
+	bufs := make([][]Uplink, len(stations))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for gi, s := range stations {
+			bufs[gi] = VisibleSatsInto(s, pos, 25, bufs[gi])
+		}
+	}
+}
+
+func BenchmarkVisibilityIndexed100Stations(b *testing.B) {
+	pos := shellPositions(b, 0)
+	stations := benchStations(100)
+	bufs := make([][]Uplink, len(stations))
+	var ix VisIndex
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Build(pos, SuggestedCellDeg(550, 25), 1)
+		for gi, s := range stations {
+			bufs[gi] = ix.VisibleInto(s, 25, bufs[gi])
+		}
+	}
+}
+
+// benchStations spreads n stations over the globe on a golden-angle spiral.
+func benchStations(n int) []geom.Vec3 {
+	out := make([]geom.Vec3, n)
+	for i := range out {
+		lat := geom.Deg(math.Asin(2*(float64(i)+0.5)/float64(n) - 1))
+		lon := math.Mod(float64(i)*137.50776405, 360) - 180
+		out[i] = geom.LatLon{LatDeg: lat, LonDeg: lon}.ECEF()
+	}
+	return out
+}

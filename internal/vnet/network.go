@@ -61,19 +61,39 @@ var (
 	ErrNoHandler = errors.New("vnet: destination has no handler")
 )
 
+// pairState is the cached per-directed-pair link state: the shaper (nil
+// while the pair has never been reachable) and the topology version its
+// parameters were refreshed at. ok caches reachability for that version.
+type pairState struct {
+	shaper  *netem.Shaper
+	version uint64
+	ok      bool
+}
+
 // Network delivers messages between emulated machines with the delays and
 // bandwidth constraints of the current topology. It must be driven from
 // the simulation goroutine.
+//
+// Per-pair shaper parameters are refreshed lazily and version-gated: a
+// Send only consults the topology (a shortest-path lookup) and calls
+// Shaper.Update when the topology version changed since the pair's last
+// refresh. The coordinator bumps the version exactly when a constellation
+// diff is non-empty, so during sub-quantum ticks — where the emulated
+// network is provably unchanged — messages flow without recomputing or
+// revalidating any link parameters, the vnet half of the paper's
+// "distribute only the difference between consecutive states" design.
 type Network struct {
 	sim  *Sim
 	topo Topology
 	// handlers by node ID.
 	handlers map[int]Handler
-	// shapers per directed node pair, created lazily.
-	shapers map[[2]int]*netem.Shaper
+	// pairs holds per directed node pair link state, created lazily.
+	pairs map[[2]int]*pairState
 	// impair is added on top of topology delay/bandwidth (loss etc.).
 	impair netem.Params
 	seed   int64
+	// version is the topology epoch; pairs refresh when behind it.
+	version uint64
 
 	// delivered counts messages handed to handlers; dropped counts
 	// loss-model drops.
@@ -88,15 +108,26 @@ func NewNetwork(sim *Sim, topo Topology, seed int64) *Network {
 		sim:      sim,
 		topo:     topo,
 		handlers: map[int]Handler{},
-		shapers:  map[[2]int]*netem.Shaper{},
+		pairs:    map[[2]int]*pairState{},
 		seed:     seed,
+		version:  1,
 	}
 }
 
 // SetTopology swaps the topology, e.g. on a coordinator update. Existing
 // queue state in the per-pair shapers is preserved, mirroring how tc qdisc
 // updates do not drop queued packets.
-func (n *Network) SetTopology(t Topology) { n.topo = t }
+func (n *Network) SetTopology(t Topology) {
+	n.topo = t
+	n.InvalidatePaths()
+}
+
+// InvalidatePaths marks every cached per-pair path stale: the next Send on
+// each pair re-reads the topology and updates its shaper. Call it when the
+// current Topology's answers changed behind the network's back — the
+// coordinator does so once per update tick whose constellation diff is
+// non-empty, and skips it otherwise.
+func (n *Network) InvalidatePaths() { n.version++ }
 
 // SetImpairments configures additional netem impairments (loss,
 // duplication, corruption, reordering, jitter) applied to every message on
@@ -106,8 +137,9 @@ func (n *Network) SetImpairments(p netem.Params) error {
 		return err
 	}
 	n.impair = p
-	// Existing shapers pick the new impairments up on their next
-	// parameter refresh in Send.
+	// Invalidate so existing shapers pick the new impairments up on
+	// their next Send.
+	n.InvalidatePaths()
 	return nil
 }
 
@@ -136,17 +168,15 @@ func (n *Network) Send(from, to int, sizeBytes int, payload any) error {
 	if !ok {
 		return fmt.Errorf("%w: node %d", ErrNoHandler, to)
 	}
-	pi := n.topo.PathInfo(from, to)
-	if !pi.OK || math.IsInf(pi.LatencyS, 1) {
-		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
-	}
-
-	shaper, err := n.shaper(from, to, pi)
+	ps, err := n.pair(from, to)
 	if err != nil {
 		return err
 	}
+	if !ps.ok {
+		return fmt.Errorf("%w: %d -> %d", ErrUnreachable, from, to)
+	}
 	now := n.sim.Now()
-	delivery := shaper.Transmit(now, sizeBytes)
+	delivery := ps.shaper.Transmit(now, sizeBytes)
 	if delivery.Lost() {
 		n.dropped++
 		return nil // loss is silent, like the real network
@@ -166,30 +196,46 @@ func (n *Network) Send(from, to int, sizeBytes int, payload any) error {
 	return nil
 }
 
-// shaper returns the per-pair shaper with parameters refreshed from the
-// current path info.
-func (n *Network) shaper(from, to int, pi PathInfo) (*netem.Shaper, error) {
-	params := n.impair
-	params.Delay = time.Duration(pi.LatencyS * float64(time.Second))
-	params.BandwidthKbps = pi.BandwidthKbps
-
+// pair returns the pair's link state, refreshed from the topology when the
+// pair is behind the current version: reachability is re-read, and the
+// shaper parameters updated only when they actually changed. Pairs at the
+// current version return without touching the topology at all.
+func (n *Network) pair(from, to int) (*pairState, error) {
 	key := [2]int{from, to}
-	s, ok := n.shapers[key]
+	ps, ok := n.pairs[key]
 	if !ok {
-		// Distinct deterministic seed per directed pair.
+		ps = &pairState{}
+		n.pairs[key] = ps
+	} else if ps.version == n.version {
+		return ps, nil
+	}
+
+	pi := n.topo.PathInfo(from, to)
+	if !pi.OK || math.IsInf(pi.LatencyS, 1) {
+		ps.ok = false
+		ps.version = n.version
+		return ps, nil
+	}
+	params := n.impair
+	params.Delay = netem.QuantizeDelay(time.Duration(pi.LatencyS * float64(time.Second)))
+	params.BandwidthKbps = pi.BandwidthKbps
+	if ps.shaper == nil {
+		// Distinct deterministic seed per directed pair, stable across
+		// reachability changes so runs stay reproducible.
 		seed := n.seed ^ int64(from)<<32 ^ int64(to)
-		var err error
-		s, err = netem.NewShaper(params, seed)
+		s, err := netem.NewShaper(params, seed)
 		if err != nil {
 			return nil, err
 		}
-		n.shapers[key] = s
-		return s, nil
+		ps.shaper = s
+	} else if params != ps.shaper.Params() {
+		if err := ps.shaper.Update(params); err != nil {
+			return nil, err
+		}
 	}
-	if err := s.Update(params); err != nil {
-		return nil, err
-	}
-	return s, nil
+	ps.ok = true
+	ps.version = n.version
+	return ps, nil
 }
 
 // StaticTopology is a fixed Topology, useful for tests and for modeling

@@ -384,3 +384,59 @@ func BenchmarkNetworkSendDeliver(b *testing.B) {
 		}
 	}
 }
+
+// TestInvalidatePathsRefreshesCachedPairs pins the version-gated refresh
+// contract: a pair's cached path survives in-place topology mutation until
+// InvalidatePaths (or SetTopology) marks it stale.
+func TestInvalidatePathsRefreshesCachedPairs(t *testing.T) {
+	s := NewSim(simStart)
+	topo := twoNodeTopo(0.010, 0)
+	n := NewNetwork(s, topo, 1)
+	latencies := map[string]time.Duration{}
+	n.Handle(1, func(m Message) { latencies[m.Payload.(string)] = m.Latency() })
+
+	if err := n.Send(0, 1, 10, "first"); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the topology behind the network's back: the cached pair
+	// keeps the old parameters...
+	topo.Latency[0][1] = 0.002
+	if err := n.Send(0, 1, 10, "stale"); err != nil {
+		t.Fatal(err)
+	}
+	// ...until the paths are invalidated.
+	n.InvalidatePaths()
+	if err := n.Send(0, 1, 10, "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(simStart.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if latencies["first"] != 10*time.Millisecond || latencies["stale"] != 10*time.Millisecond {
+		t.Errorf("cached sends = %v", latencies)
+	}
+	if latencies["fresh"] != 2*time.Millisecond {
+		t.Errorf("refreshed send = %v", latencies)
+	}
+}
+
+// TestUnreachabilityCachedPerVersion checks that reachability is cached
+// alongside the shaper parameters and re-read on invalidation.
+func TestUnreachabilityCachedPerVersion(t *testing.T) {
+	s := NewSim(simStart)
+	topo := StaticTopology{Latency: map[int]map[int]float64{0: {}}}
+	n := NewNetwork(s, topo, 1)
+	n.Handle(1, func(Message) {})
+	if err := n.Send(0, 1, 10, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	// The pair becomes reachable mid-version: still cached as down.
+	topo.Latency[0][1] = 0.001
+	if err := n.Send(0, 1, 10, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("cached err = %v", err)
+	}
+	n.InvalidatePaths()
+	if err := n.Send(0, 1, 10, nil); err != nil {
+		t.Fatalf("after invalidate: %v", err)
+	}
+}
