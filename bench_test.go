@@ -315,6 +315,57 @@ func BenchmarkTickUpdate(b *testing.B) {
 	})
 }
 
+// BenchmarkTickUpdateRepair isolates the incremental shortest-path repair
+// on the regime BenchmarkTickUpdate cannot win: Starlink Phase 1 with 100
+// ground stations at a 1 s step, where every tick ships a small non-empty
+// link diff (~dozens of delay-quantum bumps out of ~40k edges) and all 100
+// station trees are in the cache. "repair" is the shipping pipeline — the
+// pool translates the diff into edge deltas and repairs every completed
+// entry in parallel before the state is published. "recompute" disables
+// repair (SetPathRepair(false)), so each tick's queries re-run full
+// Dijkstra per source on demand — the pre-repair behavior. Both variants
+// run the identical scenario and serve bit-identical paths.
+func BenchmarkTickUpdateRepair(b *testing.B) {
+	run := func(b *testing.B, repair bool) {
+		cons := starlinkP1With100GSTs(b)
+		pool := cons.NewSnapshotPool()
+		pool.SetPathRepair(repair)
+		n := cons.NodeCount()
+		gstBase := n - 100
+		queryAll := func(st *constellation.State) {
+			for g := gstBase; g < n; g++ {
+				if _, err := st.Latency(g, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		prev, err := pool.Snapshot(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queryAll(prev)
+		repaired, fallbacks := 0, 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := pool.Snapshot(float64(i + 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			queryAll(st)
+			d := st.Diff()
+			repaired += d.RepairedPaths
+			fallbacks += d.RepairFallbacks
+			pool.Recycle(prev)
+			prev = st
+		}
+		b.ReportMetric(float64(repaired)/float64(b.N), "repaired-paths/op")
+		b.ReportMetric(float64(fallbacks)/float64(b.N), "repair-fallbacks/op")
+	}
+	b.Run("repair", func(b *testing.B) { run(b, true) })
+	b.Run("recompute", func(b *testing.B) { run(b, false) })
+}
+
 // BenchmarkFig10IridiumTopology regenerates Fig. 10: the Iridium
 // constellation with its cross-seam ISL gap and the DART ground segment.
 func BenchmarkFig10IridiumTopology(b *testing.B) {

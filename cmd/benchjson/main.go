@@ -5,6 +5,14 @@
 // Usage:
 //
 //	go test -run XXX -bench . -benchtime 1x ./... | benchjson -o BENCH_<sha>.json
+//	benchjson -compare BENCH_baseline.json BENCH_<sha>.json
+//
+// The compare mode prints a per-benchmark delta table (ns/op, allocs/op)
+// between two archived reports — typically the checked-in
+// BENCH_baseline.json and a fresh run — flagging results that exist on
+// only one side. It is informational and always exits 0 on valid input;
+// judging whether a delta is a regression is left to the reader, since CI
+// machines differ.
 //
 // Lines that are not benchmark results (pkg headers, PASS/ok trailers) are
 // recorded as context where useful and otherwise ignored.
@@ -19,6 +27,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Result is one benchmark line.
@@ -43,7 +52,27 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two archived reports: benchjson -compare old.json new.json")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files")
+			os.Exit(2)
+		}
+		old, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		new_, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		WriteComparison(os.Stdout, old, new_)
+		return
+	}
 
 	rep, err := Parse(os.Stdin)
 	if err != nil {
@@ -64,6 +93,90 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadReport reads an archived JSON report from disk.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CompareRow is one benchmark's old-vs-new delta. A missing side is
+// marked by a zero value plus the InOld/InNew flags.
+type CompareRow struct {
+	Name         string
+	Package      string
+	OldNs, NewNs float64
+	OldAllocs    float64
+	NewAllocs    float64
+	InOld, InNew bool
+}
+
+// Compare matches the two reports' results by (package, name) and returns
+// one row per benchmark, in the new report's order with old-only rows
+// appended in the old report's order.
+func Compare(old, new_ *Report) []CompareRow {
+	key := func(r Result) string { return r.Package + "\x00" + r.Name }
+	oldBy := map[string]Result{}
+	for _, r := range old.Results {
+		oldBy[key(r)] = r
+	}
+	seen := map[string]bool{}
+	var rows []CompareRow
+	for _, r := range new_.Results {
+		row := CompareRow{Name: r.Name, Package: r.Package, NewNs: r.NsPerOp, NewAllocs: r.AllocsPer, InNew: true}
+		if o, ok := oldBy[key(r)]; ok {
+			row.InOld = true
+			row.OldNs = o.NsPerOp
+			row.OldAllocs = o.AllocsPer
+		}
+		seen[key(r)] = true
+		rows = append(rows, row)
+	}
+	for _, r := range old.Results {
+		if !seen[key(r)] {
+			rows = append(rows, CompareRow{Name: r.Name, Package: r.Package, OldNs: r.NsPerOp, OldAllocs: r.AllocsPer, InOld: true})
+		}
+	}
+	return rows
+}
+
+// rowLabel renders a row's display name: same-named benchmarks compare per
+// package, so the package qualifies the name whenever one is recorded.
+func rowLabel(row CompareRow) string {
+	if row.Package == "" {
+		return row.Name
+	}
+	return row.Package + "." + row.Name
+}
+
+// WriteComparison renders the delta table of Compare.
+func WriteComparison(w io.Writer, old, new_ *Report) {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs")
+	for _, row := range Compare(old, new_) {
+		switch {
+		case !row.InOld:
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t(new)\t-\t%.0f\n", rowLabel(row), row.NewNs, row.NewAllocs)
+		case !row.InNew:
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t(gone)\t%.0f\t-\n", rowLabel(row), row.OldNs, row.OldAllocs)
+		default:
+			delta := "n/a"
+			if row.OldNs > 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(row.NewNs-row.OldNs)/row.OldNs)
+			}
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%.0f\t%.0f\n",
+				rowLabel(row), row.OldNs, row.NewNs, delta, row.OldAllocs, row.NewAllocs)
+		}
+	}
+	tw.Flush()
 }
 
 // Parse reads `go test -bench` output into a Report.

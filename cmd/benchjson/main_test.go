@@ -44,6 +44,50 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestCompare(t *testing.T) {
+	old := &Report{Results: []Result{
+		{Name: "BenchmarkA", Package: "p", NsPerOp: 100, AllocsPer: 10},
+		{Name: "BenchmarkGone", Package: "p", NsPerOp: 50},
+	}}
+	new_ := &Report{Results: []Result{
+		{Name: "BenchmarkA", Package: "p", NsPerOp: 50, AllocsPer: 8},
+		{Name: "BenchmarkNew", Package: "p", NsPerOp: 7},
+	}}
+	rows := Compare(old, new_)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if r := rows[0]; r.Name != "BenchmarkA" || !r.InOld || !r.InNew || r.OldNs != 100 || r.NewNs != 50 {
+		t.Errorf("matched row = %+v", r)
+	}
+	if r := rows[1]; r.Name != "BenchmarkNew" || r.InOld || !r.InNew {
+		t.Errorf("new-only row = %+v", r)
+	}
+	if r := rows[2]; r.Name != "BenchmarkGone" || !r.InOld || r.InNew {
+		t.Errorf("old-only row = %+v", r)
+	}
+
+	var buf strings.Builder
+	WriteComparison(&buf, old, new_)
+	out := buf.String()
+	for _, want := range []string{"-50.0%", "(new)", "(gone)", "p.BenchmarkA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompareDistinguishesPackages guards the (package, name) match key:
+// same-named benchmarks in different packages must not be conflated.
+func TestCompareDistinguishesPackages(t *testing.T) {
+	old := &Report{Results: []Result{{Name: "BenchmarkX", Package: "p1", NsPerOp: 1}}}
+	new_ := &Report{Results: []Result{{Name: "BenchmarkX", Package: "p2", NsPerOp: 2}}}
+	rows := Compare(old, new_)
+	if len(rows) != 2 || rows[0].InOld || rows[1].InNew {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
 func TestParseIgnoresGarbage(t *testing.T) {
 	rep, err := Parse(strings.NewReader("hello\nBenchmarkBroken\nBenchmarkAlso xx\nok done\n"))
 	if err != nil {

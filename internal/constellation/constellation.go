@@ -202,17 +202,20 @@ func (c *Constellation) GroundStations() []config.GroundStation { return c.gst }
 const pathShards = 16
 
 // pathEntry is one cached single-source Dijkstra result with singleflight
-// semantics: the first caller computes under the entry's once; concurrent
+// semantics: the first caller computes under the entry's mutex; concurrent
 // callers for the same source block on it instead of on a global lock.
-// done flips after the once completes, letting the pool's path carry-over
-// share finished entries between states without waiting on in-flight
-// ones. shared marks entries listed by more than one state (set under the
-// source shard's lock during carry-over, read during reset, which the
-// pool's snapshot lock orders after any carry-over): their result arrays
-// must never be harvested for reuse, since a reader may still hold them
-// through a lease on another state.
+// done flips after the computation completes (double-checked by lock-free
+// readers), letting the pool's path carry-over and repair share or reuse
+// finished entries between states without waiting on in-flight ones.
+// Unlike a sync.Once, the mutex+flag pair is resettable, so recycled
+// snapshots harvest whole entries — not just their result arrays — into
+// the spares pool. shared marks entries listed by more than one state (set
+// under the source shard's lock during carry-over, read during reset,
+// which the pool's snapshot lock orders after any carry-over): neither
+// their result arrays nor the entry itself may be harvested for reuse,
+// since a reader may still hold them through a lease on another state.
 type pathEntry struct {
-	once   sync.Once
+	mu     sync.Mutex
 	done   atomic.Bool
 	shared bool
 	sp     graph.ShortestPaths
@@ -277,13 +280,22 @@ type State struct {
 	// diff is how this snapshot differs from the previous pooled one.
 	diff Diff
 
-	// spares holds Dijkstra result arrays harvested from the previous
-	// tick's path cache when the snapshot is recycled, so steady-state
-	// path queries reuse instead of reallocate them.
+	// transitFn is the shared forwarding predicate of every shortest-path
+	// computation on this state (ground stations are endpoints, not
+	// routers), built once for the satellite count satN so path-cache
+	// fills and repairs do not allocate a closure each.
+	transitFn func(node int) bool
+	satN      int
+
+	// spares holds Dijkstra result arrays — and the pathEntry structs
+	// wrapping them — harvested from the previous tick's path cache when
+	// the snapshot is recycled, so steady-state path queries and repairs
+	// reuse instead of reallocate them.
 	spares struct {
-		mu   sync.Mutex
-		dist [][]float64
-		prev [][]int
+		mu      sync.Mutex
+		dist    [][]float64
+		prev    [][]int
+		entries []*pathEntry
 	}
 }
 
@@ -292,10 +304,11 @@ type State struct {
 var dijkstraWorkspaces = sync.Pool{New: func() any { return new(graph.Workspace) }}
 
 // maxSpareResults bounds the per-State freelist of recycled Dijkstra
-// result arrays: enough to cover the usual steady-state query mix (a few
-// dozen distinct sources per tick) without pinning the high-water mark of
-// a one-off many-source burst.
-const maxSpareResults = 64
+// result arrays and entries: enough to cover the steady-state query mix —
+// with path repair every queried source recurs every tick, so the working
+// set tracks the station count (~100 at the benchmark scale) — without
+// pinning the high-water mark of a one-off many-source burst.
+const maxSpareResults = 128
 
 // Snapshot computes the constellation state t seconds after the epoch,
 // fanning the orbit propagation, ISL feasibility tests and ground-station
@@ -490,6 +503,10 @@ func (c *Constellation) snapshotInto(st *State, t float64, workers int) (*State,
 			st.gslOff[run] = int32(len(st.gslSat))
 		}
 	}
+	// Freeze the CSR image while still single-threaded: every shortest
+	// path on this state — cache fill or repair — scans the flat arrays,
+	// and concurrent queries must never trigger the lazy build.
+	st.g.Freeze()
 	return st, nil
 }
 
@@ -514,18 +531,30 @@ func (st *State) reset(c *Constellation, t float64, n int) {
 	} else {
 		clear(st.bw)
 	}
+	// Ground stations are endpoints of the satellite network, not
+	// routers: only satellites forward traffic. The node numbering puts
+	// all satellites before all ground stations, so the Kind check
+	// reduces to a compare against the closed-over satellite count —
+	// this predicate runs once per heap pop on the Dijkstra hot path.
+	// The count is constant per constellation, so the closure is built
+	// once and survives buffer reuse.
+	if satN := n - len(c.gst); st.transitFn == nil || satN != st.satN {
+		st.satN = satN
+		st.transitFn = func(node int) bool { return node < satN }
+	}
 	for i := range st.paths {
 		if st.paths[i].m == nil {
 			st.paths[i].m = map[int]*pathEntry{}
 			continue
 		}
-		// Harvest the old tick's Dijkstra result arrays for reuse
-		// before dropping the entries. The freelist is capped so one
-		// burst of many-source queries does not pin its high-water
-		// mark of ~2*8*N bytes per source forever. Entries shared by
-		// the path carry-over are skipped: another state (or a reader
-		// holding a lease on one) may still reference their arrays, so
-		// they go to the garbage collector instead of being reused.
+		// Harvest the old tick's Dijkstra result arrays — and the
+		// entries wrapping them — for reuse before dropping them. The
+		// freelist is capped so one burst of many-source queries does
+		// not pin its high-water mark of ~2*8*N bytes per source
+		// forever. Entries shared by the path carry-over are skipped:
+		// another state (or a reader holding a lease on one) may still
+		// reference them, so they go to the garbage collector instead
+		// of being reused.
 		st.spares.mu.Lock()
 		for _, e := range st.paths[i].m {
 			if len(st.spares.dist) >= maxSpareResults {
@@ -534,11 +563,38 @@ func (st *State) reset(c *Constellation, t float64, n int) {
 			if e.err == nil && e.sp.Dist != nil && !e.shared {
 				st.spares.dist = append(st.spares.dist, e.sp.Dist)
 				st.spares.prev = append(st.spares.prev, e.sp.Prev)
+				e.sp = graph.ShortestPaths{}
+				e.done.Store(false)
+				st.spares.entries = append(st.spares.entries, e)
 			}
 		}
 		st.spares.mu.Unlock()
 		clear(st.paths[i].m)
 	}
+}
+
+// takeEntry returns a reset pathEntry from the spares pool, or a fresh one.
+func (st *State) takeEntry() *pathEntry {
+	st.spares.mu.Lock()
+	defer st.spares.mu.Unlock()
+	if k := len(st.spares.entries); k > 0 {
+		e := st.spares.entries[k-1]
+		st.spares.entries = st.spares.entries[:k-1]
+		return e
+	}
+	return &pathEntry{}
+}
+
+// takeArrays returns a pair of recycled Dijkstra result arrays from the
+// spares pool; nil slices (letting the computation allocate) when empty.
+func (st *State) takeArrays() (dist []float64, prev []int) {
+	st.spares.mu.Lock()
+	defer st.spares.mu.Unlock()
+	if k := len(st.spares.dist); k > 0 {
+		dist, st.spares.dist = st.spares.dist[k-1], st.spares.dist[:k-1]
+		prev, st.spares.prev = st.spares.prev[k-1], st.spares.prev[:k-1]
+	}
+	return dist, prev
 }
 
 // resize returns s with length n, reusing its backing array when possible.
@@ -577,6 +633,12 @@ type SnapshotPool struct {
 	// tick. It is cleared when recycled (a recycled buffer may be
 	// overwritten at any time and cannot serve as a base).
 	last *State
+	// noRepair disables the incremental path repair (see SetPathRepair).
+	noRepair bool
+	// deltaScratch and jobScratch are repairPaths's per-tick buffers,
+	// reused across Snapshot calls (which snapMu serializes).
+	deltaScratch []graph.EdgeDelta
+	jobScratch   []repairJob
 }
 
 // NewSnapshotPool creates an empty pool for the constellation.
@@ -613,14 +675,31 @@ func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
 		return nil, err
 	}
 	out.computeDiffFrom(prev)
-	if prev != nil && out.diff.Empty() {
-		out.diff.CarriedPaths = transplantPaths(prev, out)
+	if prev != nil && !out.diff.Full {
+		if out.diff.LinksUnchanged() {
+			// Bit-identical graph (the diff is empty, or only node
+			// activity flipped — the bounding box does not affect path
+			// calculation, §3.3): share the previous tick's computed
+			// trees outright.
+			out.diff.CarriedPaths = transplantPaths(prev, out)
+		} else if !p.noRepair {
+			p.repairPaths(prev, out)
+		}
 	}
 	p.mu.Lock()
 	p.last = out
 	p.mu.Unlock()
 	return out, nil
 }
+
+// SetPathRepair disables (on=false) or re-enables the incremental repair
+// of carried shortest-path entries on non-empty diffs, forcing every
+// structural tick back to on-demand full Dijkstra recomputes. Repaired
+// results are bit-identical to recomputed ones (locked in by the repair
+// differential tests); the knob exists for differential testing and for
+// benchmarking the repair. It must not be toggled concurrently with
+// Snapshot.
+func (p *SnapshotPool) SetPathRepair(on bool) { p.noRepair = !on }
 
 // Recycle returns a State's buffers to the pool. The State must not be
 // used afterwards; its next Snapshot will overwrite every buffer in place.
@@ -642,36 +721,44 @@ func (p *SnapshotPool) Recycle(st *State) {
 // the same source wait on that entry only, and callers for different
 // sources proceed independently.
 func (st *State) pathsFor(a int) (graph.ShortestPaths, error) {
-	shard := &st.paths[(a%pathShards+pathShards)%pathShards]
+	if a < 0 || a >= len(st.c.nodes) {
+		return graph.ShortestPaths{}, fmt.Errorf("constellation: node %d out of range [0, %d)", a, len(st.c.nodes))
+	}
+	// Node IDs are non-negative (checked above), so a plain remainder is a
+	// valid shard index — no sign fixup needed.
+	shard := &st.paths[a%pathShards]
 	shard.mu.Lock()
 	e, ok := shard.m[a]
 	if !ok {
-		e = &pathEntry{}
+		e = st.takeEntry()
 		shard.m[a] = e
 	}
 	shard.mu.Unlock()
-	e.once.Do(func() {
-		// Recycle result arrays harvested from the previous tick and
-		// borrow pooled heap scratch; the computed result is owned by
-		// this entry for the snapshot's lifetime.
-		st.spares.mu.Lock()
-		var dist []float64
-		var prev []int
-		if k := len(st.spares.dist); k > 0 {
-			dist, st.spares.dist = st.spares.dist[k-1], st.spares.dist[:k-1]
-			prev, st.spares.prev = st.spares.prev[k-1], st.spares.prev[:k-1]
-		}
-		st.spares.mu.Unlock()
-		ws := dijkstraWorkspaces.Get().(*graph.Workspace)
-		// Ground stations are endpoints of the satellite network,
-		// not routers: only satellites forward traffic.
-		e.sp, e.err = st.g.DijkstraTransitInto(a, func(node int) bool {
-			return st.c.nodes[node].Kind == KindSatellite
-		}, dist, prev, ws)
-		dijkstraWorkspaces.Put(ws)
-		e.done.Store(true)
-	})
+	if !e.done.Load() {
+		st.fillEntry(e, a)
+	}
 	return e.sp, e.err
+}
+
+// fillEntry computes the single-source result of an unfilled cache entry
+// under its singleflight mutex. Like a sync.Once, the entry latches done
+// even if the computation panics (deferred, before the mutex releases), so
+// a recovered panic — e.g. inside an HTTP handler — cannot leave later
+// callers blocked on the entry forever.
+func (st *State) fillEntry(e *pathEntry, a int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done.Load() {
+		return
+	}
+	defer e.done.Store(true)
+	// Recycle result arrays harvested from the previous tick and borrow
+	// pooled heap scratch; the computed result is owned by this entry for
+	// the snapshot's lifetime.
+	dist, prev := st.takeArrays()
+	ws := dijkstraWorkspaces.Get().(*graph.Workspace)
+	e.sp, e.err = st.g.DijkstraTransitInto(a, st.transitFn, dist, prev, ws)
+	dijkstraWorkspaces.Put(ws)
 }
 
 // Latency returns the one-way end-to-end network latency in seconds

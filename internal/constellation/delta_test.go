@@ -156,7 +156,7 @@ func TestCarriedEntriesExemptFromSpareHarvest(t *testing.T) {
 	}
 	// The reader's view: the donor's cache entry and a copy of its
 	// distance array as computed.
-	e := donor.paths[(accra%pathShards+pathShards)%pathShards].m[accra]
+	e := donor.paths[accra%pathShards].m[accra]
 	if e == nil || !e.done.Load() {
 		t.Fatal("no completed entry for accra on the donor")
 	}
@@ -174,7 +174,7 @@ func TestCarriedEntriesExemptFromSpareHarvest(t *testing.T) {
 			// Structural tick: refresh the reader's view of the new
 			// donor's entry.
 			donor = st
-			e = donor.paths[(accra%pathShards+pathShards)%pathShards].m[accra]
+			e = donor.paths[accra%pathShards].m[accra]
 			wantDist = append(wantDist[:0], e.sp.Dist...)
 		}
 	}

@@ -45,8 +45,15 @@ type Diff struct {
 	// flipped.
 	Activated, Deactivated []int32
 	// CarriedPaths counts shortest-path cache entries transplanted from
-	// the base state because the diff was empty.
+	// the base state because the link graph was unchanged.
 	CarriedPaths int
+	// RepairedPaths counts shortest-path cache entries incrementally
+	// repaired from the base state's trees under this diff's link deltas
+	// (graph.RepairSSSP); RepairFallbacks counts entries whose affected
+	// cone was too large and that were fully recomputed instead. Both are
+	// zero on link-unchanged diffs, which transplant.
+	RepairedPaths   int
+	RepairFallbacks int
 }
 
 // Empty reports whether the diff is empty at emulation granularity: no
@@ -55,21 +62,32 @@ type Diff struct {
 // bit-identical to the base state's, so consumers can keep every derived
 // structure — netem shaper parameters, shortest-path trees — untouched.
 func (d *Diff) Empty() bool {
-	return !d.Full && len(d.Added) == 0 && len(d.Removed) == 0 &&
-		len(d.DelayChanged) == 0 && len(d.Activated) == 0 && len(d.Deactivated) == 0
+	return d.LinksUnchanged() && len(d.Activated) == 0 && len(d.Deactivated) == 0
+}
+
+// LinksUnchanged reports whether no link appeared, disappeared or changed
+// its delay quantum — the snapshot's link graph (and therefore every
+// shortest path) is bit-identical to the base state's, even if node
+// activity flipped (the bounding box does not affect path calculation,
+// §3.3 of the paper). The path cache is carried over wholesale on such
+// diffs and incrementally repaired otherwise.
+func (d *Diff) LinksUnchanged() bool {
+	return !d.Full && len(d.Added) == 0 && len(d.Removed) == 0 && len(d.DelayChanged) == 0
 }
 
 // DiffStats is a plain-counts summary of a Diff, safe to retain after the
 // underlying State is recycled.
 type DiffStats struct {
-	T, BaseT     float64
-	Full, Empty  bool
-	Added        int
-	Removed      int
-	DelayChanged int
-	Activated    int
-	Deactivated  int
-	CarriedPaths int
+	T, BaseT        float64
+	Full, Empty     bool
+	Added           int
+	Removed         int
+	DelayChanged    int
+	Activated       int
+	Deactivated     int
+	CarriedPaths    int
+	RepairedPaths   int
+	RepairFallbacks int
 }
 
 // Stats summarizes the diff.
@@ -79,7 +97,8 @@ func (d *Diff) Stats() DiffStats {
 		Added: len(d.Added), Removed: len(d.Removed),
 		DelayChanged: len(d.DelayChanged),
 		Activated:    len(d.Activated), Deactivated: len(d.Deactivated),
-		CarriedPaths: d.CarriedPaths,
+		CarriedPaths:  d.CarriedPaths,
+		RepairedPaths: d.RepairedPaths, RepairFallbacks: d.RepairFallbacks,
 	}
 }
 
@@ -104,6 +123,8 @@ func (st *State) computeDiffFrom(prev *State) {
 	d.Activated = d.Activated[:0]
 	d.Deactivated = d.Deactivated[:0]
 	d.CarriedPaths = 0
+	d.RepairedPaths = 0
+	d.RepairFallbacks = 0
 	if prev == nil || prev.c != st.c || len(prev.islQ) != len(st.islQ) ||
 		len(prev.gslOff) != len(st.gslOff) || len(prev.Active) != len(st.Active) {
 		d.Full = true
@@ -181,7 +202,7 @@ func int32sEqual(a, b []int32) bool {
 }
 
 // transplantPaths shares the completed shortest-path cache entries of prev
-// with next, so that a tick with an empty diff — whose graph is
+// with next, so that a tick with unchanged links — whose graph is
 // bit-identical to the previous one — serves path queries without
 // recomputing any Dijkstra tree. Shared entries are marked and thereby
 // exempted from the spare-array harvest in reset: a reader may still be

@@ -194,7 +194,9 @@ func (c *Coordinator) Updates() int {
 // LastDiff returns the statistics of the most recent update's
 // constellation diff: how many links appeared, disappeared or changed
 // their delay quantum, how many nodes flipped activity, and how many
-// shortest-path cache entries were carried over. An Empty diff means the
+// shortest-path cache entries were carried over (unchanged links),
+// incrementally repaired under the tick's link deltas, or fully recomputed
+// because their affected cone was too large. An Empty diff means the
 // update distributed nothing — the emulated network was provably unchanged
 // at netem granularity.
 func (c *Coordinator) LastDiff() constellation.DiffStats {
@@ -217,7 +219,11 @@ func (c *Coordinator) ElapsedSeconds() float64 {
 // one; an empty diff (sub-quantum satellite motion) leaves the virtual
 // network's shaper parameters and the hosts' machine activity untouched,
 // and the snapshot arrives with the previous tick's shortest-path cache
-// already transplanted.
+// already transplanted (unchanged links) or incrementally repaired under
+// the link deltas (graph.RepairSSSP) — either way, queries never pay a
+// full Dijkstra recompute for a source that was cached on the previous
+// tick. The coordinator only decides when the pipeline runs; the repair
+// mechanism itself lives in constellation and graph.
 func (c *Coordinator) update() error {
 	st, err := c.pool.Snapshot(c.ElapsedSeconds())
 	if err != nil {

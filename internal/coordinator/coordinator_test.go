@@ -449,6 +449,55 @@ func TestLastDiffTracksUpdates(t *testing.T) {
 	if d.Empty && (d.Added+d.Removed+d.DelayChanged+d.Activated+d.Deactivated) != 0 {
 		t.Fatalf("inconsistent stats: %+v", d)
 	}
+	if d.Empty && (d.RepairedPaths+d.RepairFallbacks) != 0 {
+		t.Fatalf("empty diff reported path repairs: %+v", d)
+	}
+	if d.CarriedPaths != 0 && (d.Added+d.Removed+d.DelayChanged) != 0 {
+		t.Fatalf("carried paths across changed links: %+v", d)
+	}
+}
+
+// TestUpdatesRepairCachedPaths locks the coordinator into the incremental
+// pipeline: once traffic has populated the path cache, subsequent updates
+// with link deltas repair (or transplant) the queried sources instead of
+// dropping them, and the repaired paths keep serving messages.
+func TestUpdatesRepairCachedPaths(t *testing.T) {
+	c := started(t)
+	accra, _ := c.Constellation().GSTNodeByName("accra")
+	jbg, _ := c.Constellation().GSTNodeByName("johannesburg")
+	delivered := 0
+	c.Network().Handle(jbg, func(vnet.Message) { delivered++ })
+	repaired, preserved, structural := 0, 0, 0
+	if err := c.Sim().Every(c.Sim().Now(), time.Second, func() bool {
+		_ = c.Network().Send(accra, jbg, 100, nil)
+		d := c.LastDiff()
+		if !d.Full && !d.Empty {
+			structural++
+			repaired += d.RepairedPaths
+			preserved += d.RepairedPaths + d.RepairFallbacks + d.CarriedPaths
+		}
+		return c.ElapsedSeconds() < 60
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(70 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered == 0 {
+		t.Fatal("no messages delivered")
+	}
+	if structural == 0 {
+		t.Fatal("no structural updates over a minute of simulated time")
+	}
+	if preserved == 0 {
+		t.Fatalf("no cached path survived %d structural updates", structural)
+	}
+	// The fast path specifically must fire — a suite where every entry
+	// fell back to recompute (or rode an activity-only transplant) means
+	// the repair is dead, not merely conservative.
+	if repaired == 0 {
+		t.Fatalf("no entry took the repair fast path across %d structural updates", structural)
+	}
 }
 
 // TestDiffDrivenUpdatesPreserveDelivery locks in that version-gated shaper

@@ -1,7 +1,9 @@
 // Package graph provides the shortest-path machinery of the Constellation
-// Calculation: a compact weighted undirected graph, Dijkstra's algorithm
-// with a binary heap, and the Floyd-Warshall all-pairs algorithm. The paper
-// uses efficient implementations of both to compute shortest network paths
+// Calculation: a compact weighted undirected graph with a frozen
+// compressed-sparse-row core, Dijkstra's algorithm with a binary heap,
+// incremental repair of single-source results under edge diffs
+// (RepairSSSP), and the Floyd-Warshall all-pairs algorithm. The paper uses
+// efficient implementations of these to compute shortest network paths
 // within the constellation and their end-to-end latency (§3.1).
 package graph
 
@@ -13,12 +15,34 @@ import (
 // Inf marks an unreachable node in distance results.
 var Inf = math.Inf(1)
 
-// Graph is a weighted undirected graph over nodes 0..N-1 stored as
-// adjacency lists. The zero value is not usable; create graphs with New.
+// Graph is a weighted undirected graph over nodes 0..N-1. Edges are
+// inserted into adjacency lists; shortest-path computations run over a
+// frozen compressed-sparse-row (CSR) image of those lists — flat edgeTo /
+// weight / rowStart arrays that the Dijkstra inner loop scans without
+// chasing per-node slice headers. The CSR is (re)built by Freeze, lazily on
+// the first shortest-path call after a mutation, or explicitly by callers
+// that run concurrent queries (a lazy build is not safe under concurrency).
+// The zero value is not usable; create graphs with New.
 type Graph struct {
 	n   int
 	adj [][]Edge
 	m   int
+
+	// Frozen CSR image of adj: the directed entries of node v live at
+	// indices [rowStart[v], rowStart[v+1]) of edgeTo and weight. int32
+	// halves the per-entry footprint of the hot scan (12 bytes vs the 16
+	// of Edge); node and directed-edge counts must stay below 2^31, far
+	// beyond any constellation.
+	rowStart []int32
+	edgeTo   []int32
+	weight   []float64
+	frozen   bool
+
+	// zeroW records whether any zero-weight edge was inserted. The
+	// canonical tie-break rule (see runHeap) cannot order predecessors
+	// across zero-weight ties, so RepairSSSP refuses its fast path on
+	// such graphs.
+	zeroW bool
 }
 
 // Edge is an outgoing adjacency entry.
@@ -52,6 +76,8 @@ func (g *Graph) Reset(n int) {
 	}
 	g.n = n
 	g.m = 0
+	g.frozen = false
+	g.zeroW = false
 }
 
 // N returns the number of nodes.
@@ -87,6 +113,50 @@ func (g *Graph) AddEdgeUnchecked(a, b int, weight float64) {
 	g.adj[a] = append(g.adj[a], Edge{To: b, Weight: weight})
 	g.adj[b] = append(g.adj[b], Edge{To: a, Weight: weight})
 	g.m++
+	g.frozen = false
+	if weight == 0 {
+		g.zeroW = true
+	}
+}
+
+// Freeze (re)builds the graph's CSR image from the adjacency lists,
+// preserving each node's insertion order so that frozen and unfrozen
+// shortest-path runs are bit-identical. It is idempotent and O(N+M); Reset
+// and edge insertion invalidate it. Callers that issue concurrent
+// shortest-path queries (such as the constellation's sharded path cache)
+// must Freeze once beforehand — the lazy build inside a query is only safe
+// single-threaded.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	dir := 2 * g.m
+	g.rowStart = resizeSlice(g.rowStart, g.n+1)
+	g.edgeTo = resizeSlice(g.edgeTo, dir)
+	g.weight = resizeSlice(g.weight, dir)
+	off := int32(0)
+	for v := range g.adj {
+		g.rowStart[v] = off
+		for _, e := range g.adj[v] {
+			g.edgeTo[off] = int32(e.To)
+			g.weight[off] = e.Weight
+			off++
+		}
+	}
+	g.rowStart[g.n] = off
+	g.frozen = true
+}
+
+// Frozen reports whether the CSR image is current.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// resizeSlice returns s with length n, reusing its backing array when large
+// enough.
+func resizeSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // Neighbors returns the adjacency list of a node. The returned slice is
@@ -164,13 +234,31 @@ type ShortestPaths struct {
 	Prev []int
 }
 
-// Workspace holds a Dijkstra run's heap scratch so that repeated runs on
-// graphs of similar size reallocate nothing; pair it with
-// DijkstraTransitInto and recycled dist/prev arrays to make a run
-// allocation-free. A Workspace is not safe for concurrent use; give each
-// goroutine its own. The zero value is ready to use.
+// Workspace holds a Dijkstra run's heap scratch — plus the stamp array and
+// cone queue of RepairSSSP — so that repeated runs on graphs of similar
+// size reallocate nothing; pair it with DijkstraTransitInto and recycled
+// dist/prev arrays to make a run allocation-free. A Workspace is not safe
+// for concurrent use; give each goroutine its own. The zero value is ready
+// to use.
 type Workspace struct {
 	heap minHeap
+	// stamp is an epoch-stamped visited array shared by RepairSSSP's cone
+	// search (stamp == epoch) and boundary seeding (stamp == epoch+1):
+	// bumping the epoch clears it in O(1).
+	stamp []int32
+	epoch int32
+	queue []int32
+}
+
+// prepareRepair sizes the stamp array for n nodes and returns the two fresh
+// epoch values for the affected-cone and seeded marks.
+func (ws *Workspace) prepareRepair(n int) (coneEpoch, seedEpoch int32) {
+	if len(ws.stamp) < n || ws.epoch > math.MaxInt32-2 {
+		ws.stamp = make([]int32, n)
+		ws.epoch = 0
+	}
+	ws.epoch += 2
+	return ws.epoch - 1, ws.epoch
 }
 
 // Dijkstra computes single-source shortest paths from src using a binary
@@ -204,12 +292,14 @@ func (g *Graph) DijkstraTransitInto(src int, transit func(node int) bool, dist [
 }
 
 // dijkstra is the shared Dijkstra core: dist and prev are used as result
-// backing when large enough, h as heap scratch when non-nil.
+// backing when large enough, h as heap scratch when non-nil. It scans the
+// frozen CSR image, building it first if a mutation invalidated it.
 func (g *Graph) dijkstra(src int, transit func(node int) bool, dist []float64, prev []int, h *minHeap) (ShortestPaths, error) {
 	sp := ShortestPaths{Source: src}
 	if src < 0 || src >= g.n {
 		return sp, fmt.Errorf("graph: source %d out of range [0, %d)", src, g.n)
 	}
+	g.Freeze()
 	if cap(dist) < g.n {
 		dist = make([]float64, g.n)
 	}
@@ -229,6 +319,28 @@ func (g *Graph) dijkstra(src int, transit func(node int) bool, dist []float64, p
 	}
 	*h = (*h)[:0]
 	h.push(item{node: src, dist: 0})
+	g.runHeap(&sp, transit, h)
+	return sp, nil
+}
+
+// runHeap drains h, settling nodes over the frozen CSR arrays. It is the
+// shared engine of full Dijkstra runs (heap seeded with the source) and
+// RepairSSSP (heap seeded with the affected cone's boundary).
+//
+// Relaxation is canonical: on a strictly shorter distance the predecessor
+// follows the improving edge as usual; on an exactly equal distance over a
+// positive-weight edge the smaller predecessor node ID wins. The final
+// predecessor of every node is therefore min over its settled neighbors
+// that support its final distance — a pure function of the graph,
+// independent of settle order. That is what lets an incremental repair
+// reproduce a from-scratch run bit for bit, predecessors included.
+// Zero-weight ties are excluded from the rule (they could order two
+// equal-distance endpoints into a predecessor cycle); graphs containing
+// zero-weight edges keep a deterministic but order-dependent tree, which is
+// why RepairSSSP refuses its fast path on them.
+func (g *Graph) runHeap(sp *ShortestPaths, transit func(node int) bool, h *minHeap) {
+	rs, et, wt := g.rowStart, g.edgeTo, g.weight
+	src := sp.Source
 	for len(*h) > 0 {
 		it := h.pop()
 		if it.dist > sp.Dist[it.node] {
@@ -237,15 +349,19 @@ func (g *Graph) dijkstra(src int, transit func(node int) bool, dist []float64, p
 		if transit != nil && it.node != src && !transit(it.node) {
 			continue // reachable, but not allowed to forward
 		}
-		for _, e := range g.adj[it.node] {
-			if nd := it.dist + e.Weight; nd < sp.Dist[e.To] {
-				sp.Dist[e.To] = nd
-				sp.Prev[e.To] = it.node
-				h.push(item{node: e.To, dist: nd})
+		for idx := rs[it.node]; idx < rs[it.node+1]; idx++ {
+			to := int(et[idx])
+			w := wt[idx]
+			nd := it.dist + w
+			if nd < sp.Dist[to] {
+				sp.Dist[to] = nd
+				sp.Prev[to] = it.node
+				h.push(item{node: to, dist: nd})
+			} else if nd == sp.Dist[to] && w > 0 && it.node < sp.Prev[to] {
+				sp.Prev[to] = it.node
 			}
 		}
 	}
-	return sp, nil
 }
 
 // PathTo reconstructs the shortest path from the source to dst, inclusive
