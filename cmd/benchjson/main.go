@@ -5,17 +5,22 @@
 // Usage:
 //
 //	go test -run XXX -bench . -benchtime 1x ./... | benchjson -o BENCH_<sha>.json
-//	benchjson -compare BENCH_baseline.json BENCH_<sha>.json
+//	benchjson -compare [-max-alloc-ratio 2] BENCH_baseline.json BENCH_<sha>.json
 //
 // The compare mode prints a per-benchmark delta table (ns/op, allocs/op)
 // between two archived reports — typically the checked-in
 // BENCH_baseline.json and a fresh run — flagging results that exist on
-// only one side. It is informational and always exits 0 on valid input;
-// judging whether a delta is a regression is left to the reader, since CI
-// machines differ.
+// only one side. Malformed input fails loudly: a file that is not a
+// benchjson report (bad JSON, or no benchmark results at all) exits
+// non-zero instead of silently comparing nothing. The ns/op column is
+// informational, since CI machines differ; with -max-alloc-ratio N the
+// command additionally exits non-zero when any benchmark's allocs/op grew
+// by more than that factor — allocation counts are deterministic even on
+// shared runners, so this is a reliable regression gate.
 //
 // Lines that are not benchmark results (pkg headers, PASS/ok trailers) are
-// recorded as context where useful and otherwise ignored.
+// recorded as context where useful and otherwise ignored, but a line that
+// looks like a benchmark result yet fails to parse is an error.
 package main
 
 import (
@@ -53,6 +58,8 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two archived reports: benchjson -compare old.json new.json")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 0,
+		"with -compare, fail when any benchmark's allocs/op grew by more than this factor (0 disables)")
 	flag.Parse()
 
 	if *compare {
@@ -70,7 +77,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		WriteComparison(os.Stdout, old, new_)
+		rows := Compare(old, new_)
+		WriteComparison(os.Stdout, rows)
+		if bad := AllocRegressions(rows, *maxAllocRatio); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintln(os.Stderr, "benchjson:", msg)
+			}
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -95,7 +109,9 @@ func main() {
 	}
 }
 
-// loadReport reads an archived JSON report from disk.
+// loadReport reads an archived JSON report from disk. A file that decodes
+// but contains no benchmark results is rejected: comparing against it
+// would silently report nothing.
 func loadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -105,7 +121,33 @@ func loadReport(path string) (*Report, error) {
 	if err := json.Unmarshal(data, rep); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results (not a benchjson report?)", path)
+	}
 	return rep, nil
+}
+
+// AllocRegressions returns one message per benchmark present in both
+// reports whose allocs/op grew by more than maxRatio (including any growth
+// from zero allocations). A maxRatio of 0 disables the check.
+func AllocRegressions(rows []CompareRow, maxRatio float64) []string {
+	if maxRatio <= 0 {
+		return nil
+	}
+	var out []string
+	for _, row := range rows {
+		if !row.InOld || !row.InNew {
+			continue
+		}
+		switch {
+		case row.OldAllocs == 0 && row.NewAllocs > 0:
+			out = append(out, fmt.Sprintf("%s: allocs/op regressed from 0 to %.0f", rowLabel(row), row.NewAllocs))
+		case row.OldAllocs > 0 && row.NewAllocs > row.OldAllocs*maxRatio:
+			out = append(out, fmt.Sprintf("%s: allocs/op regressed %.0f -> %.0f (more than %.1fx)",
+				rowLabel(row), row.OldAllocs, row.NewAllocs, maxRatio))
+		}
+	}
+	return out
 }
 
 // CompareRow is one benchmark's old-vs-new delta. A missing side is
@@ -157,11 +199,11 @@ func rowLabel(row CompareRow) string {
 	return row.Package + "." + row.Name
 }
 
-// WriteComparison renders the delta table of Compare.
-func WriteComparison(w io.Writer, old, new_ *Report) {
+// WriteComparison renders the delta table for rows from Compare.
+func WriteComparison(w io.Writer, rows []CompareRow) {
 	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs")
-	for _, row := range Compare(old, new_) {
+	for _, row := range rows {
 		switch {
 		case !row.InOld:
 			fmt.Fprintf(tw, "%s\t-\t%.0f\t(new)\t-\t%.0f\n", rowLabel(row), row.NewNs, row.NewAllocs)
@@ -197,7 +239,10 @@ func Parse(r io.Reader) (*Report, error) {
 		case strings.HasPrefix(line, "cpu:"):
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
-			res, ok := parseResult(line, pkg)
+			res, ok, err := parseResult(line, pkg)
+			if err != nil {
+				return nil, err
+			}
 			if ok {
 				rep.Results = append(rep.Results, res)
 			}
@@ -206,11 +251,15 @@ func Parse(r io.Reader) (*Report, error) {
 	return rep, sc.Err()
 }
 
-// parseResult parses one "BenchmarkX-8  N  v1 unit1  v2 unit2 ..." line.
-func parseResult(line, pkg string) (Result, bool) {
+// parseResult parses one "BenchmarkX-8  N  v1 unit1  v2 unit2 ..." line. A
+// lone benchmark name (the runner prints it before the result when output
+// interleaves) is skipped; a line that has result fields but a malformed
+// iteration count is an error, so corrupted input cannot silently shrink
+// the report.
+func parseResult(line, pkg string) (Result, bool, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 2 {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	name := fields[0]
 	// Strip the -GOMAXPROCS suffix so names compare across machines.
@@ -221,7 +270,7 @@ func parseResult(line, pkg string) (Result, bool) {
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Result{}, false
+		return Result{}, false, fmt.Errorf("malformed benchmark line (bad iteration count %q): %q", fields[1], line)
 	}
 	res := Result{Name: name, Package: pkg, Iterations: iters}
 	for i := 2; i+1 < len(fields); i += 2 {
@@ -243,5 +292,5 @@ func parseResult(line, pkg string) (Result, bool) {
 			res.Metrics[unit] = v
 		}
 	}
-	return res, true
+	return res, true, nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -68,7 +70,7 @@ func TestCompare(t *testing.T) {
 	}
 
 	var buf strings.Builder
-	WriteComparison(&buf, old, new_)
+	WriteComparison(&buf, rows)
 	out := buf.String()
 	for _, want := range []string{"-50.0%", "(new)", "(gone)", "p.BenchmarkA"} {
 		if !strings.Contains(out, want) {
@@ -89,11 +91,76 @@ func TestCompareDistinguishesPackages(t *testing.T) {
 }
 
 func TestParseIgnoresGarbage(t *testing.T) {
-	rep, err := Parse(strings.NewReader("hello\nBenchmarkBroken\nBenchmarkAlso xx\nok done\n"))
+	// Non-benchmark noise and lone benchmark names (the runner prints the
+	// name alone when output interleaves with logs) are skipped...
+	rep, err := Parse(strings.NewReader("hello\nBenchmarkBroken\nok done\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Results) != 0 {
 		t.Fatalf("results = %+v", rep.Results)
+	}
+	// ...but a line shaped like a result with a corrupt iteration count is
+	// an error, not a silent skip.
+	if _, err := Parse(strings.NewReader("BenchmarkAlso xx 12 ns/op\n")); err == nil {
+		t.Fatal("malformed benchmark line accepted")
+	}
+}
+
+func TestLoadReportRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := map[string]string{
+		"bench text, not JSON": "BenchmarkX-8 10 5 ns/op\nPASS\n",
+		"wrong JSON shape":     `["not", "a", "report"]`,
+		"empty report":         `{}`,
+		"no results":           `{"goos": "linux", "results": []}`,
+	}
+	for name, content := range cases {
+		if _, err := loadReport(write("bad.json", content)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	good := write("good.json", `{"results": [{"name": "BenchmarkA", "iterations": 1}]}`)
+	if _, err := loadReport(good); err != nil {
+		t.Errorf("valid report rejected: %v", err)
+	}
+	if _, err := loadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestAllocRegressions(t *testing.T) {
+	old := &Report{Results: []Result{
+		{Name: "BenchmarkSteady", Package: "p", AllocsPer: 100},
+		{Name: "BenchmarkWorse", Package: "p", AllocsPer: 100},
+		{Name: "BenchmarkZero", Package: "p", AllocsPer: 0},
+		{Name: "BenchmarkGone", Package: "p", AllocsPer: 5},
+	}}
+	new_ := &Report{Results: []Result{
+		{Name: "BenchmarkSteady", Package: "p", AllocsPer: 199},
+		{Name: "BenchmarkWorse", Package: "p", AllocsPer: 201},
+		{Name: "BenchmarkZero", Package: "p", AllocsPer: 1},
+		{Name: "BenchmarkNew", Package: "p", AllocsPer: 1000},
+	}}
+	rows := Compare(old, new_)
+	if got := AllocRegressions(rows, 0); got != nil {
+		t.Errorf("disabled gate flagged %v", got)
+	}
+	got := AllocRegressions(rows, 2)
+	if len(got) != 2 {
+		t.Fatalf("regressions = %v, want 2 (Worse and Zero)", got)
+	}
+	for _, msg := range got {
+		if !strings.Contains(msg, "BenchmarkWorse") && !strings.Contains(msg, "BenchmarkZero") {
+			t.Errorf("unexpected regression: %s", msg)
+		}
 	}
 }

@@ -7,11 +7,18 @@
 // Usage:
 //
 //	celestial -config testbed.toml [-progress 30s] [-dns :5353] [-http :8080] [-wall]
+//	celestial -scenario run.toml [-horizon 10s] [-report out.json]
 //
 // Without -wall the emulation runs in virtual time (a 10-minute experiment
 // finishes in seconds); with -wall it advances in real time so external
 // clients can interact with the DNS and HTTP endpoints while satellites
 // move.
+//
+// With -scenario, a declarative scenario file (see internal/scenario) is
+// executed instead: the testbed, seeded traffic workloads and scripted
+// timeline events it describes run to the horizon in virtual time, and the
+// machine-readable run report is written to -report (default stdout). Two
+// runs of the same scenario produce byte-identical reports.
 package main
 
 import (
@@ -25,16 +32,24 @@ import (
 
 	"celestial"
 	"celestial/internal/bbox"
+	"celestial/internal/scenario"
 )
 
 func main() {
-	configPath := flag.String("config", "", "path to the TOML testbed configuration (required)")
+	configPath := flag.String("config", "", "path to the TOML testbed configuration")
+	scenarioPath := flag.String("scenario", "", "path to a TOML scenario file (overrides -config mode)")
+	horizon := flag.Duration("horizon", 0, "truncate the scenario horizon (scenario mode only; a no-op when the scenario is already shorter)")
+	reportPath := flag.String("report", "", "write the scenario run report to this file (default stdout)")
 	progress := flag.Duration("progress", 30*time.Second, "virtual-time interval between progress reports")
 	dnsAddr := flag.String("dns", "", "UDP address to serve testbed DNS on (e.g. :5353)")
 	httpAddr := flag.String("http", "", "TCP address to serve the HTTP info API on (e.g. :8080)")
 	wall := flag.Bool("wall", false, "advance in wall-clock time instead of virtual time")
 	flag.Parse()
 
+	if *scenarioPath != "" {
+		runScenario(*scenarioPath, *horizon, *reportPath)
+		return
+	}
 	if *configPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -127,4 +142,45 @@ func main() {
 		report()
 	}
 	log.Printf("experiment complete at t=%.0fs", tb.ElapsedSeconds())
+}
+
+// runScenario executes a declarative scenario file and writes its run
+// report.
+func runScenario(path string, horizon time.Duration, reportPath string) {
+	sc, err := scenario.ParseFile(path)
+	if err != nil {
+		log.Fatalf("celestial: %v", err)
+	}
+	if horizon > 0 && horizon < sc.Horizon {
+		if err := sc.Truncate(horizon); err != nil {
+			log.Fatalf("celestial: %v", err)
+		}
+	}
+	r, err := scenario.NewRunner(sc)
+	if err != nil {
+		log.Fatalf("celestial: %v", err)
+	}
+	cfg := sc.Config
+	log.Printf("scenario %q (seed %d): %d satellites in %d shell(s), %d ground stations, %d flow(s), %d event(s)",
+		sc.Name, sc.Seed, cfg.TotalSatellites(), len(cfg.Shells), len(cfg.GroundStations),
+		len(sc.Flows), len(sc.Events))
+	log.Printf("horizon %v, update resolution %v", sc.Horizon, cfg.Resolution)
+	rep, err := r.Run()
+	if err != nil {
+		log.Fatalf("celestial: %v", err)
+	}
+	log.Printf("run complete: %d ticks, %d/%d messages delivered/dropped, %d active satellites at end",
+		rep.Ticks.Ticks, rep.Network.Delivered, rep.Network.Dropped, r.ActiveSatellites())
+	out := os.Stdout
+	if reportPath != "" {
+		f, err := os.Create(reportPath)
+		if err != nil {
+			log.Fatalf("celestial: %v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		log.Fatalf("celestial: %v", err)
+	}
 }

@@ -26,6 +26,7 @@ import (
 	"celestial/internal/core"
 	"celestial/internal/faults"
 	"celestial/internal/geom"
+	"celestial/internal/machine"
 	"celestial/internal/netem"
 	"celestial/internal/orbit"
 	"celestial/internal/stats"
@@ -155,6 +156,9 @@ type Result struct {
 	// SendFailures counts stream packets that could not be sent (no
 	// current path).
 	SendFailures int
+	// Crashes counts machine crash transitions over the run (radiation
+	// fault injection shutdowns).
+	Crashes int
 }
 
 // Latencies flattens the measurements of a pair into milliseconds.
@@ -399,6 +403,15 @@ func Run(p Params) (*Result, error) {
 
 	if err := tb.RunToEnd(); err != nil {
 		return nil, err
+	}
+	for _, h := range tb.Hosts() {
+		for _, m := range h.Machines() {
+			for _, tr := range m.Transitions() {
+				if tr.To == machine.Failed {
+					res.Crashes++
+				}
+			}
+		}
 	}
 	return res, nil
 }

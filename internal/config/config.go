@@ -15,6 +15,7 @@ import (
 	"celestial/internal/bbox"
 	"celestial/internal/geom"
 	"celestial/internal/orbit"
+	"celestial/internal/toml"
 )
 
 // Defaults mirroring the paper's experiment setups.
@@ -297,19 +298,11 @@ func Parse(r io.Reader) (*Config, error) {
 	if err != nil {
 		return nil, fmt.Errorf("config: reading: %w", err)
 	}
-	doc, err := parseTOML(string(data))
+	doc, err := toml.Parse(string(data))
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := fromDoc(doc)
-	if err != nil {
-		return nil, err
-	}
-	cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	return cfg, nil
+	return FromTable(doc)
 }
 
 // ParseFile reads and validates a TOML configuration file.
@@ -328,30 +321,44 @@ func Finalize(c *Config) error {
 	return c.Validate()
 }
 
+// FromTable builds a Config from an already-parsed TOML table using the
+// same schema as Parse — e.g. the inline [testbed] table of a scenario
+// file — applying defaults and validating.
+func FromTable(tbl map[string]any) (*Config, error) {
+	cfg, err := fromDoc(tbl)
+	if err != nil {
+		return nil, err
+	}
+	if err := Finalize(cfg); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
 // fromDoc maps a parsed TOML tree to a Config.
-func fromDoc(doc tomlDoc) (*Config, error) {
+func fromDoc(doc toml.Doc) (*Config, error) {
 	c := &Config{}
 	var err error
 
-	if c.Name, _, err = getString(doc, "name"); err != nil {
+	if c.Name, _, err = toml.GetString(doc, "name"); err != nil {
 		return nil, err
 	}
-	if v, ok, err := getFloat(doc, "duration"); err != nil {
+	if v, ok, err := toml.GetFloat(doc, "duration"); err != nil {
 		return nil, err
 	} else if ok {
 		c.Duration = time.Duration(v * float64(time.Second))
 	}
-	if v, ok, err := getFloat(doc, "resolution"); err != nil {
+	if v, ok, err := toml.GetFloat(doc, "resolution"); err != nil {
 		return nil, err
 	} else if ok {
 		c.Resolution = time.Duration(v * float64(time.Second))
 	}
-	if v, ok, err := getInt(doc, "hosts"); err != nil {
+	if v, ok, err := toml.GetInt(doc, "hosts"); err != nil {
 		return nil, err
 	} else if ok {
 		c.Hosts = int(v)
 	}
-	if s, ok, err := getString(doc, "epoch"); err != nil {
+	if s, ok, err := toml.GetString(doc, "epoch"); err != nil {
 		return nil, err
 	} else if ok {
 		c.Epoch, err = time.Parse(time.RFC3339, s)
@@ -359,7 +366,7 @@ func fromDoc(doc tomlDoc) (*Config, error) {
 			return nil, fmt.Errorf("config: epoch: %w", err)
 		}
 	}
-	if arr, ok, err := getFloatArray(doc, "bbox"); err != nil {
+	if arr, ok, err := toml.GetFloatArray(doc, "bbox"); err != nil {
 		return nil, err
 	} else if ok {
 		if len(arr) != 4 {
@@ -368,14 +375,14 @@ func fromDoc(doc tomlDoc) (*Config, error) {
 		c.BoundingBox = bbox.Box{LatMinDeg: arr[0], LonMinDeg: arr[1], LatMaxDeg: arr[2], LonMaxDeg: arr[3]}
 	}
 
-	if tbl, err := getTable(doc, "network_params"); err != nil {
+	if tbl, err := toml.GetTable(doc, "network_params"); err != nil {
 		return nil, err
 	} else if tbl != nil {
 		if c.Network, err = networkFromTable(tbl); err != nil {
 			return nil, err
 		}
 	}
-	if tbl, err := getTable(doc, "compute_params"); err != nil {
+	if tbl, err := toml.GetTable(doc, "compute_params"); err != nil {
 		return nil, err
 	} else if tbl != nil {
 		if c.Compute, err = computeFromTable(tbl); err != nil {
@@ -383,7 +390,7 @@ func fromDoc(doc tomlDoc) (*Config, error) {
 		}
 	}
 
-	shells, err := getTableArray(doc, "shell")
+	shells, err := toml.GetTableArray(doc, "shell")
 	if err != nil {
 		return nil, err
 	}
@@ -395,7 +402,7 @@ func fromDoc(doc tomlDoc) (*Config, error) {
 		c.Shells = append(c.Shells, s)
 	}
 
-	gsts, err := getTableArray(doc, "ground_station")
+	gsts, err := toml.GetTableArray(doc, "ground_station")
 	if err != nil {
 		return nil, err
 	}
@@ -412,19 +419,19 @@ func fromDoc(doc tomlDoc) (*Config, error) {
 func networkFromTable(tbl map[string]any) (NetworkParams, error) {
 	var n NetworkParams
 	var err error
-	if n.BandwidthKbps, _, err = getFloat(tbl, "bandwidth_kbits"); err != nil {
+	if n.BandwidthKbps, _, err = toml.GetFloat(tbl, "bandwidth_kbits"); err != nil {
 		return n, err
 	}
-	if n.GSTBandwidthKbps, _, err = getFloat(tbl, "gst_bandwidth_kbits"); err != nil {
+	if n.GSTBandwidthKbps, _, err = toml.GetFloat(tbl, "gst_bandwidth_kbits"); err != nil {
 		return n, err
 	}
-	if n.MinElevationDeg, _, err = getFloat(tbl, "min_elevation"); err != nil {
+	if n.MinElevationDeg, _, err = toml.GetFloat(tbl, "min_elevation"); err != nil {
 		return n, err
 	}
-	if n.AtmosphereCutoffKm, _, err = getFloat(tbl, "atmosphere_cutoff_km"); err != nil {
+	if n.AtmosphereCutoffKm, _, err = toml.GetFloat(tbl, "atmosphere_cutoff_km"); err != nil {
 		return n, err
 	}
-	if n.GSTConnectionType, _, err = getString(tbl, "ground_station_connection_type"); err != nil {
+	if n.GSTConnectionType, _, err = toml.GetString(tbl, "ground_station_connection_type"); err != nil {
 		return n, err
 	}
 	return n, nil
@@ -432,29 +439,29 @@ func networkFromTable(tbl map[string]any) (NetworkParams, error) {
 
 func computeFromTable(tbl map[string]any) (ComputeParams, error) {
 	var p ComputeParams
-	if v, _, err := getInt(tbl, "vcpu_count"); err != nil {
+	if v, _, err := toml.GetInt(tbl, "vcpu_count"); err != nil {
 		return p, err
 	} else {
 		p.VCPUs = int(v)
 	}
-	if v, _, err := getInt(tbl, "mem_size_mib"); err != nil {
+	if v, _, err := toml.GetInt(tbl, "mem_size_mib"); err != nil {
 		return p, err
 	} else {
 		p.MemMiB = int(v)
 	}
-	if v, _, err := getInt(tbl, "disk_size_mib"); err != nil {
+	if v, _, err := toml.GetInt(tbl, "disk_size_mib"); err != nil {
 		return p, err
 	} else {
 		p.DiskMiB = int(v)
 	}
 	var err error
-	if p.Kernel, _, err = getString(tbl, "kernel"); err != nil {
+	if p.Kernel, _, err = toml.GetString(tbl, "kernel"); err != nil {
 		return p, err
 	}
-	if p.RootFS, _, err = getString(tbl, "rootfs"); err != nil {
+	if p.RootFS, _, err = toml.GetString(tbl, "rootfs"); err != nil {
 		return p, err
 	}
-	if v, _, err := getFloat(tbl, "boot_delay"); err != nil {
+	if v, _, err := toml.GetFloat(tbl, "boot_delay"); err != nil {
 		return p, err
 	} else {
 		p.BootDelay = time.Duration(v * float64(time.Second))
@@ -465,37 +472,37 @@ func computeFromTable(tbl map[string]any) (ComputeParams, error) {
 func shellFromTable(tbl map[string]any) (Shell, error) {
 	var s Shell
 	var err error
-	if s.Name, _, err = getString(tbl, "name"); err != nil {
+	if s.Name, _, err = toml.GetString(tbl, "name"); err != nil {
 		return s, err
 	}
-	if v, ok, err := getInt(tbl, "planes"); err != nil {
+	if v, ok, err := toml.GetInt(tbl, "planes"); err != nil {
 		return s, err
 	} else if ok {
 		s.Planes = int(v)
 	}
-	if v, ok, err := getInt(tbl, "sats"); err != nil {
+	if v, ok, err := toml.GetInt(tbl, "sats"); err != nil {
 		return s, err
 	} else if ok {
 		s.SatsPerPlane = int(v)
 	}
-	if s.AltitudeKm, _, err = getFloat(tbl, "altitude_km"); err != nil {
+	if s.AltitudeKm, _, err = toml.GetFloat(tbl, "altitude_km"); err != nil {
 		return s, err
 	}
-	if s.InclinationDeg, _, err = getFloat(tbl, "inclination"); err != nil {
+	if s.InclinationDeg, _, err = toml.GetFloat(tbl, "inclination"); err != nil {
 		return s, err
 	}
-	if s.ArcDeg, _, err = getFloat(tbl, "arc_of_ascending_nodes"); err != nil {
+	if s.ArcDeg, _, err = toml.GetFloat(tbl, "arc_of_ascending_nodes"); err != nil {
 		return s, err
 	}
-	if s.Eccentricity, _, err = getFloat(tbl, "eccentricity"); err != nil {
+	if s.Eccentricity, _, err = toml.GetFloat(tbl, "eccentricity"); err != nil {
 		return s, err
 	}
-	if v, ok, err := getInt(tbl, "phasing_factor"); err != nil {
+	if v, ok, err := toml.GetInt(tbl, "phasing_factor"); err != nil {
 		return s, err
 	} else if ok {
 		s.PhasingFactor = int(v)
 	}
-	if m, ok, err := getString(tbl, "model"); err != nil {
+	if m, ok, err := toml.GetString(tbl, "model"); err != nil {
 		return s, err
 	} else if ok {
 		switch m {
@@ -507,14 +514,14 @@ func shellFromTable(tbl map[string]any) (Shell, error) {
 			return s, fmt.Errorf("unknown model %q (want sgp4 or kepler)", m)
 		}
 	}
-	if sub, err := getTable(tbl, "network_params"); err != nil {
+	if sub, err := toml.GetTable(tbl, "network_params"); err != nil {
 		return s, err
 	} else if sub != nil {
 		if s.Network, err = networkFromTable(sub); err != nil {
 			return s, err
 		}
 	}
-	if sub, err := getTable(tbl, "compute_params"); err != nil {
+	if sub, err := toml.GetTable(tbl, "compute_params"); err != nil {
 		return s, err
 	} else if sub != nil {
 		if s.Compute, err = computeFromTable(sub); err != nil {
@@ -527,16 +534,16 @@ func shellFromTable(tbl map[string]any) (Shell, error) {
 func gstFromTable(tbl map[string]any) (GroundStation, error) {
 	var g GroundStation
 	var err error
-	if g.Name, _, err = getString(tbl, "name"); err != nil {
+	if g.Name, _, err = toml.GetString(tbl, "name"); err != nil {
 		return g, err
 	}
-	if g.Location.LatDeg, _, err = getFloat(tbl, "lat"); err != nil {
+	if g.Location.LatDeg, _, err = toml.GetFloat(tbl, "lat"); err != nil {
 		return g, err
 	}
-	if g.Location.LonDeg, _, err = getFloat(tbl, "long"); err != nil {
+	if g.Location.LonDeg, _, err = toml.GetFloat(tbl, "long"); err != nil {
 		return g, err
 	}
-	if sub, err := getTable(tbl, "compute_params"); err != nil {
+	if sub, err := toml.GetTable(tbl, "compute_params"); err != nil {
 		return g, err
 	} else if sub != nil {
 		if g.Compute, err = computeFromTable(sub); err != nil {

@@ -635,6 +635,9 @@ type SnapshotPool struct {
 	last *State
 	// noRepair disables the incremental path repair (see SetPathRepair).
 	noRepair bool
+	// overlay, when set, vetoes node activity beyond the bounding box
+	// (see SetActivityOverlay).
+	overlay func(id int) bool
 	// deltaScratch and jobScratch are repairPaths's per-tick buffers,
 	// reused across Snapshot calls (which snapMu serializes).
 	deltaScratch []graph.EdgeDelta
@@ -674,6 +677,13 @@ func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
 		p.Recycle(st)
 		return nil, err
 	}
+	if p.overlay != nil {
+		for i := range out.Active {
+			if out.Active[i] && !p.overlay(i) {
+				out.Active[i] = false
+			}
+		}
+	}
 	out.computeDiffFrom(prev)
 	if prev != nil && !out.diff.Full {
 		if out.diff.LinksUnchanged() {
@@ -691,6 +701,20 @@ func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
 	p.mu.Unlock()
 	return out, nil
 }
+
+// SetActivityOverlay installs a veto on node activity: after each pooled
+// snapshot is assembled, Active[i] is cleared for every node the overlay
+// reports inactive, before the diff against the previous snapshot is
+// computed. The coordinator uses this to fold machine health into the
+// state — a satellite whose server crashed (radiation SEU shutdown) shows
+// up as a Deactivated flip in the next tick's diff, and as an Activated
+// flip once it reboots, exactly like a bounding-box exit and re-entry.
+// Like the bounding box, the overlay does not affect path calculation
+// (§3.3 of the paper): links through an inactive node keep routing.
+//
+// The overlay is consulted once per node per Snapshot, on the calling
+// goroutine. It must not be changed concurrently with Snapshot.
+func (p *SnapshotPool) SetActivityOverlay(fn func(id int) bool) { p.overlay = fn }
 
 // SetPathRepair disables (on=false) or re-enables the incremental repair
 // of carried shortest-path entries on non-empty diffs, forcing every

@@ -29,6 +29,9 @@ type Coordinator struct {
 	sim   *vnet.Sim
 	net   *vnet.Network
 	hosts []*host.Host
+	// byNode maps node ID to its machine (machines never migrate hosts);
+	// the per-tick activity overlay indexes it instead of scanning hosts.
+	byNode []*machine.Machine
 
 	// pool recycles snapshot buffers; the coordinator double-buffers
 	// through it (see update) so steady-state ticks allocate ~nothing.
@@ -62,6 +65,24 @@ func New(cfg *config.Config) (*Coordinator, error) {
 		retired: map[*constellation.State]bool{},
 	}
 	c.net = vnet.NewNetwork(sim, stateTopology{c}, 1)
+	// Fold machine health into snapshot activity: a crashed (or stopped)
+	// machine's node reads as inactive, so radiation fault shutdowns and
+	// scripted node outages surface as activity flips in each tick's diff
+	// — the same channel bounding-box churn uses. The overlay runs once
+	// per node per tick, so it indexes the dense byNode slice (filled
+	// below) rather than scanning hosts.
+	c.byNode = make([]*machine.Machine, cons.NodeCount())
+	c.pool.SetActivityOverlay(func(id int) bool {
+		m := c.byNode[id]
+		if m == nil {
+			return true
+		}
+		switch m.State() {
+		case machine.Failed, machine.Stopped:
+			return false
+		}
+		return true
+	})
 
 	// Hosts: the paper uses identical cloud instances (N2-highcpu-32).
 	for i := 0; i < cfg.Hosts; i++ {
@@ -98,6 +119,7 @@ func New(cfg *config.Config) (*Coordinator, error) {
 		if err := target.AddMachine(m); err != nil {
 			return nil, err
 		}
+		c.byNode[node.ID] = m
 	}
 	return c, nil
 }
@@ -319,13 +341,21 @@ func (c *Coordinator) Run(d time.Duration) error {
 // InjectFaults schedules radiation fault events for every satellite
 // machine over the remaining experiment duration.
 func (c *Coordinator) InjectFaults(model faults.SEUModel, seed int64) error {
-	inj, err := faults.NewInjector(model, seed)
-	if err != nil {
-		return err
-	}
 	horizon := c.cfg.Duration - time.Duration(c.ElapsedSeconds()*float64(time.Second))
 	if horizon <= 0 {
 		return fmt.Errorf("coordinator: experiment over, cannot inject faults")
+	}
+	return c.InjectFaultsFor(model, seed, horizon)
+}
+
+// InjectFaultsFor schedules radiation fault events for every satellite
+// machine over the given horizon from now, e.g. a scripted fault burst in
+// a scenario timeline. Shutdown reboots go through the machine's host so
+// the boot completes after the machine's boot delay.
+func (c *Coordinator) InjectFaultsFor(model faults.SEUModel, seed int64, horizon time.Duration) error {
+	inj, err := faults.NewInjector(model, seed)
+	if err != nil {
+		return err
 	}
 	for _, node := range c.cons.Nodes() {
 		if node.Kind != constellation.KindSatellite {
@@ -335,12 +365,35 @@ func (c *Coordinator) InjectFaults(model faults.SEUModel, seed int64) error {
 		if err != nil {
 			return err
 		}
-		if _, err := inj.Schedule(c.sim, m, horizon); err != nil {
+		h, err := c.HostOf(node.ID)
+		if err != nil {
+			return err
+		}
+		if _, err := inj.Schedule(c.sim, rebootTarget{h: h, m: m}, horizon); err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// rebootTarget adapts a machine to faults.Target with host-mediated
+// reboots: a bare machine.Start only reaches the Booting state, while the
+// host schedules the boot completion, so post-SEU machines actually come
+// back Active.
+type rebootTarget struct {
+	h *host.Host
+	m *machine.Machine
+}
+
+// Crash implements faults.Target.
+func (t rebootTarget) Crash(now time.Time, reason string) error { return t.m.Crash(now, reason) }
+
+// Start implements faults.Target: the host boots the machine and completes
+// the boot after its boot delay.
+func (t rebootTarget) Start(time.Time) error { return t.h.StartMachine(t.m.ID()) }
+
+// SetThrottle implements faults.Target.
+func (t rebootTarget) SetThrottle(f float64) error { return t.m.SetThrottle(f) }
 
 // stateTopology adapts the coordinator's current constellation state (plus
 // machine health) to the vnet.Topology interface.

@@ -268,6 +268,75 @@ func TestInjectFaults(t *testing.T) {
 	}
 }
 
+// TestInjectFaultsSurfaceInDiff locks the interaction between fault
+// injection and the diff/repair pipeline: a satellite crashed by a
+// radiation SEU must appear as a Deactivated flip in LastDiff() on the
+// next tick (the health overlay folds machine state into snapshot
+// activity), its reboot as an Activated flip (host-mediated boots actually
+// complete), and the shortest-path cache must keep being carried or
+// repaired across those fault ticks rather than silently dropped.
+func TestInjectFaultsSurfaceInDiff(t *testing.T) {
+	c := started(t)
+	accra, _ := c.Constellation().GSTNodeByName("accra")
+	jbg, _ := c.Constellation().GSTNodeByName("johannesburg")
+	c.Network().Handle(jbg, func(vnet.Message) {})
+
+	model := faults.SEUModel{
+		RatePerHour:  30, // ~4.4 SEUs/tick across 528 sats
+		ShutdownProb: 1,
+		RebootAfter:  6 * time.Second,
+	}
+	if err := c.InjectFaults(model, 11); err != nil {
+		t.Fatal(err)
+	}
+
+	activated, deactivated, preserved := 0, 0, 0
+	for i := 0; i < 45; i++ {
+		// Keep the accra-sourced path cache entry warm every tick.
+		_ = c.Network().Send(accra, jbg, 100, nil)
+		if err := c.Run(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		d := c.LastDiff()
+		activated += d.Activated
+		deactivated += d.Deactivated
+		preserved += d.CarriedPaths + d.RepairedPaths + d.RepairFallbacks
+		if d.Activated+d.Deactivated > 0 && d.Full {
+			t.Fatalf("activity flips on a Full diff at tick %d: %+v", i, d)
+		}
+	}
+	// The whole-earth bounding box of this config never flips activity,
+	// so every flip is a machine-health transition.
+	if deactivated == 0 {
+		t.Fatal("no Deactivated flips despite certain SEU shutdowns")
+	}
+	if activated == 0 {
+		t.Fatal("no Activated flips: SEU reboots never completed")
+	}
+	if preserved == 0 {
+		t.Fatal("path cache never carried or repaired across fault ticks")
+	}
+
+	// The state agrees with the machines: any currently-failed satellite
+	// reads inactive, and reachability from the ground is preserved.
+	st := c.State()
+	for _, node := range c.Constellation().Nodes() {
+		if node.Kind != constellation.KindSatellite {
+			continue
+		}
+		m, err := c.Machine(node.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.State() == machine.Failed && st.Active[node.ID] {
+			t.Fatalf("failed machine %d still active in state", node.ID)
+		}
+	}
+	if lat, err := st.Latency(accra, jbg); err != nil || lat <= 0 {
+		t.Fatalf("ground stations unreachable after fault soak: lat=%v err=%v", lat, err)
+	}
+}
+
 func TestSampleHosts(t *testing.T) {
 	c := started(t)
 	pts := c.SampleHosts()

@@ -458,12 +458,17 @@ func AblationFaults(o Options) (Report, error) {
 	}
 	pair := meetup.Pair("accra", "abuja")
 	rep.Lines = append(rep.Lines,
+		fmt.Sprintf("machine crashes: %d with faults, %d without", faulty.Crashes, clean.Crashes),
 		fmt.Sprintf("send failures: %d with faults, %d without", faulty.SendFailures, clean.SendFailures),
 		fmt.Sprintf("deliveries under faults: %d of %d clean", len(faulty.Latencies(pair)), len(clean.Latencies(pair))),
 		fmt.Sprintf("bridge reselections under faults: %d tracking intervals", len(faulty.BridgeNodes)))
-	// The service degrades (some failures) but survives: a majority of
-	// measurements still arrive.
-	rep.Pass = faulty.SendFailures > clean.SendFailures &&
+	// Crashed machines surface as inactive in the constellation state, so
+	// the tracking service reselects the bridge away from them. The claim
+	// checked: faults really fired (crashes only in the faulted run), yet
+	// the service survives — a majority of the clean run's measurements
+	// still arrive. Transient send failures in the mid-interval windows
+	// where the current bridge dies are expected and not bounded here.
+	rep.Pass = faulty.Crashes > 0 && clean.Crashes == 0 &&
 		len(faulty.Latencies(pair)) > len(clean.Latencies(pair))/2
 	return rep, nil
 }

@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"celestial/internal/stats"
+)
+
+// Report is the machine-readable outcome of one scenario run. It is a pure
+// function of the scenario (including its seed): two runs of the same
+// scenario produce byte-identical JSON encodings, which is what the CI
+// determinism gate diffs.
+type Report struct {
+	Scenario       string  `json:"scenario"`
+	Seed           int64   `json:"seed"`
+	HorizonS       float64 `json:"horizon_s"`
+	ResolutionS    float64 `json:"resolution_s"`
+	Satellites     int     `json:"satellites"`
+	GroundStations int     `json:"ground_stations"`
+	Hosts          int     `json:"hosts"`
+
+	Flows   []FlowReport  `json:"flows"`
+	Events  []EventReport `json:"events"`
+	Ticks   TickReport    `json:"ticks"`
+	Network NetworkReport `json:"network"`
+}
+
+// FlowReport summarizes one workload flow.
+type FlowReport struct {
+	Name   string `json:"name"`
+	Type   string `json:"type"`
+	Source string `json:"source"`
+	Target string `json:"target"`
+	// Sent counts arrivals; Delivered counts stream packets delivered or
+	// rpc responses received; SendErrors counts arrivals refused by the
+	// network (unreachable / endpoint down); Timeouts counts rpc requests
+	// with no response in time; InFlight counts rpc requests still
+	// outstanding at the horizon; Corrupted counts deliveries flagged by
+	// the netem corruption model.
+	Sent       int64 `json:"sent"`
+	Delivered  int64 `json:"delivered"`
+	SendErrors int64 `json:"send_errors"`
+	Timeouts   int64 `json:"timeouts"`
+	InFlight   int64 `json:"in_flight"`
+	Corrupted  int64 `json:"corrupted"`
+	// Latency summarizes delivery latencies in milliseconds: one-way for
+	// stream flows, round-trip for rpc flows.
+	Latency LatencyStats `json:"latency_ms"`
+}
+
+// LatencyStats are the latency percentiles of one flow in milliseconds.
+type LatencyStats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// summarizeLatency folds latency samples into LatencyStats.
+func summarizeLatency(ms []float64) LatencyStats {
+	s := stats.Summarize(ms)
+	return LatencyStats{
+		Count: s.Count, Mean: s.Mean, P50: s.Median,
+		P95: s.P95, P99: s.P99, Min: s.Min, Max: s.Max,
+	}
+}
+
+// EventReport records one executed timeline event.
+type EventReport struct {
+	AtS    float64 `json:"at_s"`
+	Action string  `json:"action"`
+	Node   string  `json:"node,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// TickReport accumulates the per-tick constellation diff counters over the
+// run: how much topology actually changed at emulation granularity, and
+// how the shortest-path cache was preserved (carried, repaired, or
+// recomputed) across ticks.
+type TickReport struct {
+	Ticks           int `json:"ticks"`
+	FullDiffs       int `json:"full_diffs"`
+	EmptyDiffs      int `json:"empty_diffs"`
+	LinksAdded      int `json:"links_added"`
+	LinksRemoved    int `json:"links_removed"`
+	DelayChanged    int `json:"delay_changed"`
+	Activated       int `json:"activated"`
+	Deactivated     int `json:"deactivated"`
+	CarriedPaths    int `json:"carried_paths"`
+	RepairedPaths   int `json:"repaired_paths"`
+	RepairFallbacks int `json:"repair_fallbacks"`
+}
+
+// NetworkReport are the virtual network's global delivery counters.
+type NetworkReport struct {
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+// JSON renders the report as deterministic, indented JSON with a trailing
+// newline.
+func (r *Report) JSON() ([]byte, error) {
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encoding report: %w", err)
+	}
+	return append(enc, '\n'), nil
+}
+
+// WriteJSON writes the JSON encoding to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(enc)
+	return err
+}

@@ -1,0 +1,405 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"celestial/internal/constellation"
+	"celestial/internal/coordinator"
+	"celestial/internal/vnet"
+)
+
+// Runner executes one scenario on a freshly built coordinator, driving the
+// update loop tick-by-tick, firing flow arrivals and timeline events on
+// the simulation clock, and collecting the run report. All randomness —
+// arrival gaps, fault sampling, netem impairment draws — derives from the
+// scenario seed, so a Runner's report is a pure function of the scenario.
+type Runner struct {
+	sc    *Scenario
+	coord *coordinator.Coordinator
+	sim   *vnet.Sim
+	net   *vnet.Network
+	epoch time.Time
+
+	flows  []*flowState
+	events []EventReport
+	ticks  TickReport
+}
+
+// flowState is the live state of one workload flow.
+type flowState struct {
+	r        *Runner
+	idx      int
+	cfg      Flow
+	src, dst int
+	rng      *rand.Rand
+
+	nextID  uint64
+	pending map[uint64]time.Time
+
+	sent, delivered     int64
+	sendErrors          int64
+	timeouts, corrupted int64
+	latenciesMs         []float64
+}
+
+// payload markers routed by the per-node dispatch handler. Flows are
+// addressed by index so one node can terminate any number of flows of
+// either type.
+type streamPacket struct{ flow int }
+type rpcRequest struct {
+	flow      int
+	id        uint64
+	respBytes int
+}
+type rpcResponse struct {
+	flow int
+	id   uint64
+}
+
+// NewRunner builds the coordinator (and its hosts, machines and network)
+// for a scenario and resolves every node reference. Call Run to execute.
+func NewRunner(sc *Scenario) (*Runner, error) {
+	coord, err := coordinator.New(sc.Config)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		sc:    sc,
+		coord: coord,
+		sim:   coord.Sim(),
+		net:   coord.Network(),
+		epoch: coord.Sim().Now(),
+	}
+	// The scenario seed also drives the network's loss/jitter/reorder
+	// draws (distinct per directed pair, derived from this base).
+	r.net.SetSeed(sc.Seed)
+
+	handled := map[int]bool{}
+	for i := range sc.Flows {
+		f := &sc.Flows[i]
+		src, err := r.resolveNode(f.Source)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: flow %q: %w", f.Name, err)
+		}
+		dst, err := r.resolveNode(f.Target)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: flow %q: %w", f.Name, err)
+		}
+		if src == dst {
+			return nil, fmt.Errorf("scenario: flow %q: source and target are both node %d", f.Name, src)
+		}
+		fs := &flowState{
+			r: r, idx: i, cfg: *f, src: src, dst: dst,
+			rng:     rand.New(rand.NewSource(flowSeed(sc.Seed, i))),
+			pending: map[uint64]time.Time{},
+		}
+		r.flows = append(r.flows, fs)
+		for _, node := range []int{src, dst} {
+			if !handled[node] {
+				handled[node] = true
+				r.net.Handle(node, r.dispatchFor(node))
+			}
+		}
+	}
+	for i := range sc.Events {
+		if n := sc.Events[i].Node; n != "" {
+			if _, err := r.resolveNode(n); err != nil {
+				return nil, fmt.Errorf("scenario: event %d (%s): %w", i, sc.Events[i].Action, err)
+			}
+		}
+	}
+	return r, nil
+}
+
+// flowSeed derives a flow's RNG seed from the scenario seed (splitmix-style
+// mixing so neighboring flows do not share low bits).
+func flowSeed(seed int64, idx int) int64 {
+	z := uint64(seed) + uint64(idx+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Coordinator exposes the coordinator driving the scenario.
+func (r *Runner) Coordinator() *coordinator.Coordinator { return r.coord }
+
+// resolveNode maps a node reference — a ground-station name or a
+// "SAT.SHELL" pair — to its constellation-wide node ID. The satellite form
+// must be consumed exactly: trailing junk ("878.0.5", "878.0x") is an
+// error, not a silently truncated reference to the wrong node.
+func (r *Runner) resolveNode(name string) (int, error) {
+	cons := r.coord.Constellation()
+	if id, err := cons.GSTNodeByName(name); err == nil {
+		return id, nil
+	}
+	if satStr, shellStr, ok := strings.Cut(name, "."); ok {
+		sat, err1 := strconv.Atoi(satStr)
+		shell, err2 := strconv.Atoi(shellStr)
+		if err1 == nil && err2 == nil {
+			return cons.SatNode(shell, sat)
+		}
+	}
+	return 0, fmt.Errorf("unknown node %q", name)
+}
+
+// dispatchFor builds the message handler of one node, routing stream
+// packets, rpc requests and rpc responses of every flow terminating there.
+func (r *Runner) dispatchFor(node int) vnet.Handler {
+	return func(m vnet.Message) {
+		switch p := m.Payload.(type) {
+		case streamPacket:
+			f := r.flows[p.flow]
+			f.delivered++
+			if m.Corrupted {
+				f.corrupted++
+			}
+			f.latenciesMs = append(f.latenciesMs, float64(m.Latency())/float64(time.Millisecond))
+		case rpcRequest:
+			if m.Corrupted {
+				r.flows[p.flow].corrupted++
+			}
+			// Serve the request; a failed response send behaves like
+			// network loss and surfaces as a client timeout.
+			_ = r.net.Send(node, m.From, p.respBytes, rpcResponse{flow: p.flow, id: p.id})
+		case rpcResponse:
+			f := r.flows[p.flow]
+			sentAt, ok := f.pending[p.id]
+			if !ok {
+				return // response after timeout
+			}
+			delete(f.pending, p.id)
+			f.delivered++
+			if m.Corrupted {
+				f.corrupted++
+			}
+			f.latenciesMs = append(f.latenciesMs, float64(r.sim.Now().Sub(sentAt))/float64(time.Millisecond))
+		}
+	}
+}
+
+// schedule sets up a flow's first arrival. Subsequent arrivals re-arm from
+// the previous arrival time, so the whole point process is fixed by the
+// flow's RNG.
+func (f *flowState) schedule() error {
+	return f.armNext(f.r.epoch.Add(f.cfg.Start))
+}
+
+// gap draws the next inter-arrival time.
+func (f *flowState) gap() time.Duration {
+	switch f.cfg.Arrival {
+	case ArrivalPoisson:
+		return time.Duration(f.rng.ExpFloat64() / f.cfg.Rate * float64(time.Second))
+	default: // ArrivalCBR
+		return time.Duration(float64(time.Second) / f.cfg.Rate)
+	}
+}
+
+// armNext schedules the arrival after `from`, unless it falls past the
+// flow's window.
+func (f *flowState) armNext(from time.Time) error {
+	at := from.Add(f.gap())
+	if at.After(f.r.epoch.Add(f.cfg.Stop)) {
+		return nil
+	}
+	return f.r.sim.At(at, func() {
+		f.fire(at)
+		// Scheduling forward from a just-executed event cannot fail.
+		if err := f.armNext(at); err != nil {
+			panic(fmt.Sprintf("scenario: rescheduling flow %q: %v", f.cfg.Name, err))
+		}
+	})
+}
+
+// fire sends one arrival.
+func (f *flowState) fire(at time.Time) {
+	f.sent++
+	switch f.cfg.Type {
+	case FlowStream:
+		if err := f.r.net.Send(f.src, f.dst, f.cfg.RequestBytes, streamPacket{flow: f.idx}); err != nil {
+			f.sendErrors++
+		}
+	case FlowRPC:
+		f.nextID++
+		id := f.nextID
+		err := f.r.net.Send(f.src, f.dst, f.cfg.RequestBytes,
+			rpcRequest{flow: f.idx, id: id, respBytes: f.cfg.ResponseBytes})
+		if err != nil {
+			f.sendErrors++
+			return
+		}
+		f.pending[id] = at
+		if err := f.r.sim.After(f.cfg.Timeout, func() {
+			if _, ok := f.pending[id]; ok {
+				delete(f.pending, id)
+				f.timeouts++
+			}
+		}); err != nil {
+			panic(fmt.Sprintf("scenario: scheduling timeout for flow %q: %v", f.cfg.Name, err))
+		}
+	}
+}
+
+// runEvent executes one timeline event and records its outcome.
+func (r *Runner) runEvent(i int) {
+	ev := r.sc.Events[i]
+	rep := EventReport{AtS: ev.At.Seconds(), Action: ev.Action, Node: ev.Node}
+	err := func() error {
+		switch ev.Action {
+		case ActionFaultBurst:
+			window := ev.Window
+			if remaining := r.epoch.Add(r.sc.Horizon).Sub(r.sim.Now()); window > remaining {
+				window = remaining
+			}
+			return r.coord.InjectFaultsFor(ev.Faults, flowSeed(r.sc.Seed, 1<<20+i), window)
+		case ActionImpair:
+			return r.net.SetImpairments(ev.Impair)
+		case ActionBandwidthCap:
+			return r.net.SetBandwidthCap(ev.BandwidthKbps)
+		case ActionNodeDown:
+			node, err := r.resolveNode(ev.Node)
+			if err != nil {
+				return err
+			}
+			m, err := r.coord.Machine(node)
+			if err != nil {
+				return err
+			}
+			return m.Crash(r.sim.Now(), "scenario: scripted outage")
+		case ActionNodeUp:
+			node, err := r.resolveNode(ev.Node)
+			if err != nil {
+				return err
+			}
+			h, err := r.coord.HostOf(node)
+			if err != nil {
+				return err
+			}
+			return h.StartMachine(node)
+		}
+		return fmt.Errorf("scenario: unknown action %q", ev.Action)
+	}()
+	if err != nil {
+		rep.Error = err.Error()
+	}
+	r.events = append(r.events, rep)
+}
+
+// observeTick folds the coordinator's latest diff into the tick counters.
+func (r *Runner) observeTick() {
+	d := r.coord.LastDiff()
+	t := &r.ticks
+	t.Ticks++
+	switch {
+	case d.Full:
+		t.FullDiffs++
+	case d.Empty:
+		t.EmptyDiffs++
+	}
+	t.LinksAdded += d.Added
+	t.LinksRemoved += d.Removed
+	t.DelayChanged += d.DelayChanged
+	t.Activated += d.Activated
+	t.Deactivated += d.Deactivated
+	t.CarriedPaths += d.CarriedPaths
+	t.RepairedPaths += d.RepairedPaths
+	t.RepairFallbacks += d.RepairFallbacks
+}
+
+// Run executes the scenario: it boots the testbed, schedules every flow
+// and timeline event, advances virtual time to the horizon and returns the
+// run report. Run must only be called once per Runner.
+func (r *Runner) Run() (*Report, error) {
+	// Start performs the first constellation update and flushes
+	// zero-delay boot completions, so flows scheduled below (same
+	// timestamp, later sequence numbers) find machines usable.
+	if err := r.coord.Start(); err != nil {
+		return nil, err
+	}
+	r.observeTick()
+	for _, f := range r.flows {
+		if err := f.schedule(); err != nil {
+			return nil, fmt.Errorf("scenario: scheduling flow %q: %w", f.cfg.Name, err)
+		}
+	}
+	for i := range r.sc.Events {
+		i := i
+		if err := r.sim.At(r.epoch.Add(r.sc.Events[i].At), func() { r.runEvent(i) }); err != nil {
+			return nil, fmt.Errorf("scenario: scheduling event %d: %w", i, err)
+		}
+	}
+	// Per-tick observation: the coordinator's update loop runs at the
+	// same timestamps with earlier sequence numbers, so each observation
+	// sees that tick's fresh diff.
+	horizon := r.epoch.Add(r.sc.Horizon)
+	res := r.sc.Config.Resolution
+	if err := r.sim.Every(r.sim.Now().Add(res), res, func() bool {
+		r.observeTick()
+		return r.sim.Now().Add(res).Before(horizon) || r.sim.Now().Add(res).Equal(horizon)
+	}); err != nil {
+		return nil, err
+	}
+	if err := r.coord.Run(r.sc.Horizon); err != nil {
+		return nil, err
+	}
+	return r.report(), nil
+}
+
+// report assembles the final run report.
+func (r *Runner) report() *Report {
+	cfg := r.sc.Config
+	rep := &Report{
+		Scenario:       r.sc.Name,
+		Seed:           r.sc.Seed,
+		HorizonS:       r.sc.Horizon.Seconds(),
+		ResolutionS:    cfg.Resolution.Seconds(),
+		Satellites:     cfg.TotalSatellites(),
+		GroundStations: len(cfg.GroundStations),
+		Hosts:          cfg.Hosts,
+		Events:         r.events,
+		Ticks:          r.ticks,
+	}
+	if rep.Events == nil {
+		rep.Events = []EventReport{}
+	}
+	delivered, dropped := r.net.Stats()
+	rep.Network = NetworkReport{Delivered: delivered, Dropped: dropped}
+	for _, f := range r.flows {
+		rep.Flows = append(rep.Flows, FlowReport{
+			Name:       f.cfg.Name,
+			Type:       f.cfg.Type,
+			Source:     f.cfg.Source,
+			Target:     f.cfg.Target,
+			Sent:       f.sent,
+			Delivered:  f.delivered,
+			SendErrors: f.sendErrors,
+			Timeouts:   f.timeouts,
+			InFlight:   int64(len(f.pending)),
+			Corrupted:  f.corrupted,
+			Latency:    summarizeLatency(f.latenciesMs),
+		})
+	}
+	if rep.Flows == nil {
+		rep.Flows = []FlowReport{}
+	}
+	return rep
+}
+
+// ActiveSatellites returns the number of active satellites in the current
+// state (for progress reporting by callers).
+func (r *Runner) ActiveSatellites() int {
+	st := r.coord.State()
+	if st == nil {
+		return 0
+	}
+	n := 0
+	for id, node := range r.coord.Constellation().Nodes() {
+		if node.Kind == constellation.KindSatellite && st.Active[id] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// run parses and executes a scenario document, returning the report.
+func run(t *testing.T, doc string) *Report {
+	t.Helper()
+	sc, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRunDeterminism is the repeatability gate: two independent runs of
+// the full test scenario — CBR and Poisson flows, impairments, a fault
+// burst, a bandwidth cap and node churn — produce byte-identical JSON
+// reports. This is the property the CI scenario-smoke job enforces for
+// every checked-in example scenario.
+func TestRunDeterminism(t *testing.T) {
+	a, err := run(t, workloadTOML+testbedTOML).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(t, workloadTOML+testbedTOML).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reports differ between identical runs:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+	if len(a) == 0 || a[len(a)-1] != '\n' {
+		t.Error("report is not newline-terminated")
+	}
+}
+
+// TestSeedChangesRun guards against the opposite failure: the seed must
+// actually steer the random processes, otherwise determinism is vacuous.
+func TestSeedChangesRun(t *testing.T) {
+	base := run(t, workloadTOML+testbedTOML)
+	other := run(t, strings.Replace(workloadTOML, "seed = 7", "seed = 8", 1)+testbedTOML)
+	if base.Seed == other.Seed {
+		t.Fatal("seed replacement failed")
+	}
+	// The Poisson stream flow draws its arrivals from the seed: the
+	// sample counts cannot all coincide.
+	if base.Flows[1].Sent == other.Flows[1].Sent &&
+		base.Flows[1].Latency.Mean == other.Flows[1].Latency.Mean {
+		t.Errorf("different seeds produced identical poisson flows: %+v vs %+v",
+			base.Flows[1], other.Flows[1])
+	}
+}
+
+func TestRunReportContents(t *testing.T) {
+	rep := run(t, workloadTOML+testbedTOML)
+	if rep.Scenario != "unit-run" || rep.Satellites != 24*22 || rep.GroundStations != 2 {
+		t.Errorf("header = %+v", rep)
+	}
+	if rep.HorizonS != 12 || rep.ResolutionS != 2 {
+		t.Errorf("clock = %v/%v", rep.HorizonS, rep.ResolutionS)
+	}
+	// 12 s at 2 s resolution: initial tick plus 6 periodic ones.
+	if rep.Ticks.Ticks != 7 {
+		t.Errorf("ticks = %d, want 7", rep.Ticks.Ticks)
+	}
+	if rep.Ticks.FullDiffs != 1 {
+		t.Errorf("full diffs = %d, want 1 (the initial snapshot)", rep.Ticks.FullDiffs)
+	}
+	// The fault burst (1 SEU per 10 machine-seconds over 4 s across 528
+	// sats) and the scripted churn guarantee activity flips.
+	if rep.Ticks.Deactivated == 0 || rep.Ticks.Activated == 0 {
+		t.Errorf("no activity flips recorded: %+v", rep.Ticks)
+	}
+
+	ping := rep.Flows[0]
+	// CBR at 5/s over 12 s fires 60 times: the first arrival comes one
+	// gap in, the last lands exactly on the window edge.
+	if ping.Sent != 60 {
+		t.Errorf("ping sent = %d, want 60", ping.Sent)
+	}
+	if ping.Delivered == 0 || ping.Latency.Count != int(ping.Delivered) {
+		t.Errorf("ping deliveries inconsistent: %+v", ping)
+	}
+	if ping.Latency.Min <= 0 || ping.Latency.P95 < ping.Latency.P50 {
+		t.Errorf("implausible rpc latency stats: %+v", ping.Latency)
+	}
+	// The node-down window (9 s → 10 s, target recovered thereafter)
+	// must surface as failed sends or timeouts.
+	if ping.SendErrors+ping.Timeouts == 0 {
+		t.Errorf("churn produced no rpc failures: %+v", ping)
+	}
+	if ping.Sent != ping.Delivered+ping.SendErrors+ping.Timeouts+ping.InFlight {
+		t.Errorf("rpc accounting does not add up: %+v", ping)
+	}
+
+	video := rep.Flows[1]
+	if video.Sent == 0 || video.Delivered == 0 {
+		t.Errorf("stream flow idle: %+v", video)
+	}
+	// 5% loss from t=4 on some ~160 stream sends makes drops all but
+	// certain; the network-wide counter includes them.
+	if rep.Network.Dropped == 0 {
+		t.Errorf("no drops despite 5%% loss impairment: %+v", rep.Network)
+	}
+	if rep.Network.Delivered == 0 {
+		t.Errorf("network counters empty: %+v", rep.Network)
+	}
+
+	if len(rep.Events) != 5 {
+		t.Fatalf("events executed = %d, want 5", len(rep.Events))
+	}
+	for _, ev := range rep.Events {
+		if ev.Error != "" {
+			t.Errorf("event %s at %vs failed: %s", ev.Action, ev.AtS, ev.Error)
+		}
+	}
+}
+
+// TestNodeResolution guards the node-reference grammar: ground-station
+// names and exact "SAT.SHELL" pairs resolve, anything else — including a
+// pair with trailing junk, which Sscanf-style parsing would silently
+// truncate to the wrong satellite — is rejected at NewRunner time.
+func TestNodeResolution(t *testing.T) {
+	flow := func(target string) string {
+		return "seed = 1\nhorizon = 4.0\n[[flow]]\nsource = \"accra\"\ntarget = \"" + target + "\"\nrate = 1.0\n"
+	}
+	for _, good := range []string{"johannesburg", "0.0", "21.0"} {
+		sc, err := Parse(strings.NewReader(flow(good) + testbedTOML))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewRunner(sc); err != nil {
+			t.Errorf("%q rejected: %v", good, err)
+		}
+	}
+	for _, bad := range []string{"atlantis", "0.0.5", "0.0x", "x.0", "9999.0", "0.7"} {
+		sc, err := Parse(strings.NewReader(flow(bad) + testbedTOML))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewRunner(sc); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// TestTicksPreservePaths checks the report exposes the diff/repair
+// pipeline: across a steady run the path cache must be carried or
+// repaired, never silently dropped.
+func TestTicksPreservePaths(t *testing.T) {
+	doc := `
+seed = 1
+horizon = 20.0
+
+[[flow]]
+source = "accra"
+target = "johannesburg"
+rate = 2.0
+` + testbedTOML
+	rep := run(t, doc)
+	if rep.Ticks.CarriedPaths+rep.Ticks.RepairedPaths+rep.Ticks.RepairFallbacks == 0 {
+		t.Errorf("no path cache preservation over %d ticks: %+v", rep.Ticks.Ticks, rep.Ticks)
+	}
+	if rep.Flows[0].Delivered == 0 {
+		t.Errorf("rpc flow idle: %+v", rep.Flows[0])
+	}
+}

@@ -1,0 +1,490 @@
+// Package scenario implements Celestial's declarative experiment engine:
+// a TOML scenario file describes the complete experiment — the testbed
+// (constellation shells, ground stations, network and compute parameters),
+// the simulation horizon, seeded traffic workloads (request/response and
+// one-way streaming flows with Poisson or constant-bitrate arrivals over
+// the virtual network), and a timeline of scripted events (radiation fault
+// bursts, tc-netem-style impairment and bandwidth changes, node outages).
+//
+// A Runner drives the coordinator tick-by-tick, executes due events
+// deterministically and emits a machine-readable run report: per-flow
+// latency and loss percentiles plus per-tick diff/repair counters. A
+// single seed fixes the entire run — two runs of the same scenario with
+// the same seed produce byte-identical reports, which is the paper's
+// repeatability property ("repeatable LEO edge software experiments",
+// §3.1) lifted from hand-wired Go programs to data.
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"celestial/internal/config"
+	"celestial/internal/faults"
+	"celestial/internal/netem"
+	"celestial/internal/toml"
+)
+
+// Flow types.
+const (
+	// FlowRPC is a request/response workload: each arrival sends a
+	// request to the target, which answers with a response; the flow
+	// records round-trip latencies and timeouts.
+	FlowRPC = "rpc"
+	// FlowStream is a one-way datagram workload: each arrival sends one
+	// packet to the target; the flow records one-way delivery latencies.
+	FlowStream = "stream"
+)
+
+// Arrival processes.
+const (
+	// ArrivalPoisson draws exponential inter-arrival gaps (memoryless
+	// request traffic).
+	ArrivalPoisson = "poisson"
+	// ArrivalCBR spaces arrivals evenly at 1/rate (constant-bitrate
+	// streams, periodic probes).
+	ArrivalCBR = "cbr"
+)
+
+// Event actions.
+const (
+	// ActionFaultBurst schedules a radiation SEU fault burst on every
+	// satellite machine over a window (internal/faults).
+	ActionFaultBurst = "fault-burst"
+	// ActionImpair replaces the network-wide netem impairments (loss,
+	// jitter, duplication, corruption, reordering).
+	ActionImpair = "impair"
+	// ActionBandwidthCap caps every path's bandwidth (0 clears the cap).
+	ActionBandwidthCap = "bandwidth-cap"
+	// ActionNodeDown crashes a node's machine (ground-station churn,
+	// targeted satellite outages).
+	ActionNodeDown = "node-down"
+	// ActionNodeUp reboots a node's machine.
+	ActionNodeUp = "node-up"
+)
+
+// Flow is one seeded traffic workload between two nodes.
+type Flow struct {
+	// Name labels the flow in the run report.
+	Name string
+	// Type is FlowRPC or FlowStream.
+	Type string
+	// Source and Target are node references: a ground-station name
+	// ("berlin") or a "SAT.SHELL" satellite pair ("878.0").
+	Source, Target string
+	// Arrival is ArrivalPoisson or ArrivalCBR.
+	Arrival string
+	// Rate is the arrival rate per second.
+	Rate float64
+	// RequestBytes sizes each request (rpc) or packet (stream).
+	RequestBytes int
+	// ResponseBytes sizes each rpc response.
+	ResponseBytes int
+	// Timeout fails an rpc request with no response in time.
+	Timeout time.Duration
+	// Start and Stop bound the flow's active window; Stop zero means
+	// the scenario horizon.
+	Start, Stop time.Duration
+}
+
+// Event is one scripted timeline entry.
+type Event struct {
+	// At is the event's offset from the epoch.
+	At time.Duration
+	// Action selects what happens (Action* constants).
+	Action string
+	// Faults and Window configure ActionFaultBurst: the SEU model
+	// applied to every satellite machine over Window (zero means the
+	// rest of the horizon).
+	Faults faults.SEUModel
+	Window time.Duration
+	// Impair configures ActionImpair.
+	Impair netem.Params
+	// BandwidthKbps configures ActionBandwidthCap.
+	BandwidthKbps float64
+	// Node references the machine of ActionNodeDown / ActionNodeUp.
+	Node string
+}
+
+// Scenario is one complete declarative experiment.
+type Scenario struct {
+	// Name labels the run.
+	Name string
+	// Seed fixes every random process of the run: flow arrivals, fault
+	// bursts, netem loss/jitter draws.
+	Seed int64
+	// Horizon is how much virtual time the run covers. It overrides the
+	// testbed config's duration; zero adopts it.
+	Horizon time.Duration
+	// Config is the testbed description (inline [testbed] table or a
+	// referenced file).
+	Config *config.Config
+
+	Flows  []Flow
+	Events []Event
+}
+
+// Parse decodes a scenario document. The testbed must be inline (a
+// [testbed] table); use ParseFile to allow `config = "file.toml"`
+// references resolved relative to the scenario file.
+func Parse(r io.Reader) (*Scenario, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: reading: %w", err)
+	}
+	return parse(string(data), "", false)
+}
+
+// ParseFile reads and validates a scenario file. A `config = "..."`
+// testbed reference is resolved relative to the scenario file's directory.
+func ParseFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return parse(string(data), filepath.Dir(path), true)
+}
+
+func parse(text, baseDir string, allowRef bool) (*Scenario, error) {
+	doc, err := toml.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sc := &Scenario{}
+	if sc.Name, _, err = toml.GetString(doc, "name"); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if v, _, err := toml.GetInt(doc, "seed"); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	} else {
+		sc.Seed = v
+	}
+	if v, ok, err := toml.GetFloat(doc, "horizon"); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	} else if ok {
+		sc.Horizon = time.Duration(v * float64(time.Second))
+	}
+
+	// Testbed: inline table or file reference.
+	ref, hasRef, err := toml.GetString(doc, "config")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	inline, err := toml.GetTable(doc, "testbed")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	switch {
+	case hasRef && inline != nil:
+		return nil, fmt.Errorf("scenario: both config reference and inline [testbed] given")
+	case hasRef:
+		if !allowRef {
+			return nil, fmt.Errorf("scenario: config file references require ParseFile")
+		}
+		if !filepath.IsAbs(ref) {
+			ref = filepath.Join(baseDir, ref)
+		}
+		if sc.Config, err = config.ParseFile(ref); err != nil {
+			return nil, fmt.Errorf("scenario: testbed: %w", err)
+		}
+	case inline != nil:
+		if sc.Config, err = config.FromTable(inline); err != nil {
+			return nil, fmt.Errorf("scenario: testbed: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("scenario: missing testbed (inline [testbed] table or config reference)")
+	}
+
+	flows, err := toml.GetTableArray(doc, "flow")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	for i, tbl := range flows {
+		f, err := flowFromTable(tbl, i)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: flow %d: %w", i, err)
+		}
+		sc.Flows = append(sc.Flows, f)
+	}
+
+	events, err := toml.GetTableArray(doc, "event")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	for i, tbl := range events {
+		ev, err := eventFromTable(tbl)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: event %d: %w", i, err)
+		}
+		sc.Events = append(sc.Events, ev)
+	}
+
+	if err := sc.finalize(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// seconds reads a float seconds key as a duration.
+func seconds(tbl map[string]any, key string) (time.Duration, bool, error) {
+	v, ok, err := toml.GetFloat(tbl, key)
+	return time.Duration(v * float64(time.Second)), ok, err
+}
+
+// milliseconds reads a float milliseconds key as a duration.
+func milliseconds(tbl map[string]any, key string) (time.Duration, bool, error) {
+	v, ok, err := toml.GetFloat(tbl, key)
+	return time.Duration(v * float64(time.Millisecond)), ok, err
+}
+
+func flowFromTable(tbl map[string]any, idx int) (Flow, error) {
+	f := Flow{}
+	var err error
+	if f.Name, _, err = toml.GetString(tbl, "name"); err != nil {
+		return f, err
+	}
+	if f.Name == "" {
+		f.Name = fmt.Sprintf("flow-%d", idx)
+	}
+	if f.Type, _, err = toml.GetString(tbl, "type"); err != nil {
+		return f, err
+	}
+	if f.Source, _, err = toml.GetString(tbl, "source"); err != nil {
+		return f, err
+	}
+	if f.Target, _, err = toml.GetString(tbl, "target"); err != nil {
+		return f, err
+	}
+	if f.Arrival, _, err = toml.GetString(tbl, "arrival"); err != nil {
+		return f, err
+	}
+	if f.Rate, _, err = toml.GetFloat(tbl, "rate"); err != nil {
+		return f, err
+	}
+	if v, _, err := toml.GetInt(tbl, "request_bytes"); err != nil {
+		return f, err
+	} else {
+		f.RequestBytes = int(v)
+	}
+	if v, _, err := toml.GetInt(tbl, "response_bytes"); err != nil {
+		return f, err
+	} else {
+		f.ResponseBytes = int(v)
+	}
+	if f.Timeout, _, err = seconds(tbl, "timeout"); err != nil {
+		return f, err
+	}
+	if f.Start, _, err = seconds(tbl, "start"); err != nil {
+		return f, err
+	}
+	if f.Stop, _, err = seconds(tbl, "stop"); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+func eventFromTable(tbl map[string]any) (Event, error) {
+	ev := Event{}
+	var err error
+	if ev.At, _, err = seconds(tbl, "at"); err != nil {
+		return ev, err
+	}
+	if ev.Action, _, err = toml.GetString(tbl, "action"); err != nil {
+		return ev, err
+	}
+	if ev.Window, _, err = seconds(tbl, "window"); err != nil {
+		return ev, err
+	}
+	if ev.Faults.RatePerHour, _, err = toml.GetFloat(tbl, "rate_per_hour"); err != nil {
+		return ev, err
+	}
+	if ev.Faults.ShutdownProb, _, err = toml.GetFloat(tbl, "shutdown_prob"); err != nil {
+		return ev, err
+	}
+	if ev.Faults.RebootAfter, _, err = seconds(tbl, "reboot_after"); err != nil {
+		return ev, err
+	}
+	if ev.Faults.DegradeTo, _, err = toml.GetFloat(tbl, "degrade_to"); err != nil {
+		return ev, err
+	}
+	if ev.Faults.DegradeFor, _, err = seconds(tbl, "degrade_for"); err != nil {
+		return ev, err
+	}
+	if ev.Impair.LossProb, _, err = toml.GetFloat(tbl, "loss"); err != nil {
+		return ev, err
+	}
+	if ev.Impair.Jitter, _, err = milliseconds(tbl, "jitter_ms"); err != nil {
+		return ev, err
+	}
+	if ev.Impair.DupProb, _, err = toml.GetFloat(tbl, "duplicate"); err != nil {
+		return ev, err
+	}
+	if ev.Impair.CorruptProb, _, err = toml.GetFloat(tbl, "corrupt"); err != nil {
+		return ev, err
+	}
+	if ev.Impair.ReorderProb, _, err = toml.GetFloat(tbl, "reorder"); err != nil {
+		return ev, err
+	}
+	if ev.Impair.ReorderExtraDelay, _, err = milliseconds(tbl, "reorder_extra_ms"); err != nil {
+		return ev, err
+	}
+	if ev.BandwidthKbps, _, err = toml.GetFloat(tbl, "bandwidth_kbits"); err != nil {
+		return ev, err
+	}
+	if ev.Node, _, err = toml.GetString(tbl, "node"); err != nil {
+		return ev, err
+	}
+	return ev, nil
+}
+
+// Truncate shortens the scenario's horizon to d: flow windows are clamped
+// and events past the new horizon dropped. CI smoke runs use this to
+// replay full scenarios over a short prefix.
+func (sc *Scenario) Truncate(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("scenario: horizon must be positive, have %v", d)
+	}
+	if d > sc.Horizon {
+		return fmt.Errorf("scenario: cannot extend horizon %v to %v", sc.Horizon, d)
+	}
+	if sc.Config.Resolution > d {
+		return fmt.Errorf("scenario: resolution %v exceeds horizon %v", sc.Config.Resolution, d)
+	}
+	sc.Horizon = d
+	sc.Config.Duration = d
+	flows := sc.Flows[:0]
+	for _, f := range sc.Flows {
+		if f.Start >= d {
+			continue
+		}
+		if f.Stop > d {
+			f.Stop = d
+		}
+		flows = append(flows, f)
+	}
+	sc.Flows = flows
+	events := sc.Events[:0]
+	for _, ev := range sc.Events {
+		if ev.At > d {
+			continue
+		}
+		events = append(events, ev)
+	}
+	sc.Events = events
+	return nil
+}
+
+// finalize applies defaults and validates the scenario against its
+// testbed-independent constraints (node references are checked by the
+// Runner, which has the constellation).
+func (sc *Scenario) finalize() error {
+	if sc.Config == nil {
+		return fmt.Errorf("scenario: missing testbed config")
+	}
+	if sc.Name == "" {
+		sc.Name = sc.Config.Name
+	}
+	if sc.Name == "" {
+		sc.Name = "scenario"
+	}
+	if sc.Horizon == 0 {
+		sc.Horizon = sc.Config.Duration
+	}
+	if sc.Horizon <= 0 {
+		return fmt.Errorf("scenario: horizon must be positive, have %v", sc.Horizon)
+	}
+	// The horizon is the experiment duration: the coordinator's update
+	// loop and every flow window are bounded by it.
+	sc.Config.Duration = sc.Horizon
+	if sc.Config.Resolution > sc.Horizon {
+		return fmt.Errorf("scenario: resolution %v exceeds horizon %v", sc.Config.Resolution, sc.Horizon)
+	}
+
+	for i := range sc.Flows {
+		f := &sc.Flows[i]
+		if f.Type == "" {
+			f.Type = FlowRPC
+		}
+		if f.Type != FlowRPC && f.Type != FlowStream {
+			return fmt.Errorf("scenario: flow %q: unknown type %q (want %q or %q)", f.Name, f.Type, FlowRPC, FlowStream)
+		}
+		if f.Source == "" || f.Target == "" {
+			return fmt.Errorf("scenario: flow %q: source and target are required", f.Name)
+		}
+		if f.Arrival == "" {
+			f.Arrival = ArrivalCBR
+		}
+		if f.Arrival != ArrivalPoisson && f.Arrival != ArrivalCBR {
+			return fmt.Errorf("scenario: flow %q: unknown arrival %q (want %q or %q)", f.Name, f.Arrival, ArrivalPoisson, ArrivalCBR)
+		}
+		if f.Rate <= 0 {
+			return fmt.Errorf("scenario: flow %q: rate must be positive, have %v", f.Name, f.Rate)
+		}
+		if f.RequestBytes == 0 {
+			f.RequestBytes = 256
+		}
+		if f.RequestBytes < 0 {
+			return fmt.Errorf("scenario: flow %q: negative request size %d", f.Name, f.RequestBytes)
+		}
+		if f.ResponseBytes == 0 {
+			f.ResponseBytes = f.RequestBytes
+		}
+		if f.ResponseBytes < 0 {
+			return fmt.Errorf("scenario: flow %q: negative response size %d", f.Name, f.ResponseBytes)
+		}
+		if f.Timeout == 0 {
+			f.Timeout = time.Second
+		}
+		if f.Timeout < 0 {
+			return fmt.Errorf("scenario: flow %q: negative timeout %v", f.Name, f.Timeout)
+		}
+		if f.Stop == 0 {
+			f.Stop = sc.Horizon
+		}
+		if f.Start < 0 || f.Stop > sc.Horizon || f.Start >= f.Stop {
+			return fmt.Errorf("scenario: flow %q: window [%v, %v] outside (0, %v]", f.Name, f.Start, f.Stop, sc.Horizon)
+		}
+	}
+
+	for i := range sc.Events {
+		ev := &sc.Events[i]
+		if ev.At < 0 || ev.At > sc.Horizon {
+			return fmt.Errorf("scenario: event %d (%s): at %v outside [0, horizon %v]", i, ev.Action, ev.At, sc.Horizon)
+		}
+		switch ev.Action {
+		case ActionFaultBurst:
+			if ev.Window == 0 {
+				ev.Window = sc.Horizon - ev.At
+			}
+			if ev.Window <= 0 {
+				return fmt.Errorf("scenario: event %d: fault burst window must be positive, have %v", i, ev.Window)
+			}
+			if err := ev.Faults.Validate(); err != nil {
+				return fmt.Errorf("scenario: event %d: %w", i, err)
+			}
+			if ev.Faults.RatePerHour == 0 {
+				return fmt.Errorf("scenario: event %d: fault burst needs rate_per_hour > 0", i)
+			}
+		case ActionImpair:
+			if err := ev.Impair.Validate(); err != nil {
+				return fmt.Errorf("scenario: event %d: %w", i, err)
+			}
+		case ActionBandwidthCap:
+			if ev.BandwidthKbps < 0 {
+				return fmt.Errorf("scenario: event %d: negative bandwidth cap %v", i, ev.BandwidthKbps)
+			}
+		case ActionNodeDown, ActionNodeUp:
+			if ev.Node == "" {
+				return fmt.Errorf("scenario: event %d: %s needs a node", i, ev.Action)
+			}
+		case "":
+			return fmt.Errorf("scenario: event %d: missing action", i)
+		default:
+			return fmt.Errorf("scenario: event %d: unknown action %q", i, ev.Action)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testbedTOML is a small but fully connected testbed: the 24×22 shell
+// reaches both stations at 25° minimum elevation throughout the run.
+const testbedTOML = `
+[testbed]
+name = "unit-testbed"
+resolution = 2.0
+hosts = 2
+
+[testbed.network_params]
+min_elevation = 25.0
+
+[[testbed.shell]]
+planes = 24
+sats = 22
+altitude_km = 550
+inclination = 53.0
+arc_of_ascending_nodes = 360.0
+phasing_factor = 13
+model = "kepler"
+
+[[testbed.ground_station]]
+name = "accra"
+lat = 5.6037
+long = -0.187
+
+[[testbed.ground_station]]
+name = "johannesburg"
+lat = -26.2041
+long = 28.0473
+`
+
+const workloadTOML = `
+name = "unit-run"
+seed = 7
+horizon = 12.0
+
+[[flow]]
+name = "ping"
+type = "rpc"
+source = "accra"
+target = "johannesburg"
+arrival = "cbr"
+rate = 5.0
+request_bytes = 128
+response_bytes = 512
+timeout = 1.0
+
+[[flow]]
+name = "video"
+type = "stream"
+source = "accra"
+target = "johannesburg"
+arrival = "poisson"
+rate = 20.0
+request_bytes = 1200
+
+[[event]]
+at = 4.0
+action = "impair"
+loss = 0.05
+jitter_ms = 0.3
+
+[[event]]
+at = 6.0
+action = "fault-burst"
+window = 4.0
+rate_per_hour = 360.0
+shutdown_prob = 1.0
+reboot_after = 2.0
+
+[[event]]
+at = 8.0
+action = "bandwidth-cap"
+bandwidth_kbits = 10000.0
+
+[[event]]
+at = 9.0
+action = "node-down"
+node = "johannesburg"
+
+[[event]]
+at = 10.0
+action = "node-up"
+node = "johannesburg"
+`
+
+func parseTestScenario(t *testing.T) *Scenario {
+	t.Helper()
+	sc, err := Parse(strings.NewReader(workloadTOML + testbedTOML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestParseScenario(t *testing.T) {
+	sc := parseTestScenario(t)
+	if sc.Name != "unit-run" || sc.Seed != 7 || sc.Horizon != 12*time.Second {
+		t.Errorf("header = %q seed %d horizon %v", sc.Name, sc.Seed, sc.Horizon)
+	}
+	if sc.Config == nil || sc.Config.TotalSatellites() != 24*22 || len(sc.Config.GroundStations) != 2 {
+		t.Fatalf("testbed not decoded: %+v", sc.Config)
+	}
+	if sc.Config.Duration != sc.Horizon {
+		t.Errorf("config duration %v, want horizon %v", sc.Config.Duration, sc.Horizon)
+	}
+	if len(sc.Flows) != 2 || len(sc.Events) != 5 {
+		t.Fatalf("flows = %d events = %d", len(sc.Flows), len(sc.Events))
+	}
+	ping := sc.Flows[0]
+	if ping.Type != FlowRPC || ping.Arrival != ArrivalCBR || ping.Rate != 5 ||
+		ping.RequestBytes != 128 || ping.ResponseBytes != 512 || ping.Timeout != time.Second {
+		t.Errorf("ping = %+v", ping)
+	}
+	if ping.Stop != sc.Horizon {
+		t.Errorf("default stop = %v, want horizon", ping.Stop)
+	}
+	video := sc.Flows[1]
+	if video.Type != FlowStream || video.Arrival != ArrivalPoisson || video.ResponseBytes != 1200 {
+		t.Errorf("video = %+v", video)
+	}
+	burst := sc.Events[1]
+	if burst.Action != ActionFaultBurst || burst.At != 6*time.Second ||
+		burst.Window != 4*time.Second || burst.Faults.ShutdownProb != 1 ||
+		burst.Faults.RebootAfter != 2*time.Second {
+		t.Errorf("burst = %+v", burst)
+	}
+	if sc.Events[0].Impair.LossProb != 0.05 || sc.Events[0].Impair.Jitter != 300*time.Microsecond {
+		t.Errorf("impair = %+v", sc.Events[0].Impair)
+	}
+	if sc.Events[2].BandwidthKbps != 10000 {
+		t.Errorf("cap = %+v", sc.Events[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no testbed":        `name = "x"`,
+		"both testbeds":     `config = "a.toml"` + testbedTOML,
+		"ref without file":  `config = "a.toml"`,
+		"bad flow type":     "[[flow]]\ntype = \"carrier-pigeon\"\nsource = \"accra\"\ntarget = \"johannesburg\"\nrate = 1.0\n" + testbedTOML,
+		"bad arrival":       "[[flow]]\nsource = \"accra\"\ntarget = \"johannesburg\"\nrate = 1.0\narrival = \"bursty\"\n" + testbedTOML,
+		"zero rate":         "[[flow]]\nsource = \"accra\"\ntarget = \"johannesburg\"\n" + testbedTOML,
+		"window past end":   "horizon = 5.0\n[[flow]]\nsource = \"accra\"\ntarget = \"johannesburg\"\nrate = 1.0\nstop = 9.0\n" + testbedTOML,
+		"bad action":        "[[event]]\nat = 1.0\naction = \"melt\"\n" + testbedTOML,
+		"late event":        "horizon = 5.0\n[[event]]\nat = 9.0\naction = \"impair\"\n" + testbedTOML,
+		"bad fault model":   "[[event]]\nat = 1.0\naction = \"fault-burst\"\nrate_per_hour = -1.0\n" + testbedTOML,
+		"empty fault burst": "[[event]]\nat = 1.0\naction = \"fault-burst\"\n" + testbedTOML,
+		"churn needs node":  "[[event]]\nat = 1.0\naction = \"node-down\"\n" + testbedTOML,
+		"bad impair":        "[[event]]\nat = 1.0\naction = \"impair\"\nloss = 1.5\n" + testbedTOML,
+	}
+	for name, doc := range cases {
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseFileConfigRef(t *testing.T) {
+	dir := t.TempDir()
+	// Extract the inline testbed into a standalone config file by
+	// stripping the [testbed] prefix from every header.
+	cfgText := strings.NewReplacer("[testbed.", "[", "[[testbed.", "[[", "[testbed]", "").Replace(testbedTOML)
+	if err := os.WriteFile(filepath.Join(dir, "testbed.toml"), []byte(cfgText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scText := `
+name = "ref-run"
+seed = 3
+horizon = 8.0
+config = "testbed.toml"
+
+[[flow]]
+source = "accra"
+target = "johannesburg"
+rate = 2.0
+`
+	path := filepath.Join(dir, "run.toml")
+	if err := os.WriteFile(path, []byte(scText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Config.TotalSatellites() != 24*22 {
+		t.Errorf("referenced testbed not loaded: %d sats", sc.Config.TotalSatellites())
+	}
+	if sc.Flows[0].Type != FlowRPC || sc.Flows[0].Arrival != ArrivalCBR {
+		t.Errorf("defaults not applied: %+v", sc.Flows[0])
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	sc := parseTestScenario(t)
+	if err := sc.Truncate(8 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Horizon != 8*time.Second || sc.Config.Duration != 8*time.Second {
+		t.Errorf("horizon = %v duration = %v", sc.Horizon, sc.Config.Duration)
+	}
+	for _, f := range sc.Flows {
+		if f.Stop > sc.Horizon {
+			t.Errorf("flow %q stop %v past horizon", f.Name, f.Stop)
+		}
+	}
+	for _, ev := range sc.Events {
+		if ev.At > sc.Horizon {
+			t.Errorf("event %s at %v past horizon", ev.Action, ev.At)
+		}
+	}
+	if err := sc.Truncate(time.Millisecond); err == nil {
+		t.Error("accepted horizon below resolution")
+	}
+}

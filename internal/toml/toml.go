@@ -1,9 +1,13 @@
-// toml.go implements the subset of TOML that Celestial configuration files
-// use: top-level key/value pairs, [tables], [[arrays of tables]], dotted
-// table headers, strings, integers, floats, booleans and flat arrays, plus
-// comments. It intentionally does not implement TOML features the config
-// format never uses (dates, multiline strings, inline tables).
-package config
+// Package toml implements the subset of TOML that Celestial configuration
+// and scenario files use: top-level key/value pairs, [tables], [[arrays of
+// tables]], dotted table headers, strings, integers, floats, booleans and
+// flat arrays, plus comments. It intentionally does not implement TOML
+// features those formats never use (dates, multiline strings, inline
+// tables).
+//
+// Documents parse into a tree of nested maps; the typed Get accessors
+// decode leaves with descriptive errors naming the offending key.
+package toml
 
 import (
 	"fmt"
@@ -11,13 +15,13 @@ import (
 	"strings"
 )
 
-// tomlDoc is a parsed TOML document: a tree of nested maps where arrays of
-// tables appear as []map[string]any.
-type tomlDoc map[string]any
+// Doc is a parsed TOML document: a tree of nested map[string]any where
+// arrays of tables appear as []map[string]any.
+type Doc = map[string]any
 
-// parseTOML decodes the supported TOML subset.
-func parseTOML(text string) (tomlDoc, error) {
-	root := tomlDoc{}
+// Parse decodes the supported TOML subset.
+func Parse(text string) (Doc, error) {
+	root := Doc{}
 	current := map[string]any(root)
 
 	lines := strings.Split(text, "\n")
@@ -32,31 +36,31 @@ func parseTOML(text string) (tomlDoc, error) {
 		switch {
 		case strings.HasPrefix(line, "[["):
 			if !strings.HasSuffix(line, "]]") {
-				return nil, fmt.Errorf("config: line %d: unterminated table array header", lineNo)
+				return nil, fmt.Errorf("toml: line %d: unterminated table array header", lineNo)
 			}
 			path := strings.TrimSpace(line[2 : len(line)-2])
 			tbl, err := appendTableArray(root, path)
 			if err != nil {
-				return nil, fmt.Errorf("config: line %d: %w", lineNo, err)
+				return nil, fmt.Errorf("toml: line %d: %w", lineNo, err)
 			}
 			current = tbl
 		case strings.HasPrefix(line, "["):
 			if !strings.HasSuffix(line, "]") {
-				return nil, fmt.Errorf("config: line %d: unterminated table header", lineNo)
+				return nil, fmt.Errorf("toml: line %d: unterminated table header", lineNo)
 			}
 			path := strings.TrimSpace(line[1 : len(line)-1])
 			tbl, err := openTable(root, path)
 			if err != nil {
-				return nil, fmt.Errorf("config: line %d: %w", lineNo, err)
+				return nil, fmt.Errorf("toml: line %d: %w", lineNo, err)
 			}
 			current = tbl
 		default:
 			key, val, err := parseKeyValue(line)
 			if err != nil {
-				return nil, fmt.Errorf("config: line %d: %w", lineNo, err)
+				return nil, fmt.Errorf("toml: line %d: %w", lineNo, err)
 			}
 			if _, exists := current[key]; exists {
-				return nil, fmt.Errorf("config: line %d: duplicate key %q", lineNo, key)
+				return nil, fmt.Errorf("toml: line %d: duplicate key %q", lineNo, key)
 			}
 			current[key] = val
 		}
@@ -64,11 +68,16 @@ func parseTOML(text string) (tomlDoc, error) {
 	return root, nil
 }
 
-// stripComment removes a trailing # comment, honoring quoted strings.
+// stripComment removes a trailing # comment, honoring quoted strings
+// (including escaped quotes within them).
 func stripComment(line string) string {
 	inString := false
-	for i, c := range line {
-		switch c {
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inString {
+				i++ // skip the escaped character
+			}
 		case '"':
 			inString = !inString
 		case '#':
@@ -212,14 +221,19 @@ func parseArray(inner string) (any, error) {
 	return out, nil
 }
 
-// splitTopLevel splits on commas outside of quotes and brackets.
+// splitTopLevel splits on commas outside of quotes and brackets, honoring
+// escaped quotes within strings.
 func splitTopLevel(s string) ([]string, error) {
 	var parts []string
 	depth := 0
 	inString := false
 	start := 0
-	for i, c := range s {
-		switch c {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			if inString {
+				i++ // skip the escaped character
+			}
 		case '"':
 			inString = !inString
 		case '[':
@@ -282,22 +296,24 @@ func unescapeString(s string) (string, error) {
 	return b.String(), nil
 }
 
-// Typed accessors used by the config decoder. Each returns an error naming
-// the key when the type does not match.
+// Typed accessors for document leaves. Each reports presence via its second
+// return and returns an error naming the key when the type does not match.
 
-func getString(m map[string]any, key string) (string, bool, error) {
+// GetString reads a string key.
+func GetString(m map[string]any, key string) (string, bool, error) {
 	v, ok := m[key]
 	if !ok {
 		return "", false, nil
 	}
 	s, ok := v.(string)
 	if !ok {
-		return "", false, fmt.Errorf("config: %q must be a string, have %T", key, v)
+		return "", false, fmt.Errorf("toml: %q must be a string, have %T", key, v)
 	}
 	return s, true, nil
 }
 
-func getInt(m map[string]any, key string) (int64, bool, error) {
+// GetInt reads an integer key; integral floats are accepted.
+func GetInt(m map[string]any, key string) (int64, bool, error) {
 	v, ok := m[key]
 	if !ok {
 		return 0, false, nil
@@ -310,10 +326,11 @@ func getInt(m map[string]any, key string) (int64, bool, error) {
 			return int64(n), true, nil
 		}
 	}
-	return 0, false, fmt.Errorf("config: %q must be an integer, have %v", key, v)
+	return 0, false, fmt.Errorf("toml: %q must be an integer, have %v", key, v)
 }
 
-func getFloat(m map[string]any, key string) (float64, bool, error) {
+// GetFloat reads a number key (integer or float).
+func GetFloat(m map[string]any, key string) (float64, bool, error) {
 	v, ok := m[key]
 	if !ok {
 		return 0, false, nil
@@ -324,29 +341,31 @@ func getFloat(m map[string]any, key string) (float64, bool, error) {
 	case float64:
 		return n, true, nil
 	}
-	return 0, false, fmt.Errorf("config: %q must be a number, have %T", key, v)
+	return 0, false, fmt.Errorf("toml: %q must be a number, have %T", key, v)
 }
 
-func getBool(m map[string]any, key string) (bool, bool, error) {
+// GetBool reads a boolean key.
+func GetBool(m map[string]any, key string) (bool, bool, error) {
 	v, ok := m[key]
 	if !ok {
 		return false, false, nil
 	}
 	b, ok := v.(bool)
 	if !ok {
-		return false, false, fmt.Errorf("config: %q must be a boolean, have %T", key, v)
+		return false, false, fmt.Errorf("toml: %q must be a boolean, have %T", key, v)
 	}
 	return b, true, nil
 }
 
-func getFloatArray(m map[string]any, key string) ([]float64, bool, error) {
+// GetFloatArray reads a flat numeric array key.
+func GetFloatArray(m map[string]any, key string) ([]float64, bool, error) {
 	v, ok := m[key]
 	if !ok {
 		return nil, false, nil
 	}
 	arr, ok := v.([]any)
 	if !ok {
-		return nil, false, fmt.Errorf("config: %q must be an array, have %T", key, v)
+		return nil, false, fmt.Errorf("toml: %q must be an array, have %T", key, v)
 	}
 	out := make([]float64, 0, len(arr))
 	for i, e := range arr {
@@ -356,32 +375,34 @@ func getFloatArray(m map[string]any, key string) ([]float64, bool, error) {
 		case float64:
 			out = append(out, n)
 		default:
-			return nil, false, fmt.Errorf("config: %q[%d] must be a number, have %T", key, i, e)
+			return nil, false, fmt.Errorf("toml: %q[%d] must be a number, have %T", key, i, e)
 		}
 	}
 	return out, true, nil
 }
 
-func getTableArray(m map[string]any, key string) ([]map[string]any, error) {
+// GetTableArray reads an [[array of tables]] key; a missing key yields nil.
+func GetTableArray(m map[string]any, key string) ([]map[string]any, error) {
 	v, ok := m[key]
 	if !ok {
 		return nil, nil
 	}
 	arr, ok := v.([]map[string]any)
 	if !ok {
-		return nil, fmt.Errorf("config: %q must be an array of tables, have %T", key, v)
+		return nil, fmt.Errorf("toml: %q must be an array of tables, have %T", key, v)
 	}
 	return arr, nil
 }
 
-func getTable(m map[string]any, key string) (map[string]any, error) {
+// GetTable reads a [table] key; a missing key yields nil.
+func GetTable(m map[string]any, key string) (map[string]any, error) {
 	v, ok := m[key]
 	if !ok {
 		return nil, nil
 	}
 	tbl, ok := v.(map[string]any)
 	if !ok {
-		return nil, fmt.Errorf("config: %q must be a table, have %T", key, v)
+		return nil, fmt.Errorf("toml: %q must be a table, have %T", key, v)
 	}
 	return tbl, nil
 }

@@ -1,4 +1,4 @@
-package config
+package toml
 
 import (
 	"reflect"
@@ -7,7 +7,7 @@ import (
 )
 
 func TestParseTOMLScalars(t *testing.T) {
-	doc, err := parseTOML(`
+	doc, err := Parse(`
 # comment line
 name = "celestial run"   # trailing comment
 count = 42
@@ -21,7 +21,7 @@ hash = "a#b"
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := tomlDoc{
+	want := Doc{
 		"name":  "celestial run",
 		"count": int64(42),
 		"big":   int64(1000000),
@@ -37,7 +37,7 @@ hash = "a#b"
 }
 
 func TestParseTOMLArrays(t *testing.T) {
-	doc, err := parseTOML(`
+	doc, err := Parse(`
 bbox = [34.65, -13.88, 39.21, -4.07]
 mixed = [1, 2.5]
 empty = []
@@ -58,7 +58,7 @@ names = ["a", "b,c"]
 }
 
 func TestParseTOMLTables(t *testing.T) {
-	doc, err := parseTOML(`
+	doc, err := Parse(`
 top = 1
 [network_params]
 bandwidth_kbits = 10000000
@@ -82,7 +82,7 @@ deep = true
 }
 
 func TestParseTOMLTableArrays(t *testing.T) {
-	doc, err := parseTOML(`
+	doc, err := Parse(`
 [[shell]]
 planes = 72
 sats = 22
@@ -128,7 +128,7 @@ func TestParseTOMLErrors(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if _, err := parseTOML(tt.in); err == nil {
+			if _, err := Parse(tt.in); err == nil {
 				t.Errorf("accepted %q", tt.in)
 			}
 		})
@@ -136,12 +136,32 @@ func TestParseTOMLErrors(t *testing.T) {
 }
 
 func TestParseTOMLEscapes(t *testing.T) {
-	doc, err := parseTOML(`s = "line\nnext\t\"q\" \\"`)
+	doc, err := Parse(`s = "line\nnext\t\"q\" \\"`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if doc["s"] != "line\nnext\t\"q\" \\" {
 		t.Errorf("s = %q", doc["s"])
+	}
+}
+
+// TestParseTOMLEscapedQuotesWithDelimiters guards the in-string scanners:
+// an escaped quote must not flip the string state, so '#' and ',' after
+// one are still literal content, not a comment or an array separator.
+func TestParseTOMLEscapedQuotesWithDelimiters(t *testing.T) {
+	doc, err := Parse(`
+msg = "a \"#\" b"
+arr = ["x\",y", "z#w"]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["msg"] != `a "#" b` {
+		t.Errorf("msg = %q", doc["msg"])
+	}
+	arr, ok := doc["arr"].([]any)
+	if !ok || len(arr) != 2 || arr[0] != `x",y` || arr[1] != "z#w" {
+		t.Errorf("arr = %#v", doc["arr"])
 	}
 }
 
@@ -160,7 +180,7 @@ func TestStripComment(t *testing.T) {
 }
 
 func TestTypedAccessors(t *testing.T) {
-	doc, err := parseTOML(`
+	doc, err := Parse(`
 s = "str"
 i = 7
 f = 2.5
@@ -172,40 +192,40 @@ x = 1
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, ok, err := getString(doc, "s"); err != nil || !ok || v != "str" {
+	if v, ok, err := GetString(doc, "s"); err != nil || !ok || v != "str" {
 		t.Errorf("getString = %v %v %v", v, ok, err)
 	}
-	if _, ok, err := getString(doc, "missing"); err != nil || ok {
+	if _, ok, err := GetString(doc, "missing"); err != nil || ok {
 		t.Errorf("missing getString = %v %v", ok, err)
 	}
-	if _, _, err := getString(doc, "i"); err == nil {
+	if _, _, err := GetString(doc, "i"); err == nil {
 		t.Error("getString accepted int")
 	}
-	if v, ok, err := getInt(doc, "i"); err != nil || !ok || v != 7 {
+	if v, ok, err := GetInt(doc, "i"); err != nil || !ok || v != 7 {
 		t.Errorf("getInt = %v %v %v", v, ok, err)
 	}
-	if _, _, err := getInt(doc, "f"); err == nil {
+	if _, _, err := GetInt(doc, "f"); err == nil {
 		t.Error("getInt accepted non-integral float")
 	}
-	if v, ok, err := getFloat(doc, "f"); err != nil || !ok || v != 2.5 {
+	if v, ok, err := GetFloat(doc, "f"); err != nil || !ok || v != 2.5 {
 		t.Errorf("getFloat = %v %v %v", v, ok, err)
 	}
-	if v, ok, err := getFloat(doc, "i"); err != nil || !ok || v != 7 {
-		t.Errorf("getFloat(int) = %v %v %v", v, ok, err)
+	if v, ok, err := GetFloat(doc, "i"); err != nil || !ok || v != 7 {
+		t.Errorf("GetFloat(int) = %v %v %v", v, ok, err)
 	}
-	if v, ok, err := getBool(doc, "b"); err != nil || !ok || !v {
+	if v, ok, err := GetBool(doc, "b"); err != nil || !ok || !v {
 		t.Errorf("getBool = %v %v %v", v, ok, err)
 	}
-	if _, _, err := getBool(doc, "s"); err == nil {
+	if _, _, err := GetBool(doc, "s"); err == nil {
 		t.Error("getBool accepted string")
 	}
-	if v, ok, err := getFloatArray(doc, "arr"); err != nil || !ok || len(v) != 2 || v[1] != 2 {
+	if v, ok, err := GetFloatArray(doc, "arr"); err != nil || !ok || len(v) != 2 || v[1] != 2 {
 		t.Errorf("getFloatArray = %v %v %v", v, ok, err)
 	}
-	if tbl, err := getTable(doc, "tbl"); err != nil || tbl["x"] != int64(1) {
+	if tbl, err := GetTable(doc, "tbl"); err != nil || tbl["x"] != int64(1) {
 		t.Errorf("getTable = %v %v", tbl, err)
 	}
-	if _, err := getTable(doc, "s"); err == nil {
+	if _, err := GetTable(doc, "s"); err == nil {
 		t.Error("getTable accepted string")
 	}
 }
@@ -225,7 +245,7 @@ func TestSplitTopLevel(t *testing.T) {
 }
 
 func TestParseTOMLLineNumbersInErrors(t *testing.T) {
-	_, err := parseTOML("a = 1\nb = 2\nc = ???")
+	_, err := Parse("a = 1\nb = 2\nc = ???")
 	if err == nil || !strings.Contains(err.Error(), "line 3") {
 		t.Errorf("error = %v, want line 3", err)
 	}

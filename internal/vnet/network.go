@@ -91,7 +91,10 @@ type Network struct {
 	pairs map[[2]int]*pairState
 	// impair is added on top of topology delay/bandwidth (loss etc.).
 	impair netem.Params
-	seed   int64
+	// bwCapKbps, when positive, clamps every path's bandwidth below the
+	// topology's value (scripted capacity degradation).
+	bwCapKbps float64
+	seed      int64
 	// version is the topology epoch; pairs refresh when behind it.
 	version uint64
 
@@ -139,6 +142,25 @@ func (n *Network) SetImpairments(p netem.Params) error {
 	n.impair = p
 	// Invalidate so existing shapers pick the new impairments up on
 	// their next Send.
+	n.InvalidatePaths()
+	return nil
+}
+
+// SetSeed rebases the deterministic per-directed-pair seeds of the loss,
+// jitter and reordering models (e.g. to a scenario's run seed). It must be
+// called before any traffic flows: shapers already created keep the seed
+// they were built with.
+func (n *Network) SetSeed(seed int64) { n.seed = seed }
+
+// SetBandwidthCap clamps the bandwidth of every path to at most kbps on
+// top of the topology's bottleneck value; zero removes the cap. Scenario
+// timelines use this to script capacity degradation (e.g. weather fade on
+// radio links) without touching the constellation.
+func (n *Network) SetBandwidthCap(kbps float64) error {
+	if kbps < 0 {
+		return fmt.Errorf("vnet: negative bandwidth cap %v", kbps)
+	}
+	n.bwCapKbps = kbps
 	n.InvalidatePaths()
 	return nil
 }
@@ -219,6 +241,9 @@ func (n *Network) pair(from, to int) (*pairState, error) {
 	params := n.impair
 	params.Delay = netem.QuantizeDelay(time.Duration(pi.LatencyS * float64(time.Second)))
 	params.BandwidthKbps = pi.BandwidthKbps
+	if n.bwCapKbps > 0 && (params.BandwidthKbps == 0 || params.BandwidthKbps > n.bwCapKbps) {
+		params.BandwidthKbps = n.bwCapKbps
+	}
 	if ps.shaper == nil {
 		// Distinct deterministic seed per directed pair, stable across
 		// reachability changes so runs stay reproducible.
