@@ -5,7 +5,7 @@
 // Usage:
 //
 //	go test -run XXX -bench . -benchtime 1x ./... | benchjson -o BENCH_<sha>.json
-//	benchjson -compare [-max-alloc-ratio 2] BENCH_baseline.json BENCH_<sha>.json
+//	benchjson -compare [-max-alloc-ratio 2] [-require Prefix,...] BENCH_baseline.json BENCH_<sha>.json
 //
 // The compare mode prints a per-benchmark delta table (ns/op, allocs/op)
 // between two archived reports — typically the checked-in
@@ -17,6 +17,12 @@
 // command additionally exits non-zero when any benchmark's allocs/op grew
 // by more than that factor — allocation counts are deterministic even on
 // shared runners, so this is a reliable regression gate.
+//
+// With -require, the compare additionally fails when the new report holds
+// no benchmark whose name starts with one of the given comma-separated
+// prefixes — guarding against a benchmark silently dropping out of the
+// suite (build tag slip, renamed function) while the comparison "passes"
+// by matching nothing.
 //
 // Lines that are not benchmark results (pkg headers, PASS/ok trailers) are
 // recorded as context where useful and otherwise ignored, but a line that
@@ -60,6 +66,8 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two archived reports: benchjson -compare old.json new.json")
 	maxAllocRatio := flag.Float64("max-alloc-ratio", 0,
 		"with -compare, fail when any benchmark's allocs/op grew by more than this factor (0 disables)")
+	require := flag.String("require", "",
+		"with -compare, comma-separated name prefixes the new report must contain at least one result for")
 	flag.Parse()
 
 	if *compare {
@@ -79,10 +87,16 @@ func main() {
 		}
 		rows := Compare(old, new_)
 		WriteComparison(os.Stdout, rows)
-		if bad := AllocRegressions(rows, *maxAllocRatio); len(bad) > 0 {
-			for _, msg := range bad {
-				fmt.Fprintln(os.Stderr, "benchjson:", msg)
-			}
+		failed := false
+		for _, msg := range AllocRegressions(rows, *maxAllocRatio) {
+			fmt.Fprintln(os.Stderr, "benchjson:", msg)
+			failed = true
+		}
+		for _, msg := range MissingRequired(new_, *require) {
+			fmt.Fprintln(os.Stderr, "benchjson:", msg)
+			failed = true
+		}
+		if failed {
 			os.Exit(1)
 		}
 		return
@@ -145,6 +159,30 @@ func AllocRegressions(rows []CompareRow, maxRatio float64) []string {
 		case row.OldAllocs > 0 && row.NewAllocs > row.OldAllocs*maxRatio:
 			out = append(out, fmt.Sprintf("%s: allocs/op regressed %.0f -> %.0f (more than %.1fx)",
 				rowLabel(row), row.OldAllocs, row.NewAllocs, maxRatio))
+		}
+	}
+	return out
+}
+
+// MissingRequired returns one message per comma-separated name prefix in
+// require that matches no result in the report. An empty require disables
+// the check.
+func MissingRequired(rep *Report, require string) []string {
+	var out []string
+	for _, prefix := range strings.Split(require, ",") {
+		prefix = strings.TrimSpace(prefix)
+		if prefix == "" {
+			continue
+		}
+		found := false
+		for _, r := range rep.Results {
+			if strings.HasPrefix(r.Name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, fmt.Sprintf("required benchmark %q missing from the new report", prefix))
 		}
 	}
 	return out

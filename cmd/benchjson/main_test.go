@@ -164,3 +164,20 @@ func TestAllocRegressions(t *testing.T) {
 		}
 	}
 }
+
+func TestMissingRequired(t *testing.T) {
+	rep := &Report{Results: []Result{
+		{Name: "BenchmarkAPI/info-cached", Package: "p"},
+		{Name: "BenchmarkTickUpdate/steady-diff", Package: "p"},
+	}}
+	if got := MissingRequired(rep, ""); got != nil {
+		t.Errorf("empty require flagged %v", got)
+	}
+	if got := MissingRequired(rep, "BenchmarkAPI, BenchmarkTickUpdate"); got != nil {
+		t.Errorf("satisfied require flagged %v", got)
+	}
+	got := MissingRequired(rep, "BenchmarkAPI,BenchmarkGone")
+	if len(got) != 1 || !strings.Contains(got[0], "BenchmarkGone") {
+		t.Errorf("missing prefix not flagged: %v", got)
+	}
+}

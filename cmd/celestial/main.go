@@ -7,7 +7,7 @@
 // Usage:
 //
 //	celestial -config testbed.toml [-progress 30s] [-dns :5353] [-http :8080] [-wall]
-//	celestial -scenario run.toml [-horizon 10s] [-report out.json]
+//	celestial -scenario run.toml [-horizon 10s] [-report out.json] [-http :8080]
 //
 // Without -wall the emulation runs in virtual time (a 10-minute experiment
 // finishes in seconds); with -wall it advances in real time so external
@@ -18,7 +18,11 @@
 // executed instead: the testbed, seeded traffic workloads and scripted
 // timeline events it describes run to the horizon in virtual time, and the
 // machine-readable run report is written to -report (default stdout). Two
-// runs of the same scenario produce byte-identical reports.
+// runs of the same scenario produce byte-identical reports. -http also
+// works in scenario mode: the information service (including the
+// GET /diff server-sent event stream) serves concurrently with the run,
+// so external tools can watch link and activity deltas as the scenario
+// executes.
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 
 	"celestial"
 	"celestial/internal/bbox"
+	"celestial/internal/httpapi"
 	"celestial/internal/scenario"
 )
 
@@ -47,7 +52,7 @@ func main() {
 	flag.Parse()
 
 	if *scenarioPath != "" {
-		runScenario(*scenarioPath, *horizon, *reportPath)
+		runScenario(*scenarioPath, *horizon, *reportPath, *httpAddr)
 		return
 	}
 	if *configPath == "" {
@@ -145,8 +150,8 @@ func main() {
 }
 
 // runScenario executes a declarative scenario file and writes its run
-// report.
-func runScenario(path string, horizon time.Duration, reportPath string) {
+// report, optionally serving the information service alongside the run.
+func runScenario(path string, horizon time.Duration, reportPath, httpAddr string) {
 	sc, err := scenario.ParseFile(path)
 	if err != nil {
 		log.Fatalf("celestial: %v", err)
@@ -159,6 +164,19 @@ func runScenario(path string, horizon time.Duration, reportPath string) {
 	r, err := scenario.NewRunner(sc)
 	if err != nil {
 		log.Fatalf("celestial: %v", err)
+	}
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			log.Fatalf("celestial: http listener: %v", err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := http.Serve(ln, httpapi.New(r.Coordinator())); err != nil {
+				log.Printf("celestial: http server: %v", err)
+			}
+		}()
+		log.Printf("serving info API on http://%s/info (diff stream: /diff?since=0)", ln.Addr())
 	}
 	cfg := sc.Config
 	log.Printf("scenario %q (seed %d): %d satellites in %d shell(s), %d ground stations, %d flow(s), %d event(s)",

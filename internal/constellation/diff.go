@@ -75,6 +75,68 @@ func (d *Diff) LinksUnchanged() bool {
 	return !d.Full && len(d.Added) == 0 && len(d.Removed) == 0 && len(d.DelayChanged) == 0
 }
 
+// DiffRecord is a retainable deep copy of a Diff: unlike the Diff itself —
+// which is owned by its State and whose slices are reused across recycled
+// snapshots — a record stays valid indefinitely. The coordinator keeps a
+// ring of recent records so the information service can replay topology
+// deltas to clients (GET /diff?since=) long after the producing snapshots
+// were recycled.
+type DiffRecord struct {
+	// T is the snapshot offset the diff describes; BaseT the base
+	// snapshot's offset (NaN when Full).
+	T, BaseT float64
+	// Full marks a diff with no usable base; consumers must treat every
+	// link and node as changed.
+	Full bool
+	// Added, Removed and DelayChanged are the link deltas, as in Diff.
+	Added, Removed, DelayChanged []LinkDelta
+	// Activated and Deactivated are nodes whose activity flipped.
+	Activated, Deactivated []int32
+	// CarriedPaths, RepairedPaths and RepairFallbacks are the path-cache
+	// reuse counters, as in Diff.
+	CarriedPaths    int
+	RepairedPaths   int
+	RepairFallbacks int
+}
+
+// Empty reports whether the record describes an empty diff (see Diff.Empty).
+func (r *DiffRecord) Empty() bool {
+	return !r.Full && len(r.Added) == 0 && len(r.Removed) == 0 &&
+		len(r.DelayChanged) == 0 && len(r.Activated) == 0 && len(r.Deactivated) == 0
+}
+
+// Record returns a retainable deep copy of the diff.
+func (d *Diff) Record() DiffRecord { return d.AppendRecord(DiffRecord{}) }
+
+// Clone returns a deep copy of the record sharing no memory with r —
+// the escape hatch for records whose slices are reused in place (like
+// the coordinator's retention ring slots, refilled via AppendRecord).
+func (r DiffRecord) Clone() DiffRecord {
+	r.Added = append([]LinkDelta(nil), r.Added...)
+	r.Removed = append([]LinkDelta(nil), r.Removed...)
+	r.DelayChanged = append([]LinkDelta(nil), r.DelayChanged...)
+	r.Activated = append([]int32(nil), r.Activated...)
+	r.Deactivated = append([]int32(nil), r.Deactivated...)
+	return r
+}
+
+// AppendRecord deep-copies the diff into dst, reusing dst's backing arrays
+// when they are large enough — a ring of records refilled every tick
+// allocates only while a slot's high-water mark grows. The returned record
+// shares no memory with the Diff.
+func (d *Diff) AppendRecord(dst DiffRecord) DiffRecord {
+	dst.T, dst.BaseT, dst.Full = d.T, d.BaseT, d.Full
+	dst.Added = append(dst.Added[:0], d.Added...)
+	dst.Removed = append(dst.Removed[:0], d.Removed...)
+	dst.DelayChanged = append(dst.DelayChanged[:0], d.DelayChanged...)
+	dst.Activated = append(dst.Activated[:0], d.Activated...)
+	dst.Deactivated = append(dst.Deactivated[:0], d.Deactivated...)
+	dst.CarriedPaths = d.CarriedPaths
+	dst.RepairedPaths = d.RepairedPaths
+	dst.RepairFallbacks = d.RepairFallbacks
+	return dst
+}
+
 // DiffStats is a plain-counts summary of a Diff, safe to retain after the
 // underlying State is recycled.
 type DiffStats struct {

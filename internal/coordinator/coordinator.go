@@ -29,9 +29,11 @@ type Coordinator struct {
 	sim   *vnet.Sim
 	net   *vnet.Network
 	hosts []*host.Host
-	// byNode maps node ID to its machine (machines never migrate hosts);
-	// the per-tick activity overlay indexes it instead of scanning hosts.
+	// byNode and hostOf map node ID to its machine and host (machines
+	// never migrate hosts); the per-tick activity overlay and the
+	// Machine/HostOf accessors index them instead of scanning hosts.
 	byNode []*machine.Machine
+	hostOf []*host.Host
 
 	// pool recycles snapshot buffers; the coordinator double-buffers
 	// through it (see update) so steady-state ticks allocate ~nothing.
@@ -42,11 +44,37 @@ type Coordinator struct {
 	prev     *constellation.State
 	updates  int
 	lastDiff constellation.DiffStats
+	// topoVer is the generation of the most recent update whose diff was
+	// non-empty — the version of the emulated topology as clients can
+	// observe it. Empty-diff ticks advance the generation but not this.
+	topoVer uint64
+	// ring retains the most recent updates' diff records for the
+	// information service's GET /diff?since= replay; genHead is the
+	// generation of the newest entry.
+	ring    [diffRingCap]DiffEntry
+	ringLen int
+	// notify is closed (and replaced) on every completed update, waking
+	// long-poll and SSE readers blocked in WaitGeneration.
+	notify chan struct{}
 	// leases counts concurrent readers per state (see LeaseState);
 	// retired marks states waiting for their last lease before being
 	// recycled.
 	leases  map[*constellation.State]int
 	retired map[*constellation.State]bool
+}
+
+// diffRingCap is how many recent updates' diff records the coordinator
+// retains for replay. At the paper's 1 s update resolution this covers
+// about a minute of history; a client that falls further behind gets a
+// resync signal and refetches full state.
+const diffRingCap = 64
+
+// DiffEntry is one retained update in the coordinator's diff history: the
+// monotonic generation the update produced and a retainable copy of its
+// diff.
+type DiffEntry struct {
+	Generation uint64
+	Diff       constellation.DiffRecord
 }
 
 // New builds a coordinator (and its hosts, machines and network) from a
@@ -61,6 +89,7 @@ func New(cfg *config.Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg: cfg, cons: cons, sim: sim,
 		pool:    cons.NewSnapshotPool(),
+		notify:  make(chan struct{}),
 		leases:  map[*constellation.State]int{},
 		retired: map[*constellation.State]bool{},
 	}
@@ -72,6 +101,7 @@ func New(cfg *config.Config) (*Coordinator, error) {
 	// per node per tick, so it indexes the dense byNode slice (filled
 	// below) rather than scanning hosts.
 	c.byNode = make([]*machine.Machine, cons.NodeCount())
+	c.hostOf = make([]*host.Host, cons.NodeCount())
 	c.pool.SetActivityOverlay(func(id int) bool {
 		m := c.byNode[id]
 		if m == nil {
@@ -120,6 +150,7 @@ func New(cfg *config.Config) (*Coordinator, error) {
 			return nil, err
 		}
 		c.byNode[node.ID] = m
+		c.hostOf[node.ID] = target
 	}
 	return c, nil
 }
@@ -140,24 +171,22 @@ func (c *Coordinator) Network() *vnet.Network { return c.net }
 // Hosts returns the emulated hosts.
 func (c *Coordinator) Hosts() []*host.Host { return c.hosts }
 
-// Machine returns the machine emulating a node.
+// Machine returns the machine emulating a node. Machines never migrate, so
+// the lookup is a constant-time index into the per-node table — it sits on
+// the virtual network's NodeActive hot path.
 func (c *Coordinator) Machine(node int) (*machine.Machine, error) {
-	for _, h := range c.hosts {
-		if m, ok := h.Machine(node); ok {
-			return m, nil
-		}
+	if node < 0 || node >= len(c.byNode) || c.byNode[node] == nil {
+		return nil, fmt.Errorf("coordinator: no machine for node %d", node)
 	}
-	return nil, fmt.Errorf("coordinator: no machine for node %d", node)
+	return c.byNode[node], nil
 }
 
-// HostOf returns the host a node's machine runs on.
+// HostOf returns the host a node's machine runs on, in constant time.
 func (c *Coordinator) HostOf(node int) (*host.Host, error) {
-	for _, h := range c.hosts {
-		if _, ok := h.Machine(node); ok {
-			return h, nil
-		}
+	if node < 0 || node >= len(c.hostOf) || c.hostOf[node] == nil {
+		return nil, fmt.Errorf("coordinator: no host for node %d", node)
 	}
-	return nil, fmt.Errorf("coordinator: no host for node %d", node)
+	return c.hostOf[node], nil
 }
 
 // State returns the most recent constellation state. It is nil before
@@ -179,14 +208,25 @@ func (c *Coordinator) State() *constellation.State {
 // wall-clock terms, so without a lease a handler's state could be
 // recycled and overwritten mid-read.
 func (c *Coordinator) LeaseState() (*constellation.State, func()) {
+	st, _, release := c.LeaseStateGen()
+	return st, release
+}
+
+// LeaseStateGen is LeaseState plus the generation that produced the
+// leased snapshot, read under the same lock so the pair is consistent —
+// for readers that embed the generation in derived documents (the
+// information service's /info) and must not mix one generation's content
+// with another's label when an update races the lease.
+func (c *Coordinator) LeaseStateGen() (*constellation.State, uint64, func()) {
 	c.mu.Lock()
 	st := c.current
+	gen := uint64(c.updates)
 	if st != nil {
 		c.leases[st]++
 	}
 	c.mu.Unlock()
 	var once sync.Once
-	return st, func() {
+	return st, gen, func() {
 		once.Do(func() {
 			if st == nil {
 				return
@@ -211,6 +251,72 @@ func (c *Coordinator) Updates() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.updates
+}
+
+// Generation returns the monotonic snapshot generation: 0 before the first
+// update, then incremented by exactly one per completed update cycle. The
+// information service keys its per-tick response caches on it and clients
+// use it as the /diff?since= cursor.
+func (c *Coordinator) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return uint64(c.updates)
+}
+
+// TopologyVersion returns the generation of the most recent update whose
+// diff was non-empty — i.e. the last time the emulated topology (links at
+// netem granularity, or node activity) actually changed. Consumers that
+// derive state only from the topology, like the information service's
+// per-node and path response caches, stay valid while this is unchanged.
+func (c *Coordinator) TopologyVersion() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.topoVer
+}
+
+// UpdateChan returns a channel that is closed when the next update
+// completes. Grab the channel, re-check Generation, then block: the
+// coordinator closes and replaces the channel under its lock on every
+// update, so the close cannot be missed between the two reads.
+func (c *Coordinator) UpdateChan() <-chan struct{} {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.notify
+}
+
+// DiffsSince returns retained diff records for every generation in
+// (since, Generation()], oldest first. ok is false when the cursor is
+// outside the replayable window — it fell off the retention ring, or lies
+// in the future (a stale or corrupted client cursor) — and the caller
+// must resynchronize from full state (the returned slice is then empty).
+// The entries are deep copies, safe to retain and serialize without
+// further locking.
+func (c *Coordinator) DiffsSince(since uint64) (entries []DiffEntry, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	gen := uint64(c.updates)
+	if since > gen {
+		return nil, false
+	}
+	if since == gen {
+		return nil, true
+	}
+	// gen > since >= 0 here, so at least one update ran and ringLen >= 1.
+	oldest := gen - uint64(c.ringLen) + 1
+	if since+1 < oldest {
+		return nil, false
+	}
+	for g := since + 1; g <= gen; g++ {
+		slot := &c.ring[g%diffRingCap]
+		// Clone, don't alias: ring slots reuse their slice backing
+		// arrays across ticks (AppendRecord), and the copies escape the
+		// lock.
+		entries = append(entries, DiffEntry{
+			Generation: slot.Generation,
+			Diff:       slot.Diff.Clone(),
+		})
+	}
+	return entries, true
 }
 
 // LastDiff returns the statistics of the most recent update's
@@ -258,6 +364,22 @@ func (c *Coordinator) update() error {
 	c.current = st
 	c.updates++
 	c.lastDiff = d.Stats()
+	gen := uint64(c.updates)
+	if !d.Empty() {
+		c.topoVer = gen
+	}
+	// Retain this update's diff for /diff?since= replay. The slot's
+	// record reuses its backing arrays, so steady-state ticks do not
+	// allocate for history retention.
+	slot := &c.ring[gen%diffRingCap]
+	slot.Generation = gen
+	slot.Diff = d.AppendRecord(slot.Diff)
+	if c.ringLen < diffRingCap {
+		c.ringLen++
+	}
+	// Wake long-poll/SSE readers waiting for a new generation.
+	close(c.notify)
+	c.notify = make(chan struct{})
 	if old != nil && c.leases[old] > 0 {
 		// A concurrent reader still holds the state; its last
 		// release will recycle it.

@@ -1,0 +1,201 @@
+package coordinator
+
+import (
+	"testing"
+	"time"
+
+	"celestial/internal/config"
+)
+
+// TestMachineAndHostLookups locks in the constant-time per-node lookup
+// tables: every node resolves to the machine and host that actually hold
+// it, and out-of-range IDs error instead of panicking. (HostOf used to
+// linear-scan all hosts on every call despite the per-node table built in
+// New — this is the regression test for the O(1) rewrite.)
+func TestMachineAndHostLookups(t *testing.T) {
+	c, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range c.Constellation().Nodes() {
+		m, err := c.Machine(node.ID)
+		if err != nil {
+			t.Fatalf("Machine(%d): %v", node.ID, err)
+		}
+		if m.ID() != node.ID {
+			t.Fatalf("Machine(%d) = machine %d", node.ID, m.ID())
+		}
+		h, err := c.HostOf(node.ID)
+		if err != nil {
+			t.Fatalf("HostOf(%d): %v", node.ID, err)
+		}
+		// The returned host must be the one the machine was placed on.
+		if got, ok := h.Machine(node.ID); !ok || got != m {
+			t.Fatalf("HostOf(%d) = host %d, which does not hold the machine", node.ID, h.ID())
+		}
+	}
+	for _, bad := range []int{-1, c.Constellation().NodeCount(), 1 << 30} {
+		if _, err := c.Machine(bad); err == nil {
+			t.Errorf("Machine(%d) did not error", bad)
+		}
+		if _, err := c.HostOf(bad); err == nil {
+			t.Errorf("HostOf(%d) did not error", bad)
+		}
+	}
+}
+
+func TestGenerationAndDiffRing(t *testing.T) {
+	c, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() != 0 || c.TopologyVersion() != 0 {
+		t.Fatalf("pre-start generation = %d, topo = %d", c.Generation(), c.TopologyVersion())
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Start runs the first update: generation 1, whose Full diff is
+	// non-empty and therefore also bumps the topology version.
+	if c.Generation() != 1 || c.TopologyVersion() != 1 {
+		t.Fatalf("post-start generation = %d, topo = %d", c.Generation(), c.TopologyVersion())
+	}
+	if err := c.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	if want := uint64(c.Updates()); gen != want {
+		t.Fatalf("generation = %d, updates = %d", gen, want)
+	}
+	if gen < 5 {
+		t.Fatalf("generation = %d after 10 s at 2 s resolution", gen)
+	}
+
+	entries, ok := c.DiffsSince(0)
+	if !ok {
+		t.Fatal("DiffsSince(0) reported resync inside the retention window")
+	}
+	if len(entries) != int(gen) {
+		t.Fatalf("DiffsSince(0) = %d entries, want %d", len(entries), gen)
+	}
+	for i, e := range entries {
+		if e.Generation != uint64(i)+1 {
+			t.Fatalf("entry %d has generation %d", i, e.Generation)
+		}
+		if i > 0 && entries[i].Diff.T <= entries[i-1].Diff.T {
+			t.Fatalf("entry %d T %v not after entry %d T %v",
+				i, entries[i].Diff.T, i-1, entries[i-1].Diff.T)
+		}
+	}
+	if !entries[0].Diff.Full {
+		t.Error("generation 1's record is not a Full diff")
+	}
+
+	// A cursor at the head yields nothing, successfully.
+	if got, ok := c.DiffsSince(gen); !ok || len(got) != 0 {
+		t.Errorf("DiffsSince(head) = %d entries, ok=%v", len(got), ok)
+	}
+	// A future cursor (stale or corrupted client state) is told to
+	// resync rather than being treated as satisfied — otherwise an SSE
+	// subscriber with such a cursor would hang forever, event-free.
+	if got, ok := c.DiffsSince(gen + 5); ok || len(got) != 0 {
+		t.Errorf("DiffsSince(future) = %d entries, ok=%v, want resync", len(got), ok)
+	}
+	// A partial window returns only the missing suffix.
+	if got, ok := c.DiffsSince(gen - 2); !ok || len(got) != 2 {
+		t.Errorf("DiffsSince(head-2) = %d entries, ok=%v", len(got), ok)
+	}
+}
+
+func TestDiffsSinceSignalsResyncPastRing(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Resolution = time.Second
+	cfg.Duration = 2 * time.Minute
+	if err := config.Finalize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Run well past the retention ring's capacity.
+	horizon := time.Duration(diffRingCap+10) * time.Second
+	if err := c.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	if gen <= diffRingCap {
+		t.Fatalf("generation = %d, want > %d", gen, diffRingCap)
+	}
+	if _, ok := c.DiffsSince(0); ok {
+		t.Error("DiffsSince(0) did not signal resync after the ring wrapped")
+	}
+	// The newest diffRingCap generations stay replayable.
+	entries, ok := c.DiffsSince(gen - diffRingCap)
+	if !ok || len(entries) != diffRingCap {
+		t.Fatalf("DiffsSince(oldest) = %d entries, ok=%v", len(entries), ok)
+	}
+	if entries[0].Generation != gen-diffRingCap+1 || entries[len(entries)-1].Generation != gen {
+		t.Errorf("replay window [%d, %d], want [%d, %d]",
+			entries[0].Generation, entries[len(entries)-1].Generation, gen-diffRingCap+1, gen)
+	}
+}
+
+func TestLeaseStateGenPairsStateWithGeneration(t *testing.T) {
+	c, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, gen, release := c.LeaseStateGen()
+	release()
+	if st != nil || gen != 0 {
+		t.Fatalf("pre-start lease = (%v, %d)", st, gen)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st, gen, release = c.LeaseStateGen()
+	defer release()
+	if st == nil || gen != c.Generation() {
+		t.Fatalf("lease = (%v, %d), coordinator at %d", st != nil, gen, c.Generation())
+	}
+	// The paired generation labels this snapshot: its offset matches the
+	// retained diff record for the same generation.
+	entries, ok := c.DiffsSince(gen - 1)
+	if !ok || len(entries) != 1 {
+		t.Fatalf("DiffsSince(gen-1) = %d entries, ok=%v", len(entries), ok)
+	}
+	if entries[0].Diff.T != st.T {
+		t.Errorf("generation %d record T %v != leased state T %v", gen, entries[0].Diff.T, st.T)
+	}
+}
+
+func TestUpdateChanClosesOnUpdate(t *testing.T) {
+	c := started(t)
+	ch := c.UpdateChan()
+	select {
+	case <-ch:
+		t.Fatal("notify channel closed before any further update")
+	default:
+	}
+	if err := c.Run(c.Config().Resolution); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("notify channel not closed by the update")
+	}
+	// The replacement channel is again open.
+	select {
+	case <-c.UpdateChan():
+		t.Fatal("fresh notify channel already closed")
+	default:
+	}
+}

@@ -147,8 +147,9 @@ func (t *Testbed) NodeByName(name string) (int, error) {
 		}
 		return cons.SatNode(shell, sat)
 	}
-	var sat, shell int
-	if _, err := fmt.Sscanf(name, "%d.%d", &sat, &shell); err == nil {
+	// The short "<sat>.<shell>" form shares the strict parser with the
+	// scenario engine and the HTTP information service.
+	if sat, shell, ok := vnet.ParseSatRef(name); ok {
 		return cons.SatNode(shell, sat)
 	}
 	return 0, fmt.Errorf("core: unknown node %q", name)
@@ -164,7 +165,8 @@ func (t *Testbed) ServeDNS(conn net.PacketConn) error {
 func (t *Testbed) DNSServer() *dns.Server { return t.dnsSrv }
 
 // API returns the HTTP information service handler ("/info", "/shell/...",
-// "/gst/...", "/path/..."), ready to mount on any HTTP server.
+// "/gst/...", "/path/...", plus the "/diff" topology-delta feed), ready to
+// mount on any HTTP server.
 func (t *Testbed) API() http.Handler { return t.api }
 
 // RPC attaches request/response semantics to a node's network endpoint

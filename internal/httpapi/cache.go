@@ -1,0 +1,60 @@
+package httpapi
+
+import "sync"
+
+// maxCachedDocs bounds one respCache's document count within a single
+// version, so a client sweeping every node pair cannot grow the /path
+// cache without limit. Overflowing entries are simply served uncached.
+const maxCachedDocs = 4096
+
+// respCache holds prebuilt serialized response documents for one version
+// of the underlying data. The version is a monotonic counter from the
+// coordinator (snapshot generation or topology version); storing a
+// document under a newer version drops the whole previous generation of
+// documents, and a put racing behind a newer version is discarded.
+//
+// The read path is one RLock'd map lookup and serves the many requests
+// that arrive between update ticks; misses fall through to the full
+// build-and-encode path, whose result is published here for the rest of
+// the tick.
+type respCache struct {
+	mu   sync.RWMutex
+	ver  uint64
+	docs map[string][]byte
+}
+
+// get returns the document stored under key at the given version.
+func (c *respCache) get(ver uint64, key string) ([]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.ver != ver || c.docs == nil {
+		return nil, false
+	}
+	doc, ok := c.docs[key]
+	return doc, ok
+}
+
+// put stores a document under key for the given version. A version newer
+// than the cache's resets it (keeping the map's capacity); an older one is
+// a stale straggler and is dropped.
+func (c *respCache) put(ver uint64, key string, doc []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case ver > c.ver:
+		c.ver = ver
+		if c.docs == nil {
+			c.docs = make(map[string][]byte)
+		} else {
+			clear(c.docs)
+		}
+	case ver < c.ver:
+		return
+	case c.docs == nil:
+		c.docs = make(map[string][]byte)
+	}
+	if _, exists := c.docs[key]; !exists && len(c.docs) >= maxCachedDocs {
+		return
+	}
+	c.docs[key] = doc
+}

@@ -1,0 +1,256 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"celestial/internal/coordinator"
+	"celestial/internal/netem"
+)
+
+// maxDiffWait caps the long-poll hold time of GET /diff?wait=, keeping
+// intermediaries from reaping idle connections mid-poll.
+const maxDiffWait = 60 * time.Second
+
+// sseKeepAlive is how often an idle /diff event stream emits a comment
+// frame, for the same reason maxDiffWait exists: a quiet topology (or a
+// finished scenario run served via -http) would otherwise write zero
+// bytes indefinitely and get reaped by proxy idle timeouts. A variable
+// only so tests can shrink it.
+var sseKeepAlive = 15 * time.Second
+
+// DiffResponse is the GET /diff?since=<gen> response: every retained
+// topology delta after the client's cursor, oldest first. Clients advance
+// their cursor to the top-level generation field. When resync is true the
+// cursor fell off the coordinator's retention ring — the client missed
+// updates it can no longer replay and must refetch full state, then resume
+// from the returned generation.
+type DiffResponse struct {
+	// Generation is the newest generation covered by this response —
+	// the client's next since cursor.
+	Generation uint64 `json:"generation"`
+	// TopologyVersion is the generation of the last non-empty diff; a
+	// client holding documents from this version has current topology.
+	TopologyVersion uint64 `json:"topology_version"`
+	// Resync is set when the since cursor predates the retention ring.
+	Resync bool `json:"resync,omitempty"`
+	// Diffs are the replayed per-update deltas, oldest first; empty when
+	// no update happened after since (or on resync).
+	Diffs []DiffDoc `json:"diffs"`
+}
+
+// DiffDoc is one update's topology delta on the wire.
+type DiffDoc struct {
+	// Generation is the update that produced this diff.
+	Generation uint64 `json:"generation"`
+	// T is the snapshot offset in seconds.
+	T float64 `json:"t"`
+	// Full marks a diff with no usable base (e.g. the first update):
+	// consumers must treat every link and node as changed.
+	Full bool `json:"full,omitempty"`
+	// Empty marks an update that changed nothing at emulation
+	// granularity.
+	Empty bool `json:"empty,omitempty"`
+	// Added, Removed and DelayChanged are the link deltas.
+	Added        []LinkChange `json:"added,omitempty"`
+	Removed      []LinkChange `json:"removed,omitempty"`
+	DelayChanged []LinkChange `json:"delay_changed,omitempty"`
+	// Activated and Deactivated are node IDs whose activity flipped.
+	Activated   []int32 `json:"activated,omitempty"`
+	Deactivated []int32 `json:"deactivated,omitempty"`
+	// CarriedPaths, RepairedPaths and RepairFallbacks report how the
+	// tick reused the shortest-path cache (carry-over, incremental
+	// repair, full recompute).
+	CarriedPaths    int `json:"carried_paths,omitempty"`
+	RepairedPaths   int `json:"repaired_paths,omitempty"`
+	RepairFallbacks int `json:"repair_fallbacks,omitempty"`
+}
+
+// LinkChange is one link delta between nodes A and B. Latencies are the
+// realized (netem-quantized) one-way delays in milliseconds; -1 marks a
+// side on which the link does not exist (an appearing or disappearing
+// link).
+type LinkChange struct {
+	A     int     `json:"a"`
+	B     int     `json:"b"`
+	OldMs float64 `json:"old_ms"`
+	NewMs float64 `json:"new_ms"`
+}
+
+// quantaMs converts a delay-quantum count to milliseconds, mapping the
+// "no link" sentinel through unchanged.
+func quantaMs(q int32) float64 {
+	if q < 0 {
+		return -1
+	}
+	return float64(q) * netem.DelayQuantumSeconds * 1000
+}
+
+// diffDoc converts a retained coordinator diff to its wire form.
+func diffDoc(e coordinator.DiffEntry) DiffDoc {
+	d := DiffDoc{
+		Generation:      e.Generation,
+		T:               e.Diff.T,
+		Full:            e.Diff.Full,
+		Empty:           e.Diff.Empty(),
+		CarriedPaths:    e.Diff.CarriedPaths,
+		RepairedPaths:   e.Diff.RepairedPaths,
+		RepairFallbacks: e.Diff.RepairFallbacks,
+		Activated:       e.Diff.Activated,
+		Deactivated:     e.Diff.Deactivated,
+	}
+	for _, l := range e.Diff.Added {
+		d.Added = append(d.Added, LinkChange{A: l.A, B: l.B, OldMs: quantaMs(l.OldQ), NewMs: quantaMs(l.NewQ)})
+	}
+	for _, l := range e.Diff.Removed {
+		d.Removed = append(d.Removed, LinkChange{A: l.A, B: l.B, OldMs: quantaMs(l.OldQ), NewMs: quantaMs(l.NewQ)})
+	}
+	for _, l := range e.Diff.DelayChanged {
+		d.DelayChanged = append(d.DelayChanged, LinkChange{A: l.A, B: l.B, OldMs: quantaMs(l.OldQ), NewMs: quantaMs(l.NewQ)})
+	}
+	return d
+}
+
+// handleDiff serves GET /diff?since=<gen>[&wait=<duration>]: the link and
+// activity deltas of every update after the client's cursor, so clients
+// can follow topology changes without re-polling full state. With wait,
+// the request long-polls — it blocks until an update advances past since
+// or the wait elapses. With "Accept: text/event-stream" the response is a
+// server-sent event stream instead, pushing one diff event per update
+// until the client disconnects.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad since cursor %q: %v", v, err)
+			return
+		}
+		since = n
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.serveDiffSSE(w, r, since)
+		return
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "bad wait %q", v)
+			return
+		}
+		wait = min(d, maxDiffWait)
+	}
+	// Long-poll only when the cursor sits exactly at the head: behind it
+	// there are diffs to return now, ahead of it (a stale or corrupted
+	// cursor) the client needs the resync answer now.
+	if wait > 0 && s.coord.Generation() == since {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+	poll:
+		for {
+			// Grab the notification channel, then re-check: the
+			// coordinator closes the channel under the same lock that
+			// advances the generation, so an update between the two
+			// reads cannot be missed.
+			ch := s.coord.UpdateChan()
+			if s.coord.Generation() > since {
+				break
+			}
+			select {
+			case <-ch:
+			case <-timer.C:
+				break poll
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+	entries, ok := s.coord.DiffsSince(since)
+	// The next cursor covers exactly what this response replayed — the
+	// last replayed entry, or the unchanged since when nothing was. Never
+	// a fresh Generation() read: an update racing in after DiffsSince
+	// must not be skipped. On resync the cursor is advisory; the client
+	// refetches full state and resumes from the generation it observes
+	// there.
+	resp := DiffResponse{
+		Generation:      since,
+		TopologyVersion: s.coord.TopologyVersion(),
+		Resync:          !ok,
+		Diffs:           make([]DiffDoc, 0, len(entries)),
+	}
+	if !ok {
+		resp.Generation = s.coord.Generation()
+	}
+	if len(entries) > 0 {
+		resp.Generation = entries[len(entries)-1].Generation
+	}
+	for _, e := range entries {
+		resp.Diffs = append(resp.Diffs, diffDoc(e))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// serveDiffSSE streams diffs as server-sent events: one "diff" event per
+// update (its id is the generation, so EventSource reconnects resume via
+// Last-Event-ID), and a "resync" event when the client's cursor fell off
+// the retention ring.
+func (s *Server) serveDiffSSE(w http.ResponseWriter, r *http.Request, since uint64) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			since = n
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	keepAlive := time.NewTicker(sseKeepAlive)
+	defer keepAlive.Stop()
+	for {
+		entries, ok := s.coord.DiffsSince(since)
+		if !ok {
+			gen := s.coord.Generation()
+			fmt.Fprintf(w, "event: resync\ndata: {\"generation\":%d}\n\n", gen)
+			since = gen
+			fl.Flush()
+			continue
+		}
+		for _, e := range entries {
+			data, err := json.Marshal(diffDoc(e))
+			if err != nil {
+				return // unreachable: wire structs always encode
+			}
+			fmt.Fprintf(w, "event: diff\nid: %d\ndata: %s\n\n", e.Generation, data)
+			since = e.Generation
+		}
+		if len(entries) > 0 {
+			fl.Flush()
+		}
+		ch := s.coord.UpdateChan()
+		if s.coord.Generation() > since {
+			continue
+		}
+		select {
+		case <-ch:
+		case <-keepAlive.C:
+			// A comment frame: ignored by SSE clients, but keeps the
+			// connection visibly alive through intermediaries.
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -6,6 +6,27 @@
 // implementing their own satellite movement model — in a real deployment
 // the same information would come from the network operator or a public
 // TLE database.
+//
+// The service is built for high request volume: every emulated application
+// polls it, so responses are served from prebuilt serialized documents
+// instead of re-walking the constellation per request. Caches are keyed on
+// the coordinator's snapshot generation — /info is rebuilt only when the
+// generation changes, and per-node and path documents are invalidated only
+// when a tick's diff is non-empty, i.e. when the emulated topology
+// actually changed at netem granularity. (Concurrent first-requesters
+// after an invalidation may race to fill the same document; fills are
+// idempotent and microsecond-scale, so the caches deliberately skip
+// singleflight — the expensive computation, Dijkstra, is already
+// singleflighted inside the state's path cache.) That coarser key is a deliberate trade:
+// under empty diffs satellites still move (sub-quantum), so cached
+// position-derived fields can lag the newest snapshot by less than one
+// delay quantum's worth of motion — while everything the emulated network
+// can observe (links, latencies, activity) is exact. Cached bytes are
+// produced by the same builder functions as uncached responses, so the two
+// are byte-identical for the same snapshot (locked in by the differential
+// tests). Clients that want to follow topology changes without polling
+// full state subscribe to GET /diff?since=<generation> (long-poll or SSE,
+// see diff.go).
 package httpapi
 
 import (
@@ -14,7 +35,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
-	"strconv"
+	"sync"
 
 	"celestial/internal/constellation"
 	"celestial/internal/coordinator"
@@ -27,18 +48,46 @@ import (
 type Server struct {
 	coord *coordinator.Coordinator
 	mux   *http.ServeMux
+
+	// caching gates the serialized-response caches (see SetCaching).
+	caching bool
+
+	// shellOnce builds shellDocs, the per-shell documents — pure
+	// configuration, immutable for the lifetime of the run.
+	shellOnce sync.Once
+	shellDocs [][]byte
+
+	// info is the /info document, keyed by snapshot generation (it
+	// carries the generation and snapshot offset, so it is rebuilt once
+	// per tick). nodes and paths hold the per-node documents and /path
+	// responses, keyed by topology version: everything the emulated
+	// network observes in them is exact while ticks produce empty diffs,
+	// and their position-derived fields may lag by the sub-quantum
+	// motion such a tick represents (see the package comment).
+	info  respCache
+	nodes respCache
+	paths respCache
 }
 
-// New creates the API server for a coordinator.
+// New creates the API server for a coordinator, with response caching
+// enabled.
 func New(c *coordinator.Coordinator) *Server {
-	s := &Server{coord: c, mux: http.NewServeMux()}
+	s := &Server{coord: c, mux: http.NewServeMux(), caching: true}
 	s.mux.HandleFunc("GET /info", s.handleInfo)
 	s.mux.HandleFunc("GET /shell/{shell}", s.handleShell)
 	s.mux.HandleFunc("GET /shell/{shell}/{sat}", s.handleSat)
 	s.mux.HandleFunc("GET /gst/{name}", s.handleGST)
 	s.mux.HandleFunc("GET /path/{source}/{target}", s.handlePath)
+	s.mux.HandleFunc("GET /diff", s.handleDiff)
 	return s
 }
+
+// SetCaching disables (on=false) or re-enables the serialized-response
+// caches, forcing every request through the full build-and-encode path.
+// Responses are byte-identical either way; the knob exists for the
+// differential tests and the cached-vs-uncached benchmarks. It must not be
+// toggled while requests are in flight.
+func (s *Server) SetCaching(on bool) { s.caching = on }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -47,8 +96,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Info is the /info response.
 type Info struct {
-	// T is the current emulation offset in seconds since the epoch.
+	// T is the emulation offset in seconds of the served snapshot
+	// generation.
 	T float64 `json:"t"`
+	// Generation is the monotonic snapshot generation, the cursor for
+	// GET /diff?since=.
+	Generation uint64 `json:"generation"`
 	// Nodes is the total node count.
 	Nodes  int         `json:"nodes"`
 	Shells []ShellInfo `json:"shells"`
@@ -107,7 +160,9 @@ type UplinkInfo struct {
 	Sat          int     `json:"sat"`
 	DistanceKm   float64 `json:"distance_km"`
 	ElevationDeg float64 `json:"elevation_deg"`
-	LatencyMs    float64 `json:"latency_ms"`
+	// LatencyMs is the realized uplink latency, quantized to the netem
+	// emulation granularity — the same delay /path reports for this hop.
+	LatencyMs float64 `json:"latency_ms"`
 }
 
 // PathResponse is the /path/{source}/{target} response.
@@ -134,11 +189,30 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// marshalDoc serializes a response document, newline-terminated exactly
+// like json.Encoder would, so cached documents are byte-identical to
+// streamed ones.
+func marshalDoc(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Response structs contain no unencodable values; this path is
+		// unreachable but must not panic the handler.
+		b, _ = json.Marshal(apiError{Error: err.Error()})
+	}
+	return append(b, '\n')
+}
+
+// writeDoc writes a prebuilt JSON document. (No explicit Content-Length:
+// net/http computes it for buffered bodies, and formatting it here would
+// cost an allocation on the cached fast path.)
+func writeDoc(w http.ResponseWriter, status int, doc []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	// Encoding static response structs cannot fail.
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(doc)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	writeDoc(w, status, marshalDoc(v))
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -160,31 +234,83 @@ func (s *Server) state(w http.ResponseWriter) (*constellation.State, func()) {
 	return st, release
 }
 
-func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+// buildInfo assembles the /info document for a leased snapshot.
+func (s *Server) buildInfo(st *constellation.State, gen uint64) Info {
 	cons := s.coord.Constellation()
 	info := Info{
-		T:     s.coord.ElapsedSeconds(),
-		Nodes: cons.NodeCount(),
+		T:          st.T,
+		Generation: gen,
+		Nodes:      cons.NodeCount(),
 	}
-	for i, sh := range cons.Shells() {
-		cfg := sh.Config()
-		info.Shells = append(info.Shells, ShellInfo{
-			ID: i, Name: cfg.Name, Planes: cfg.Planes,
-			SatsPerPlane: cfg.SatsPerPlane, Satellites: cfg.Size(),
-			AltitudeKm: cfg.AltitudeKm, InclinationDeg: cfg.InclinationDeg,
-			ArcDeg: cfg.ArcDeg,
-		})
+	for i := range cons.Shells() {
+		info.Shells = append(info.Shells, s.buildShell(i))
 	}
 	for _, g := range cons.GroundStations() {
 		info.GroundStations = append(info.GroundStations, g.Name)
 	}
-	writeJSON(w, http.StatusOK, info)
+	return info
+}
+
+// buildShell assembles one shell's document from the (immutable)
+// configuration. The index must be valid.
+func (s *Server) buildShell(idx int) ShellInfo {
+	cfg := s.coord.Constellation().Shells()[idx].Config()
+	return ShellInfo{
+		ID: idx, Name: cfg.Name, Planes: cfg.Planes,
+		SatsPerPlane: cfg.SatsPerPlane, Satellites: cfg.Size(),
+		AltitudeKm: cfg.AltitudeKm, InclinationDeg: cfg.InclinationDeg,
+		ArcDeg: cfg.ArcDeg,
+	}
+}
+
+// serveCached answers a request from cache c, or builds the document and
+// publishes it for the rest of the version's lifetime. build either
+// returns the serialized 200 document, or writes its own error response
+// and returns false (errors are never cached). Concurrent misses of the
+// same key build redundantly rather than singleflighting — fills are
+// cheap and idempotent (see the package comment). Callers must read ver
+// BEFORE leasing any state inside build: a tick between the version read
+// and the build can then only make the cached document fresher than its
+// key, never staler.
+func (s *Server) serveCached(w http.ResponseWriter, c *respCache, ver uint64, key string, build func() ([]byte, bool)) {
+	if s.caching {
+		if doc, ok := c.get(ver, key); ok {
+			writeDoc(w, http.StatusOK, doc)
+			return
+		}
+	}
+	doc, ok := build()
+	if !ok {
+		return
+	}
+	if s.caching {
+		c.put(ver, key, doc)
+	}
+	writeDoc(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	gen := s.coord.Generation()
+	s.serveCached(w, &s.info, gen, "", func() ([]byte, bool) {
+		// Lease the state and its generation atomically: the document
+		// embeds the generation, so its label and content must come
+		// from the same snapshot even when an update races the lease
+		// (the document may then be fresher than its cache key — safe —
+		// but never self-inconsistent).
+		st, stGen, release := s.coord.LeaseStateGen()
+		defer release()
+		if st == nil {
+			writeError(w, http.StatusServiceUnavailable, "no constellation state yet")
+			return nil, false
+		}
+		return marshalDoc(s.buildInfo(st, stGen)), true
+	})
 }
 
 func (s *Server) handleShell(w http.ResponseWriter, r *http.Request) {
-	idx, err := strconv.Atoi(r.PathValue("shell"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad shell index: %v", err)
+	idx, ok := vnet.ParseIndex(r.PathValue("shell"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad shell index %q", r.PathValue("shell"))
 		return
 	}
 	shells := s.coord.Constellation().Shells()
@@ -192,20 +318,28 @@ func (s *Server) handleShell(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "shell %d does not exist", idx)
 		return
 	}
-	cfg := shells[idx].Config()
-	writeJSON(w, http.StatusOK, ShellInfo{
-		ID: idx, Name: cfg.Name, Planes: cfg.Planes,
-		SatsPerPlane: cfg.SatsPerPlane, Satellites: cfg.Size(),
-		AltitudeKm: cfg.AltitudeKm, InclinationDeg: cfg.InclinationDeg,
-		ArcDeg: cfg.ArcDeg,
-	})
+	if s.caching {
+		s.shellOnce.Do(func() {
+			s.shellDocs = make([][]byte, len(shells))
+			for i := range shells {
+				s.shellDocs[i] = marshalDoc(s.buildShell(i))
+			}
+		})
+		writeDoc(w, http.StatusOK, s.shellDocs[idx])
+		return
+	}
+	writeJSON(w, http.StatusOK, s.buildShell(idx))
 }
 
 func (s *Server) handleSat(w http.ResponseWriter, r *http.Request) {
-	shell, err1 := strconv.Atoi(r.PathValue("shell"))
-	sat, err2 := strconv.Atoi(r.PathValue("sat"))
-	if err1 != nil || err2 != nil {
-		writeError(w, http.StatusBadRequest, "bad satellite path")
+	// The same strict index parsing as /path node references: the two
+	// endpoint families must agree on what a valid reference is (and lax
+	// alias spellings like "+5" must not multiply cache keys).
+	shell, ok1 := vnet.ParseIndex(r.PathValue("shell"))
+	sat, ok2 := vnet.ParseIndex(r.PathValue("sat"))
+	if !ok1 || !ok2 {
+		writeError(w, http.StatusBadRequest, "bad satellite path %q/%q",
+			r.PathValue("shell"), r.PathValue("sat"))
 		return
 	}
 	cons := s.coord.Constellation()
@@ -214,23 +348,26 @@ func (s *Server) handleSat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	st, release := s.state(w)
-	defer release()
-	if st == nil {
-		return
-	}
-	ip, err := vnet.SatIP(shell, sat)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	pos := st.Positions[id]
-	ll := geom.ToGeodetic(pos)
-	writeJSON(w, http.StatusOK, SatInfo{
-		Shell: shell, Sat: sat, Name: vnet.SatName(shell, sat), IP: ip.String(),
-		Position: Position{X: pos.X, Y: pos.Y, Z: pos.Z},
-		LatDeg:   ll.LatDeg, LonDeg: ll.LonDeg, AltKm: ll.AltKm,
-		Active: st.Active[id],
+	tv := s.coord.TopologyVersion()
+	s.serveCached(w, &s.nodes, tv, r.URL.Path, func() ([]byte, bool) {
+		st, release := s.state(w)
+		defer release()
+		if st == nil {
+			return nil, false
+		}
+		ip, err := vnet.SatIP(shell, sat)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return nil, false
+		}
+		pos := st.Positions[id]
+		ll := geom.ToGeodetic(pos)
+		return marshalDoc(SatInfo{
+			Shell: shell, Sat: sat, Name: vnet.SatName(shell, sat), IP: ip.String(),
+			Position: Position{X: pos.X, Y: pos.Y, Z: pos.Z},
+			LatDeg:   ll.LatDeg, LonDeg: ll.LonDeg, AltKm: ll.AltKm,
+			Active: st.Active[id],
+		}), true
 	})
 }
 
@@ -242,52 +379,60 @@ func (s *Server) handleGST(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	st, release := s.state(w)
-	defer release()
-	if st == nil {
-		return
-	}
-	node, err := cons.Node(id)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	ip, err := vnet.GSTIP(node.Sat)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	pos := st.Positions[id]
-	ll := geom.ToGeodetic(pos)
-	resp := GSTInfo{
-		Name: name, IP: ip.String(),
-		Position: Position{X: pos.X, Y: pos.Y, Z: pos.Z},
-		LatDeg:   ll.LatDeg, LonDeg: ll.LonDeg,
-	}
-	for si := range cons.Shells() {
-		ups, err := st.Uplinks(node.Sat, si)
-		if err != nil || len(ups) == 0 {
-			continue
+	tv := s.coord.TopologyVersion()
+	s.serveCached(w, &s.nodes, tv, r.URL.Path, func() ([]byte, bool) {
+		st, release := s.state(w)
+		defer release()
+		if st == nil {
+			return nil, false
 		}
-		up := ups[0]
-		resp.Uplinks = append(resp.Uplinks, UplinkInfo{
-			Shell: si, Sat: up.Sat, DistanceKm: up.DistanceKm,
-			ElevationDeg: up.ElevationDeg,
-			LatencyMs:    geom.PropagationDelay(up.DistanceKm) * 1000,
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
+		node, err := cons.Node(id)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return nil, false
+		}
+		ip, err := vnet.GSTIP(node.Sat)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return nil, false
+		}
+		pos := st.Positions[id]
+		ll := geom.ToGeodetic(pos)
+		resp := GSTInfo{
+			Name: name, IP: ip.String(),
+			Position: Position{X: pos.X, Y: pos.Y, Z: pos.Z},
+			LatDeg:   ll.LatDeg, LonDeg: ll.LonDeg,
+		}
+		for si := range cons.Shells() {
+			ups, err := st.Uplinks(node.Sat, si)
+			if err != nil || len(ups) == 0 {
+				continue
+			}
+			up := ups[0]
+			resp.Uplinks = append(resp.Uplinks, UplinkInfo{
+				Shell: si, Sat: up.Sat, DistanceKm: up.DistanceKm,
+				ElevationDeg: up.ElevationDeg,
+				// Quantized like every realized link delay, so this
+				// agrees with the first /path segment over the same
+				// uplink.
+				LatencyMs: netem.QuantizeLatency(geom.PropagationDelay(up.DistanceKm)) * 1000,
+			})
+		}
+		return marshalDoc(resp), true
+	})
 }
 
-// resolveNode turns a path parameter — "878.0" for satellites or a ground
-// station name — into a node ID.
+// resolveNode turns a path parameter — "<sat>.<shell>" like "878.0" for
+// satellites, or a ground station name — into a node ID. Satellite
+// references go through the shared strict parser (vnet.ParseSatRef), so
+// "3.2junk" or "-1.0" do not resolve (fmt.Sscanf's "%d.%d" used to accept
+// both).
 func (s *Server) resolveNode(param string) (int, error) {
 	cons := s.coord.Constellation()
 	if id, err := cons.GSTNodeByName(param); err == nil {
 		return id, nil
 	}
-	var sat, shell int
-	if _, err := fmt.Sscanf(param, "%d.%d", &sat, &shell); err == nil {
+	if sat, shell, ok := vnet.ParseSatRef(param); ok {
 		return cons.SatNode(shell, sat)
 	}
 	return 0, fmt.Errorf("unknown node %q (want \"<sat>.<shell>\" or a ground station name)", param)
@@ -304,49 +449,62 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	st, release := s.state(w)
-	defer release()
-	if st == nil {
-		return
-	}
-	lat, err := st.Latency(src, dst)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	if math.IsInf(lat, 1) {
-		writeError(w, http.StatusNotFound, "no path between %s and %s",
-			r.PathValue("source"), r.PathValue("target"))
-		return
-	}
-	path, err := st.Path(src, dst)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	bw, _ := st.PathBandwidth(src, dst)
-	cons := s.coord.Constellation()
-	resp := PathResponse{
-		Source: r.PathValue("source"), Target: r.PathValue("target"),
-		LatencyMs: lat * 1000, BandwidthKbps: bw,
-	}
-	for i := 0; i+1 < len(path); i++ {
-		a, errA := cons.Node(path[i])
-		b, errB := cons.Node(path[i+1])
-		if errA != nil || errB != nil {
-			writeError(w, http.StatusInternalServerError, "resolving path nodes")
-			return
+	tv := s.coord.TopologyVersion()
+	// Key by the raw parameters (the response echoes source and target
+	// verbatim). Safe because references are canonical: ParseSatRef
+	// rejects signs and leading zeros, and station names are exact, so a
+	// node pair has exactly one spelling — no alias can mint extra keys.
+	key := r.PathValue("source") + "\x00" + r.PathValue("target")
+	s.serveCached(w, &s.paths, tv, key, func() ([]byte, bool) {
+		st, release := s.state(w)
+		defer release()
+		if st == nil {
+			return nil, false
 		}
-		// Per-segment latency as the emulation realizes it: link delays
-		// are quantized to the netem granularity, so quantized segments
-		// sum exactly to the reported end-to-end latency.
-		d := st.Positions[path[i]].Distance(st.Positions[path[i+1]])
-		resp.Segments = append(resp.Segments, PathSegment{
-			From: a.Name, To: b.Name, DistanceKm: d,
-			LatencyMs: netem.QuantizeLatency(geom.PropagationDelay(d)) * 1000,
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
+		// Latency, path and bandwidth all come off the state's repaired
+		// shortest-path cache: the tick pipeline transplants or
+		// incrementally repairs cached trees across updates, so
+		// steady-state queries never pay a full Dijkstra recompute here.
+		lat, err := st.Latency(src, dst)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return nil, false
+		}
+		if math.IsInf(lat, 1) {
+			writeError(w, http.StatusNotFound, "no path between %s and %s",
+				r.PathValue("source"), r.PathValue("target"))
+			return nil, false
+		}
+		path, err := st.Path(src, dst)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return nil, false
+		}
+		bw, _ := st.PathBandwidth(src, dst)
+		cons := s.coord.Constellation()
+		resp := PathResponse{
+			Source: r.PathValue("source"), Target: r.PathValue("target"),
+			LatencyMs: lat * 1000, BandwidthKbps: bw,
+		}
+		for i := 0; i+1 < len(path); i++ {
+			a, errA := cons.Node(path[i])
+			b, errB := cons.Node(path[i+1])
+			if errA != nil || errB != nil {
+				writeError(w, http.StatusInternalServerError, "resolving path nodes")
+				return nil, false
+			}
+			// Per-segment latency as the emulation realizes it: link
+			// delays are quantized to the netem granularity, so
+			// quantized segments sum exactly to the reported end-to-end
+			// latency.
+			d := st.Positions[path[i]].Distance(st.Positions[path[i+1]])
+			resp.Segments = append(resp.Segments, PathSegment{
+				From: a.Name, To: b.Name, DistanceKm: d,
+				LatencyMs: netem.QuantizeLatency(geom.PropagationDelay(d)) * 1000,
+			})
+		}
+		return marshalDoc(resp), true
+	})
 }
 
 // ErrNotFound is a sentinel for API 404s in client helpers.

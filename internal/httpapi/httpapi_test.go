@@ -2,8 +2,12 @@ package httpapi
 
 import (
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"strings"
 	"testing"
 	"time"
 
@@ -173,6 +177,94 @@ func TestPathReflectsTime(t *testing.T) {
 	get(t, s, "/info", http.StatusOK, &info)
 	if info.T != 30 {
 		t.Errorf("t = %v", info.T)
+	}
+}
+
+// TestGSTUplinkLatencyQuantized locks in the /gst–/path agreement bugfix:
+// the reported uplink latency must be the netem-quantized delay — exactly
+// what /path reports for the same hop — not the raw propagation delay.
+func TestGSTUplinkLatencyQuantized(t *testing.T) {
+	s, _ := testServer(t)
+	var gst GSTInfo
+	get(t, s, "/gst/accra", http.StatusOK, &gst)
+	if len(gst.Uplinks) == 0 {
+		t.Fatal("no uplinks")
+	}
+	up := gst.Uplinks[0]
+	const quantumMs = 0.1
+	steps := up.LatencyMs / quantumMs
+	if diff := math.Abs(steps - math.Round(steps)); diff > 1e-9 {
+		t.Errorf("uplink latency %v ms is not a multiple of the %v ms quantum", up.LatencyMs, quantumMs)
+	}
+	// The direct ground–satellite hop is a one-link shortest path, so
+	// /path over the same pair must realize the same latency.
+	var path PathResponse
+	get(t, s, fmt.Sprintf("/path/accra/%d.%d", up.Sat, up.Shell), http.StatusOK, &path)
+	if len(path.Segments) == 0 {
+		t.Fatal("no segments")
+	}
+	if path.Segments[0].LatencyMs != up.LatencyMs {
+		t.Errorf("/path first hop %v ms != /gst uplink %v ms", path.Segments[0].LatencyMs, up.LatencyMs)
+	}
+}
+
+// TestResolveNodeStrict locks in the strict "<sat>.<shell>" parser:
+// trailing junk and signed indices used to resolve through fmt.Sscanf.
+func TestResolveNodeStrict(t *testing.T) {
+	s, _ := testServer(t)
+	for _, bad := range []string{
+		"3.2junk", "junk3.2", "-1.0", "0.-1", "+1.0", "1..0", "1.", ".0", "1.0.0", "1,0",
+		"007.0", "00.0", // leading-zero aliases must not mint cache keys
+	} {
+		req := httptest.NewRequest(http.MethodGet, "/path/"+url.PathEscape(bad)+"/accra", nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("source %q = %d, want 404", bad, rec.Code)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+			t.Fatalf("source %q: decoding error body: %v", bad, err)
+		}
+		if !strings.Contains(e.Error, bad) {
+			t.Errorf("source %q: error %q does not name the offending input", bad, e.Error)
+		}
+	}
+	// Strictness must not reject valid references.
+	get(t, s, "/path/527.0/accra", http.StatusOK, nil)
+	// Out-of-range but well-formed stays 404 with the range error.
+	get(t, s, "/path/528.0/accra", http.StatusNotFound, nil)
+
+	// /shell paths share the strict index parser, so the endpoint
+	// families agree on what a valid satellite reference is: "+5" works
+	// nowhere rather than somewhere.
+	get(t, s, "/shell/+0", http.StatusBadRequest, nil)
+	get(t, s, "/shell/-1", http.StatusBadRequest, nil)
+	get(t, s, "/shell/0/+5", http.StatusBadRequest, nil)
+	get(t, s, "/shell/0/-1", http.StatusBadRequest, nil)
+	get(t, s, "/shell/0/5x", http.StatusBadRequest, nil)
+}
+
+func TestInfoCarriesGeneration(t *testing.T) {
+	s, c := testServer(t)
+	var info Info
+	get(t, s, "/info", http.StatusOK, &info)
+	if info.Generation != c.Generation() || info.Generation == 0 {
+		t.Errorf("generation = %d, coordinator at %d", info.Generation, c.Generation())
+	}
+	if err := c.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var after Info
+	get(t, s, "/info", http.StatusOK, &after)
+	if after.Generation <= info.Generation {
+		t.Errorf("generation did not advance: %d -> %d", info.Generation, after.Generation)
+	}
+	if after.T != 10 {
+		t.Errorf("t = %v, want 10", after.T)
 	}
 }
 

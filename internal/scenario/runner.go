@@ -3,8 +3,6 @@ package scenario
 import (
 	"fmt"
 	"math/rand"
-	"strconv"
-	"strings"
 	"time"
 
 	"celestial/internal/constellation"
@@ -128,20 +126,18 @@ func flowSeed(seed int64, idx int) int64 {
 func (r *Runner) Coordinator() *coordinator.Coordinator { return r.coord }
 
 // resolveNode maps a node reference — a ground-station name or a
-// "SAT.SHELL" pair — to its constellation-wide node ID. The satellite form
-// must be consumed exactly: trailing junk ("878.0.5", "878.0x") is an
-// error, not a silently truncated reference to the wrong node.
+// "SAT.SHELL" pair — to its constellation-wide node ID. The satellite
+// form goes through the shared strict parser (vnet.ParseSatRef, the same
+// one the HTTP information service uses): trailing junk ("878.0.5",
+// "878.0x") and signed indices ("878.+0") are errors, not silently
+// mangled references to the wrong node.
 func (r *Runner) resolveNode(name string) (int, error) {
 	cons := r.coord.Constellation()
 	if id, err := cons.GSTNodeByName(name); err == nil {
 		return id, nil
 	}
-	if satStr, shellStr, ok := strings.Cut(name, "."); ok {
-		sat, err1 := strconv.Atoi(satStr)
-		shell, err2 := strconv.Atoi(shellStr)
-		if err1 == nil && err2 == nil {
-			return cons.SatNode(shell, sat)
-		}
+	if sat, shell, ok := vnet.ParseSatRef(name); ok {
+		return cons.SatNode(shell, sat)
 	}
 	return 0, fmt.Errorf("unknown node %q", name)
 }

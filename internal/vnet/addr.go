@@ -73,6 +73,46 @@ func GSTName(name string) string {
 	return fmt.Sprintf("%s.gst.%s", strings.ToLower(name), DNSZone)
 }
 
+// ParseSatRef parses the short "<sat>.<shell>" satellite reference (e.g.
+// "878.0") used by scenario files, the HTTP information service and
+// Testbed.NodeByName. Both fields must be bare non-negative decimal
+// integers: no sign, no whitespace, no trailing junk — "3.2junk" or
+// "-1.0" do not parse. Every consumer of the reference syntax shares this
+// parser so they accept exactly the same spellings.
+func ParseSatRef(ref string) (sat, shell int, ok bool) {
+	satStr, shellStr, found := strings.Cut(ref, ".")
+	if !found {
+		return 0, 0, false
+	}
+	if sat, ok = ParseIndex(satStr); !ok {
+		return 0, 0, false
+	}
+	shell, ok = ParseIndex(shellStr)
+	return sat, shell, ok
+}
+
+// ParseIndex parses a bare non-negative decimal integer — the strict form
+// of a lone shell or satellite index in node references and API paths (no
+// sign, no whitespace; strconv.Atoi would accept "+5" and "-5"). Leading
+// zeros are rejected too ("007" is not "7"): every index has exactly one
+// valid spelling, so response caches keyed on reference strings cannot be
+// flooded with alias spellings of the same node.
+func ParseIndex(s string) (int, bool) {
+	if s == "" || (len(s) > 1 && s[0] == '0') {
+		return 0, false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, false // overflow
+	}
+	return n, true
+}
+
 // ParseName decodes a testbed DNS name. It returns (shell, sat, "") for
 // satellite names and (-1, 0, gstName) for ground-station names. Trailing
 // dots are accepted.

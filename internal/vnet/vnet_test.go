@@ -440,3 +440,29 @@ func TestUnreachabilityCachedPerVersion(t *testing.T) {
 		t.Fatalf("after invalidate: %v", err)
 	}
 }
+
+func TestParseSatRef(t *testing.T) {
+	good := map[string][2]int{ // ref -> {sat, shell}
+		"878.0": {878, 0},
+		"0.4":   {0, 4},
+		"10.2":  {10, 2},
+	}
+	for ref, want := range good {
+		sat, shell, ok := ParseSatRef(ref)
+		if !ok || sat != want[0] || shell != want[1] {
+			t.Errorf("ParseSatRef(%q) = (%d, %d, %v), want (%d, %d, true)",
+				ref, sat, shell, ok, want[0], want[1])
+		}
+	}
+	bad := []string{
+		"", ".", "878", "878.", ".0", "878.0.5", "878.0x", "x878.0",
+		"-1.0", "0.-1", "+1.0", "1.+0", " 1.0", "1. 0", "1,0",
+		"007.2", "1.00", "00.0", // leading zeros: one spelling per index
+		"99999999999999999999.0", // overflows int
+	}
+	for _, ref := range bad {
+		if _, _, ok := ParseSatRef(ref); ok {
+			t.Errorf("ParseSatRef(%q) parsed, want rejection", ref)
+		}
+	}
+}
