@@ -315,6 +315,89 @@ func BenchmarkTickUpdate(b *testing.B) {
 	})
 }
 
+// gen2With100GSTs builds the full Starlink Gen2 constellation (29,988
+// satellites in nine shells) with 100 golden-angle-spiral ground stations —
+// the scale target of the incremental visibility index, in-place CSR
+// patching and arena-backed snapshot pipeline.
+func gen2With100GSTs(b *testing.B) *constellation.Constellation {
+	b.Helper()
+	var shells []config.Shell
+	for _, sc := range orbit.StarlinkGen2(orbit.ModelKepler) {
+		shells = append(shells, config.Shell{ShellConfig: sc})
+	}
+	const n = 100
+	gsts := make([]config.GroundStation, n)
+	for i := range gsts {
+		lat := geom.Deg(math.Asin(2*(float64(i)+0.5)/n - 1))
+		lon := math.Mod(float64(i)*137.50776405, 360) - 180
+		gsts[i] = config.GroundStation{
+			Name:     fmt.Sprintf("gst%03d", i),
+			Location: geom.LatLon{LatDeg: lat, LonDeg: lon},
+		}
+	}
+	cfg := &config.Config{Shells: shells, GroundStations: gsts}
+	cfg.Network.MinElevationDeg = 25
+	if err := config.Finalize(cfg); err != nil {
+		b.Fatal(err)
+	}
+	cons, err := constellation.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cons
+}
+
+// BenchmarkTickUpdateGen2 measures one steady-state coordinator tick —
+// pooled snapshot plus one shortest-path query — on the full Starlink Gen2
+// constellation (29,988 satellites) with 100 ground stations at a 1 s
+// step. This is the scale the incremental pipeline exists for: the
+// visibility index re-buckets only boundary-crossing satellites, link
+// deltas are patched into the frozen CSR graph in place instead of
+// re-freezing all ~60k edges, and snapshot slices come from per-generation
+// arenas. The paper's §3.1 real-time bound (one update per second) must
+// hold: the benchmark fails if the mean steady-state tick exceeds 1 s.
+func BenchmarkTickUpdateGen2(b *testing.B) {
+	cons := gen2With100GSTs(b)
+	pool := cons.NewSnapshotPool()
+	gst := cons.NodeCount() - 1
+	// Prime the double buffer: the cold-start tick pays the full build
+	// and is excluded from the steady-state measurement.
+	prev, err := pool.Snapshot(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := prev.Latency(gst, 0); err != nil {
+		b.Fatal(err)
+	}
+	patchedTicks, patchedEdges := 0, 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		st, err := pool.Snapshot(float64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Latency(gst, 0); err != nil {
+			b.Fatal(err)
+		}
+		d := st.Diff()
+		if d.GraphPatched {
+			patchedTicks++
+			patchedEdges += d.PatchedEdges
+		}
+		pool.Recycle(prev)
+		prev = st
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(patchedTicks)/float64(b.N), "patched-tick-frac")
+	b.ReportMetric(float64(patchedEdges)/float64(b.N), "patched-edges/op")
+	if mean := elapsed / time.Duration(b.N); mean > time.Second {
+		b.Fatalf("steady-state Gen2 tick took %v, over the 1 s real-time bound", mean)
+	}
+}
+
 // BenchmarkTickUpdateRepair isolates the incremental shortest-path repair
 // on the regime BenchmarkTickUpdate cannot win: Starlink Phase 1 with 100
 // ground stations at a 1 s step, where every tick ships a small non-empty

@@ -117,6 +117,11 @@ var WholeEarth = bbox.WholeEarth
 // constellation (Fig. 1 of the paper): 4,409 satellites total.
 func StarlinkPhase1(model orbit.Model) []ShellConfig { return orbit.StarlinkPhase1(model) }
 
+// StarlinkGen2 returns the nine shells of the FCC-filed second-generation
+// Starlink constellation: 29,988 satellites total, the scale target of the
+// incremental snapshot fast path.
+func StarlinkGen2(model orbit.Model) []ShellConfig { return orbit.StarlinkGen2(model) }
+
 // Iridium returns the Iridium constellation of the paper's case study:
 // 66 satellites, 6 polar planes at 780 km over a 180° arc.
 func Iridium(model orbit.Model) ShellConfig { return orbit.Iridium(model) }

@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	preset := flag.String("preset", "", `preset constellation: "starlink" or "iridium"`)
+	preset := flag.String("preset", "", `preset constellation: "starlink", "starlink-gen2" or "iridium"`)
 	configPath := flag.String("config", "", "TOML configuration to read shells from")
 	printTLE := flag.Bool("tle", false, "print synthesized TLEs instead of a summary")
 	flag.Parse()
@@ -35,6 +35,8 @@ func main() {
 	switch {
 	case *preset == "starlink":
 		shells = celestial.StarlinkPhase1(celestial.ModelSGP4)
+	case *preset == "starlink-gen2":
+		shells = celestial.StarlinkGen2(celestial.ModelSGP4)
 	case *preset == "iridium":
 		shells = []orbit.ShellConfig{celestial.Iridium(celestial.ModelSGP4)}
 	case *configPath != "":

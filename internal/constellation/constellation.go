@@ -88,6 +88,8 @@ type Constellation struct {
 	visCell []float64
 	// bruteVis disables the visibility index (see SetBruteVisibility).
 	bruteVis bool
+	// visRebuild forces full index rebuilds (see SetVisIndexRebuild).
+	visRebuild bool
 }
 
 // New builds a Constellation from a validated configuration.
@@ -193,6 +195,15 @@ func (c *Constellation) Shells() []*orbit.Shell { return c.shells }
 // It must not be toggled concurrently with snapshot computation.
 func (c *Constellation) SetBruteVisibility(on bool) { c.bruteVis = on }
 
+// SetVisIndexRebuild forces (on=true) a full visibility-index rebuild every
+// tick instead of the default incremental update, which re-buckets only the
+// satellites that crossed a grid-cell boundary since the buffer's previous
+// use. Snapshots are identical either way (topo.VisIndex guarantees the
+// incremental index is query-identical to a fresh build); the knob exists
+// for differential tests and benchmarks. It must not be toggled
+// concurrently with snapshot computation.
+func (c *Constellation) SetVisIndexRebuild(on bool) { c.visRebuild = on }
+
 // GroundStations returns the configured ground stations.
 func (c *Constellation) GroundStations() []config.GroundStation { return c.gst }
 
@@ -297,6 +308,19 @@ type State struct {
 		prev    [][]int
 		entries []*pathEntry
 	}
+
+	// Snapshot-generation arenas: the activity flags, link list and the
+	// many small per-(station, shell) uplink slices are carved from
+	// grow-only chunks, rewound as a unit when the state's buffers are
+	// recomputed. Carving happens sequentially in reset, sized by the
+	// buffer's previous-generation length (tracked in linkCap/upCap); the
+	// parallel phases then only append within carved capacity, falling
+	// back to the heap on the rare overflow.
+	linkArena arena[topo.Link]
+	boolArena arena[bool]
+	upArena   arena[topo.Uplink]
+	linkCap   int
+	upCap     []int32
 }
 
 // dijkstraWorkspaces pools heap scratch across path-cache fills; the
@@ -316,7 +340,7 @@ const maxSpareResults = 128
 // byte-identical to SnapshotSequential — parallelism never changes the
 // computed state, preserving the paper's repeatability property.
 func (c *Constellation) Snapshot(t float64) (*State, error) {
-	st, err := c.snapshotInto(new(State), t, runtime.GOMAXPROCS(0))
+	st, err := c.snapshotInto(new(State), t, runtime.GOMAXPROCS(0), true)
 	if err != nil {
 		return nil, err
 	}
@@ -328,7 +352,7 @@ func (c *Constellation) Snapshot(t float64) (*State, error) {
 // Snapshot. It exists for differential testing of the parallel pipeline
 // and as a baseline for benchmarks.
 func (c *Constellation) SnapshotSequential(t float64) (*State, error) {
-	st, err := c.snapshotInto(new(State), t, 1)
+	st, err := c.snapshotInto(new(State), t, 1, true)
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +366,14 @@ func (c *Constellation) SnapshotSequential(t float64) (*State, error) {
 // per-station visibility — each writing to disjoint pre-sized buffers, and
 // a sequential assembly of links and graph edges in plan order, which keeps
 // the result independent of the worker count.
-func (c *Constellation) snapshotInto(st *State, t float64, workers int) (*State, error) {
+//
+// With buildGraph false the latency graph is left empty and unfrozen: the
+// pooled snapshot path materializes it afterwards — cloning and patching
+// the previous tick's frozen CSR image when the diff allows, or rebuilding
+// from the assembled link list (State.rebuildGraph) otherwise — so the
+// steady-state tick skips the per-edge adjacency build and O(N+M)
+// re-freeze entirely.
+func (c *Constellation) snapshotInto(st *State, t float64, workers int, buildGraph bool) (*State, error) {
 	n := c.NodeCount()
 	st.reset(c, t, n)
 
@@ -403,31 +434,28 @@ func (c *Constellation) snapshotInto(st *State, t float64, workers int) (*State,
 	}
 
 	// Phase 3: ground-station visibility, one task per station (each
-	// writes only its own uplink buffers). A per-shell spatial index over
-	// the satellites' ground-track cells, built once and shared by all
+	// writes only its own uplink buffers, carved in reset). A per-shell
+	// spatial index over the satellites' ground-track cells, shared by all
 	// stations, replaces the brute-force O(G×S) elevation scan; each
 	// station only tests satellites whose cell can clear its elevation
-	// mask. Query results are identical to the exhaustive scan (see
-	// topo.VisIndex), so the index never changes the computed state.
-	if cap(st.visIdx) < len(c.shells) {
-		st.visIdx = make([]topo.VisIndex, len(c.shells))
-	}
-	st.visIdx = st.visIdx[:len(c.shells)]
+	// mask. The index is incrementally updated by default — only
+	// satellites that crossed a grid-cell boundary since this buffer's
+	// previous generation re-bucket; Update falls back to a full build on
+	// a cold or mismatched index. Query results are identical to the
+	// exhaustive scan either way (see topo.VisIndex), so neither the index
+	// nor its maintenance mode ever changes the computed state.
 	if !c.bruteVis && len(c.gst) > 0 {
 		for si, sh := range c.shells {
 			shellPos := st.Positions[c.base[si] : c.base[si]+sh.Size()]
-			st.visIdx[si].Build(shellPos, c.visCell[si], workers)
+			if c.visRebuild {
+				st.visIdx[si].Build(shellPos, c.visCell[si], workers)
+			} else {
+				st.visIdx[si].Update(shellPos, c.visCell[si], workers)
+			}
 		}
 	}
-	if cap(st.uplinks) < len(c.gst) {
-		st.uplinks = make([][][]topo.Uplink, len(c.gst))
-	}
-	st.uplinks = st.uplinks[:len(c.gst)]
 	par.ForWorkers(len(c.gst), workers, func(glo, ghi int) {
 		for gi := glo; gi < ghi; gi++ {
-			if st.uplinks[gi] == nil {
-				st.uplinks[gi] = make([][]topo.Uplink, len(c.shells))
-			}
 			for si, sh := range c.shells {
 				minElev := c.cfg.Shells[si].Network.MinElevationDeg
 				if c.bruteVis {
@@ -468,7 +496,9 @@ func (c *Constellation) snapshotInto(st *State, t float64, workers int) (*State,
 			st.islQ[off+i] = int32(q)
 			st.Links = append(st.Links, l)
 			st.setBandwidth(e.a, e.b, l.BandwidthKbps)
-			st.g.AddEdgeUnchecked(e.a, e.b, l.LatencyS)
+			if buildGraph {
+				st.g.AddEdgeUnchecked(e.a, e.b, l.LatencyS)
+			}
 		}
 		off += len(edges)
 	}
@@ -497,7 +527,9 @@ func (c *Constellation) snapshotInto(st *State, t float64, workers int) (*State,
 				st.gslQ = append(st.gslQ, int32(q))
 				st.Links = append(st.Links, l)
 				st.setBandwidth(gid, sid, l.BandwidthKbps)
-				st.g.AddEdgeUnchecked(gid, sid, l.LatencyS)
+				if buildGraph {
+					st.g.AddEdgeUnchecked(gid, sid, l.LatencyS)
+				}
 			}
 			run++
 			st.gslOff[run] = int32(len(st.gslSat))
@@ -505,22 +537,91 @@ func (c *Constellation) snapshotInto(st *State, t float64, workers int) (*State,
 	}
 	// Freeze the CSR image while still single-threaded: every shortest
 	// path on this state — cache fill or repair — scans the flat arrays,
-	// and concurrent queries must never trigger the lazy build.
-	st.g.Freeze()
+	// and concurrent queries must never trigger the lazy build. (With
+	// buildGraph false the pool freezes during graph materialization
+	// instead, still before the state is published.)
+	if buildGraph {
+		st.g.Freeze()
+	}
 	return st, nil
+}
+
+// graphPatchSlack is the per-row slack pooled graph images are frozen
+// with, giving PatchFrozen room to add a couple of links per node between
+// compactions — GSL handovers add at most a handful of uplinks to any one
+// node per tick.
+const graphPatchSlack = 2
+
+// rebuildGraph materializes the snapshot's latency graph from its
+// assembled link list — the same links, weights and insertion order the
+// inline build (snapshotInto with buildGraph=true) produces, so the frozen
+// image is identical. It is the cold-start and fallback path of the pooled
+// snapshot flow; steady-state ticks clone-and-patch the previous image
+// instead.
+func (st *State) rebuildGraph() {
+	st.g.Reset(len(st.Positions))
+	for i := range st.Links {
+		l := &st.Links[i]
+		st.g.AddEdgeUnchecked(l.A, l.B, l.LatencyS)
+	}
+	st.g.FreezeSlack(graphPatchSlack)
 }
 
 // reset prepares st's buffers for recomputation with n nodes, keeping
 // backing arrays so recycled snapshots allocate nothing in steady state.
+// The activity flags, link list and per-(station, shell) uplink slices are
+// carved from the state's generation arenas — rewound here, sized by each
+// buffer's previous-generation length — so they occupy a handful of
+// contiguous chunks instead of hundreds of individually grown slices.
+// Carving is sequential (the arenas are not locked); the parallel phases
+// only append within carved capacity.
 func (st *State) reset(c *Constellation, t float64, n int) {
 	st.T = t
 	st.c = c
 	st.Positions = resize(st.Positions, n)
-	st.Active = resize(st.Active, n)
+
+	// Record the previous generation's lengths before rewinding, then
+	// carve this generation's buffers with a little headroom; a buffer
+	// that outgrows its carve falls back to a heap append and the next
+	// generation adapts.
+	if prev := len(st.Links); prev > st.linkCap {
+		st.linkCap = prev
+	}
+	st.upCap = resize(st.upCap, len(c.gst)*len(c.shells))
+	if cap(st.uplinks) < len(c.gst) {
+		st.uplinks = make([][][]topo.Uplink, len(c.gst))
+	}
+	st.uplinks = st.uplinks[:len(c.gst)]
+	for gi := range st.uplinks {
+		if st.uplinks[gi] == nil {
+			st.uplinks[gi] = make([][]topo.Uplink, len(c.shells))
+		}
+		for si := range st.uplinks[gi] {
+			k := gi*len(c.shells) + si
+			if prev := int32(len(st.uplinks[gi][si])); prev > st.upCap[k] {
+				st.upCap[k] = prev
+			}
+		}
+	}
+	st.linkArena.rewind()
+	st.boolArena.rewind()
+	st.upArena.rewind()
+	st.Active = st.boolArena.carve(n, n)
 	for i := range st.Active {
 		st.Active[i] = false
 	}
-	st.Links = st.Links[:0]
+	st.Links = st.linkArena.carve(0, st.linkCap+st.linkCap/16+64)
+	for gi := range st.uplinks {
+		for si := range st.uplinks[gi] {
+			k := gi*len(c.shells) + si
+			st.uplinks[gi][si] = st.upArena.carve(0, int(st.upCap[k])+4)
+		}
+	}
+	if cap(st.visIdx) < len(c.shells) {
+		st.visIdx = make([]topo.VisIndex, len(c.shells))
+	}
+	st.visIdx = st.visIdx[:len(c.shells)]
+
 	if st.g == nil {
 		st.g = graph.New(n)
 	} else {
@@ -635,6 +736,9 @@ type SnapshotPool struct {
 	last *State
 	// noRepair disables the incremental path repair (see SetPathRepair).
 	noRepair bool
+	// noGraphPatch disables the frozen-CSR clone-and-patch graph path
+	// (see SetGraphPatch).
+	noGraphPatch bool
 	// overlay, when set, vetoes node activity beyond the bounding box
 	// (see SetActivityOverlay).
 	overlay func(id int) bool
@@ -670,7 +774,7 @@ func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
 		prev, p.last = nil, nil
 	}
 	p.mu.Unlock()
-	out, err := p.c.snapshotInto(st, t, runtime.GOMAXPROCS(0))
+	out, err := p.c.snapshotInto(st, t, runtime.GOMAXPROCS(0), false)
 	if err != nil {
 		// The buffers remain reusable even when the computation
 		// failed halfway through.
@@ -685,6 +789,36 @@ func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
 		}
 	}
 	out.computeDiffFrom(prev)
+
+	// Materialize the latency graph. Steady state clones the previous
+	// tick's frozen CSR image — read-only on prev, so concurrent readers
+	// holding a lease on it are unaffected — and patches this tick's
+	// merged link deltas into it in place, skipping the per-edge rebuild
+	// and O(N+M) re-freeze. The deltas are computed once and shared with
+	// the path repair below. Cold starts, Full diffs, the SetGraphPatch
+	// knob and any patch mismatch (impossible for diff-produced deltas)
+	// fall back to rebuilding from the assembled link list; either way the
+	// frozen image is identical (PatchFrozen's row order may differ, which
+	// the canonical Dijkstra tie-break makes unobservable).
+	var deltas []graph.EdgeDelta
+	if prev != nil && !out.diff.Full && !out.diff.LinksUnchanged() {
+		p.deltaScratch = appendEdgeDeltas(p.deltaScratch[:0], &out.diff)
+		deltas = p.deltaScratch
+	}
+	patched := false
+	if prev != nil && !out.diff.Full && !p.noGraphPatch {
+		if err := out.g.CopyFrozenFrom(prev.g); err == nil {
+			if err := out.g.PatchFrozen(deltas); err == nil {
+				patched = true
+				out.diff.GraphPatched = true
+				out.diff.PatchedEdges = len(deltas)
+			}
+		}
+	}
+	if !patched {
+		out.rebuildGraph()
+	}
+
 	if prev != nil && !out.diff.Full {
 		if out.diff.LinksUnchanged() {
 			// Bit-identical graph (the diff is empty, or only node
@@ -693,7 +827,7 @@ func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
 			// trees outright.
 			out.diff.CarriedPaths = transplantPaths(prev, out)
 		} else if !p.noRepair {
-			p.repairPaths(prev, out)
+			p.repairPaths(prev, out, deltas)
 		}
 	}
 	p.mu.Lock()
@@ -724,6 +858,15 @@ func (p *SnapshotPool) SetActivityOverlay(fn func(id int) bool) { p.overlay = fn
 // benchmarking the repair. It must not be toggled concurrently with
 // Snapshot.
 func (p *SnapshotPool) SetPathRepair(on bool) { p.noRepair = !on }
+
+// SetGraphPatch disables (on=false) or re-enables the steady-state graph
+// materialization that clones the previous tick's frozen CSR image and
+// patches this tick's link deltas into it in place, forcing every tick
+// back to a full rebuild from the link list. Patched and rebuilt graphs
+// yield bit-identical shortest paths (locked in by the patch differential
+// tests); the knob exists for differential testing and benchmarks. It must
+// not be toggled concurrently with Snapshot.
+func (p *SnapshotPool) SetGraphPatch(on bool) { p.noGraphPatch = !on }
 
 // Recycle returns a State's buffers to the pool. The State must not be
 // used afterwards; its next Snapshot will overwrite every buffer in place.

@@ -54,6 +54,14 @@ type Diff struct {
 	// zero on link-unchanged diffs, which transplant.
 	RepairedPaths   int
 	RepairFallbacks int
+	// GraphPatched reports that the snapshot's latency graph was
+	// materialized by cloning the base state's frozen CSR image and
+	// patching this diff's merged edge deltas into it in place, instead of
+	// being rebuilt from the link list; PatchedEdges counts those deltas
+	// (zero when only node activity changed). Patched and rebuilt graphs
+	// are query-identical.
+	GraphPatched bool
+	PatchedEdges int
 }
 
 // Empty reports whether the diff is empty at emulation granularity: no
@@ -150,6 +158,8 @@ type DiffStats struct {
 	CarriedPaths    int
 	RepairedPaths   int
 	RepairFallbacks int
+	GraphPatched    bool
+	PatchedEdges    int
 }
 
 // Stats summarizes the diff.
@@ -161,6 +171,7 @@ func (d *Diff) Stats() DiffStats {
 		Activated:    len(d.Activated), Deactivated: len(d.Deactivated),
 		CarriedPaths:  d.CarriedPaths,
 		RepairedPaths: d.RepairedPaths, RepairFallbacks: d.RepairFallbacks,
+		GraphPatched: d.GraphPatched, PatchedEdges: d.PatchedEdges,
 	}
 }
 
@@ -187,6 +198,8 @@ func (st *State) computeDiffFrom(prev *State) {
 	d.CarriedPaths = 0
 	d.RepairedPaths = 0
 	d.RepairFallbacks = 0
+	d.GraphPatched = false
+	d.PatchedEdges = 0
 	if prev == nil || prev.c != st.c || len(prev.islQ) != len(st.islQ) ||
 		len(prev.gslOff) != len(st.gslOff) || len(prev.Active) != len(st.Active) {
 		d.Full = true

@@ -1,0 +1,87 @@
+package constellation
+
+import (
+	"testing"
+
+	"celestial/internal/orbit"
+)
+
+// TestPooledPatchPathMatchesRebuildPath is the tentpole differential of
+// the incremental pipeline: a pool running the steady-state fast paths —
+// clone-and-patch graph materialization and incremental visibility-index
+// updates — produces, tick for tick, states identical to a pool forced
+// onto the full-rebuild reference paths, across structural ticks with
+// handovers, ISL churn and delay changes.
+func TestPooledPatchPathMatchesRebuildPath(t *testing.T) {
+	cfgFast := testConfig(t, orbit.ModelKepler)
+	cfgRef := testConfig(t, orbit.ModelKepler)
+	fast := mustNew(t, cfgFast)
+	ref := mustNew(t, cfgRef)
+	ref.SetVisIndexRebuild(true)
+
+	fastPool := &tickingPool{pool: fast.NewSnapshotPool()}
+	refPool := &tickingPool{pool: ref.NewSnapshotPool()}
+	refPool.pool.SetGraphPatch(false)
+
+	accra, _ := fast.GSTNodeByName("accra")
+	jbg, _ := fast.GSTNodeByName("johannesburg")
+	patchedTicks, patchedEdges := 0, 0
+	for i := 0; i < 14; i++ {
+		offset := 50 + float64(i)*7.5 // structural ticks: links churn
+		fs := fastPool.tick(t, offset)
+		rs := refPool.tick(t, offset)
+		assertStatesIdentical(t, rs, fs)
+		lf, err1 := fs.Latency(accra, jbg)
+		lr, err2 := rs.Latency(accra, jbg)
+		if err1 != nil || err2 != nil || lf != lr {
+			t.Fatalf("tick %d: latency %v (%v) vs %v (%v)", i, lf, err1, lr, err2)
+		}
+		if fs.Diff().GraphPatched {
+			patchedTicks++
+			patchedEdges += fs.Diff().PatchedEdges
+		}
+		if rs.Diff().GraphPatched {
+			t.Fatalf("tick %d: rebuild-path pool reported a patched graph", i)
+		}
+		stats := fs.Diff().Stats()
+		if stats.GraphPatched != fs.Diff().GraphPatched || stats.PatchedEdges != fs.Diff().PatchedEdges {
+			t.Fatalf("tick %d: DiffStats drops patch counters: %+v", i, stats)
+		}
+	}
+	if patchedTicks == 0 {
+		t.Fatal("fast pool never took the clone-and-patch graph path")
+	}
+	if patchedEdges == 0 {
+		t.Fatal("no edges were ever patched across structural ticks")
+	}
+}
+
+// TestPooledPatchKnobForcesRebuild locks in the knob semantics: with graph
+// patching disabled every tick rebuilds (GraphPatched stays false), and
+// toggling it back on resumes patching — with identical states throughout.
+func TestPooledPatchKnobForcesRebuild(t *testing.T) {
+	c := mustNew(t, testConfig(t, orbit.ModelKepler))
+	tp := &tickingPool{pool: c.NewSnapshotPool()}
+	tp.pool.SetGraphPatch(false)
+	for i := 0; i < 3; i++ {
+		st := tp.tick(t, 10+float64(i)*7.5)
+		if st.Diff().GraphPatched {
+			t.Fatalf("tick %d: patched with the knob off", i)
+		}
+	}
+	tp.pool.SetGraphPatch(true)
+	patched := false
+	for i := 3; i < 6; i++ {
+		offset := 10 + float64(i)*7.5
+		st := tp.tick(t, offset)
+		patched = patched || st.Diff().GraphPatched
+		fresh, err := c.SnapshotSequential(offset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertStatesIdentical(t, fresh, st)
+	}
+	if !patched {
+		t.Fatal("patching did not resume after re-enabling the knob")
+	}
+}

@@ -3,13 +3,25 @@ package constellation
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"testing"
 
 	"celestial/internal/config"
 	"celestial/internal/geom"
+	"celestial/internal/graph"
 	"celestial/internal/orbit"
 )
+
+// sortEdges orders a CSR row canonically for set comparison.
+func sortEdges(es []graph.Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].To != es[j].To {
+			return es[i].To < es[j].To
+		}
+		return es[i].Weight < es[j].Weight
+	})
+}
 
 // starlinkP1Config builds the full phase I Starlink constellation (4,409
 // satellites in five shells) with a few ground stations, the scale the
@@ -74,14 +86,21 @@ func assertStatesIdentical(t *testing.T, want, got *State) {
 	if want.g.N() != got.g.N() || want.g.M() != got.g.M() {
 		t.Fatalf("graph shape: %d/%d vs %d/%d", want.g.N(), want.g.M(), got.g.N(), got.g.M())
 	}
+	// Rows are compared as sets via the frozen CSR image: a pooled state's
+	// graph may have been clone-and-patched (stale adjacency lists, rows
+	// reordered by swap-removal), which is observationally identical.
+	var wbuf, gbuf []graph.Edge
 	for v := 0; v < want.g.N(); v++ {
-		wn, gn := want.g.Neighbors(v), got.g.Neighbors(v)
-		if len(wn) != len(gn) {
-			t.Fatalf("node %d degree: %d vs %d", v, len(wn), len(gn))
+		wbuf = want.g.FrozenRow(v, wbuf[:0])
+		gbuf = got.g.FrozenRow(v, gbuf[:0])
+		if len(wbuf) != len(gbuf) {
+			t.Fatalf("node %d degree: %d vs %d", v, len(wbuf), len(gbuf))
 		}
-		for i := range wn {
-			if wn[i] != gn[i] {
-				t.Fatalf("node %d adjacency %d: %+v vs %+v", v, i, wn[i], gn[i])
+		sortEdges(wbuf)
+		sortEdges(gbuf)
+		for i := range wbuf {
+			if wbuf[i] != gbuf[i] {
+				t.Fatalf("node %d row entry %d: %+v vs %+v", v, i, wbuf[i], gbuf[i])
 			}
 		}
 	}

@@ -87,17 +87,18 @@ type repairJob struct {
 }
 
 // repairPaths rebuilds next's shortest-path cache from prev's completed
-// entries under the tick's link deltas, so a small non-empty diff costs
-// O(affected cone) per cached source instead of a full Dijkstra recompute.
-// Each entry is repaired on a copy drawn from next's spares pool — prev may
-// still be published and leased by concurrent readers, so its entries (and
-// any entries they in turn carried) are never mutated in place, the same
+// entries under the tick's merged graph-level edge deltas (as produced by
+// appendEdgeDeltas — the pool computes them once and shares them with the
+// graph patch), so a small non-empty diff costs O(affected cone) per
+// cached source instead of a full Dijkstra recompute. Each entry is
+// repaired on a copy drawn from next's spares pool — prev may still be
+// published and leased by concurrent readers, so its entries (and any
+// entries they in turn carried) are never mutated in place, the same
 // copy-on-harvest safety rule the carry-over path follows. The work fans
 // out across GOMAXPROCS workers; results are deterministic per source, so
 // parallelism never changes a repaired tree. Runs under the pool's
 // snapshot lock, before next is published.
-func (p *SnapshotPool) repairPaths(prev, next *State) {
-	p.deltaScratch = appendEdgeDeltas(p.deltaScratch[:0], &next.diff)
+func (p *SnapshotPool) repairPaths(prev, next *State, deltas []graph.EdgeDelta) {
 	jobs := p.jobScratch[:0]
 	for i := range prev.paths {
 		src := &prev.paths[i]
@@ -113,7 +114,6 @@ func (p *SnapshotPool) repairPaths(prev, next *State) {
 	if len(jobs) == 0 {
 		return
 	}
-	deltas := p.deltaScratch
 	var repaired, fallbacks atomic.Int64
 	par.For(len(jobs), func(lo, hi int) {
 		ws := dijkstraWorkspaces.Get().(*graph.Workspace)

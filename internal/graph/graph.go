@@ -22,6 +22,18 @@ var Inf = math.Inf(1)
 // chasing per-node slice headers. The CSR is (re)built by Freeze, lazily on
 // the first shortest-path call after a mutation, or explicitly by callers
 // that run concurrent queries (a lazy build is not safe under concurrency).
+//
+// A frozen image can also be maintained without touching the adjacency
+// lists at all: CopyFrozenFrom clones another graph's image and PatchFrozen
+// applies per-link edge deltas to it in place (weight changes written
+// through, additions into per-row slack slots reserved by FreezeSlack,
+// removals by swapping with the row's last live entry). This is the
+// steady-state path of the constellation update loop, which stops paying
+// the O(N+M) re-freeze once per tick. A patched graph serves shortest-path
+// queries exactly like a rebuilt one — the canonical tie-break of runHeap
+// makes results independent of row order — but its adjacency lists are
+// stale; Reset returns it to the mutable regime.
+//
 // The zero value is not usable; create graphs with New.
 type Graph struct {
 	n   int
@@ -29,14 +41,34 @@ type Graph struct {
 	m   int
 
 	// Frozen CSR image of adj: the directed entries of node v live at
-	// indices [rowStart[v], rowStart[v+1]) of edgeTo and weight. int32
-	// halves the per-entry footprint of the hot scan (12 bytes vs the 16
-	// of Edge); node and directed-edge counts must stay below 2^31, far
-	// beyond any constellation.
+	// indices [rowStart[v], rowEnd[v]) of edgeTo and weight, with
+	// [rowEnd[v], rowStart[v+1]) unused slack for in-place additions.
+	// int32 halves the per-entry footprint of the hot scan (12 bytes vs
+	// the 16 of Edge); node and directed-edge counts must stay below
+	// 2^31, far beyond any constellation.
 	rowStart []int32
+	rowEnd   []int32
 	edgeTo   []int32
 	weight   []float64
 	frozen   bool
+
+	// patched marks a frozen image maintained by CopyFrozenFrom /
+	// PatchFrozen: the CSR arrays are authoritative and the adjacency
+	// lists stale. Only Reset leaves this mode.
+	patched bool
+
+	// patchSlack is the per-row slack the image was last spread with;
+	// compactions reuse it.
+	patchSlack int
+
+	// csrScratch holds the swap arrays of compactFrozen so periodic
+	// compactions allocate nothing once warm.
+	csrScratch struct {
+		rowStart []int32
+		rowEnd   []int32
+		edgeTo   []int32
+		weight   []float64
+	}
 
 	// zeroW records whether any zero-weight edge was inserted. The
 	// canonical tie-break rule (see runHeap) cannot order predecessors
@@ -77,6 +109,7 @@ func (g *Graph) Reset(n int) {
 	g.n = n
 	g.m = 0
 	g.frozen = false
+	g.patched = false
 	g.zeroW = false
 }
 
@@ -126,12 +159,28 @@ func (g *Graph) AddEdgeUnchecked(a, b int, weight float64) {
 // shortest-path queries (such as the constellation's sharded path cache)
 // must Freeze once beforehand — the lazy build inside a query is only safe
 // single-threaded.
-func (g *Graph) Freeze() {
+func (g *Graph) Freeze() { g.FreezeSlack(0) }
+
+// FreezeSlack is Freeze with slack unused slots reserved after every row,
+// giving later PatchFrozen calls room to add edges in place before a
+// compaction is forced. Slack does not change any query result — scans
+// cover only the live range [rowStart[v], rowEnd[v]).
+func (g *Graph) FreezeSlack(slack int) {
 	if g.frozen {
 		return
 	}
-	dir := 2 * g.m
+	if g.patched {
+		// The adjacency lists went stale the moment the image was
+		// patched; rebuilding from them would silently revert the
+		// patches. Mutations after a patch must go through Reset.
+		panic("graph: Freeze after PatchFrozen without Reset")
+	}
+	if slack < 0 {
+		slack = 0
+	}
+	dir := 2*g.m + slack*g.n
 	g.rowStart = resizeSlice(g.rowStart, g.n+1)
+	g.rowEnd = resizeSlice(g.rowEnd, g.n)
 	g.edgeTo = resizeSlice(g.edgeTo, dir)
 	g.weight = resizeSlice(g.weight, dir)
 	off := int32(0)
@@ -142,13 +191,192 @@ func (g *Graph) Freeze() {
 			g.weight[off] = e.Weight
 			off++
 		}
+		g.rowEnd[v] = off
+		off += int32(slack)
 	}
 	g.rowStart[g.n] = off
+	g.patchSlack = slack
 	g.frozen = true
 }
 
 // Frozen reports whether the CSR image is current.
 func (g *Graph) Frozen() bool { return g.frozen }
+
+// CopyFrozenFrom clones src's frozen CSR image into g, reusing g's backing
+// arrays. It is the cheap half of the steady-state graph path: three flat
+// array copies replace the per-edge adjacency rebuild plus re-freeze, and
+// PatchFrozen then applies the tick's link deltas on top. src must be
+// frozen and is only read, so a published snapshot's graph can be cloned
+// while concurrent readers query it. g ends up frozen and patched (its
+// adjacency lists are stale until Reset); g and src must be distinct.
+func (g *Graph) CopyFrozenFrom(src *Graph) error {
+	if src == nil || !src.frozen {
+		return fmt.Errorf("graph: CopyFrozenFrom needs a frozen source")
+	}
+	if src == g {
+		return fmt.Errorf("graph: CopyFrozenFrom from itself")
+	}
+	g.n = src.n
+	g.m = src.m
+	g.zeroW = src.zeroW
+	g.patchSlack = src.patchSlack
+	g.rowStart = resizeSlice(g.rowStart, len(src.rowStart))
+	copy(g.rowStart, src.rowStart)
+	g.rowEnd = resizeSlice(g.rowEnd, len(src.rowEnd))
+	copy(g.rowEnd, src.rowEnd)
+	g.edgeTo = resizeSlice(g.edgeTo, len(src.edgeTo))
+	copy(g.edgeTo, src.edgeTo)
+	g.weight = resizeSlice(g.weight, len(src.weight))
+	copy(g.weight, src.weight)
+	g.frozen = true
+	g.patched = true
+	return nil
+}
+
+// defaultPatchSlack is the per-row slack a compaction re-spreads the image
+// with when the original freeze reserved none.
+const defaultPatchSlack = 4
+
+// PatchFrozen applies per-link edge deltas directly to the frozen CSR
+// image: weight changes are written in place on both directed entries,
+// removals swap the entry with its row's last live one (shrinking the live
+// range and returning the slot to slack), and additions fill a slack slot —
+// forcing a compaction that re-spreads every row with fresh slack when the
+// row is full. Deltas follow the EdgeDelta convention of RepairSSSP: a
+// negative side marks absence, and every (A, B, OldW) of a removal or
+// weight change must name exactly the live entry the image holds (the
+// per-link merged deltas of a constellation diff do).
+//
+// Patching mutates only the CSR arrays; the adjacency lists are stale
+// afterwards and only Reset leaves the patched mode (Freeze panics to keep
+// a stale rebuild from silently reverting patches). Because the canonical
+// tie-break of runHeap makes shortest paths independent of row order, a
+// patched image yields bit-identical Dijkstra and RepairSSSP results to a
+// graph rebuilt and frozen from scratch with the same edge set.
+//
+// On an unmatched delta the image is left partially patched and an error is
+// returned; the caller must rebuild from scratch (the constellation pool
+// falls back to the full assembly path).
+func (g *Graph) PatchFrozen(deltas []EdgeDelta) error {
+	if !g.frozen {
+		return fmt.Errorf("graph: PatchFrozen on an unfrozen graph")
+	}
+	for _, d := range deltas {
+		if d.A < 0 || d.A >= g.n || d.B < 0 || d.B >= g.n || d.A == d.B {
+			return fmt.Errorf("graph: invalid edge delta (%d, %d) on %d nodes", d.A, d.B, g.n)
+		}
+		if d.OldW < 0 && d.NewW < 0 {
+			continue // absent on both sides: nothing to do
+		}
+		g.patched = true
+		switch {
+		case d.OldW < 0:
+			// Addition into the slack slots of both rows.
+			if d.NewW == 0 {
+				g.zeroW = true
+			}
+			g.addDirected(d.A, d.B, d.NewW)
+			g.addDirected(d.B, d.A, d.NewW)
+			g.m++
+		case d.NewW < 0:
+			// Removal: swap with the last live entry of each row.
+			if err := g.removeDirected(d.A, d.B, d.OldW); err != nil {
+				return err
+			}
+			if err := g.removeDirected(d.B, d.A, d.OldW); err != nil {
+				return err
+			}
+			g.m--
+		default:
+			if d.NewW == 0 {
+				g.zeroW = true
+			}
+			if err := g.reweightDirected(d.A, d.B, d.OldW, d.NewW); err != nil {
+				return err
+			}
+			if err := g.reweightDirected(d.B, d.A, d.OldW, d.NewW); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addDirected appends a directed CSR entry into row a's slack, compacting
+// the whole image first when the row is full.
+func (g *Graph) addDirected(a, b int, w float64) {
+	if g.rowEnd[a] == g.rowStart[a+1] {
+		slack := g.patchSlack
+		if slack <= 0 {
+			slack = defaultPatchSlack
+		}
+		g.compactFrozen(slack)
+	}
+	at := g.rowEnd[a]
+	g.edgeTo[at] = int32(b)
+	g.weight[at] = w
+	g.rowEnd[a] = at + 1
+}
+
+// removeDirected deletes the directed entry (a -> b, weight w) by swapping
+// the row's last live entry into its place.
+func (g *Graph) removeDirected(a, b int, w float64) error {
+	for idx := g.rowStart[a]; idx < g.rowEnd[a]; idx++ {
+		if g.edgeTo[idx] == int32(b) && g.weight[idx] == w {
+			last := g.rowEnd[a] - 1
+			g.edgeTo[idx] = g.edgeTo[last]
+			g.weight[idx] = g.weight[last]
+			g.rowEnd[a] = last
+			return nil
+		}
+	}
+	return fmt.Errorf("graph: patch removal (%d, %d, %v): no such edge", a, b, w)
+}
+
+// reweightDirected rewrites the weight of the directed entry (a -> b,
+// weight oldW) in place.
+func (g *Graph) reweightDirected(a, b int, oldW, newW float64) error {
+	for idx := g.rowStart[a]; idx < g.rowEnd[a]; idx++ {
+		if g.edgeTo[idx] == int32(b) && g.weight[idx] == oldW {
+			g.weight[idx] = newW
+			return nil
+		}
+	}
+	return fmt.Errorf("graph: patch reweight (%d, %d, %v): no such edge", a, b, oldW)
+}
+
+// compactFrozen re-spreads the CSR image so every row gets slack free
+// slots again, using the scratch arrays kept on the graph (the periodic
+// compaction of a long patch chain allocates nothing once warm). Live
+// entries keep their order, so compaction never changes a query result.
+func (g *Graph) compactFrozen(slack int) {
+	dir := 0
+	for v := 0; v < g.n; v++ {
+		dir += int(g.rowEnd[v] - g.rowStart[v])
+	}
+	dir += slack * g.n
+	s := &g.csrScratch
+	s.rowStart = resizeSlice(s.rowStart, g.n+1)
+	s.rowEnd = resizeSlice(s.rowEnd, g.n)
+	s.edgeTo = resizeSlice(s.edgeTo, dir)
+	s.weight = resizeSlice(s.weight, dir)
+	off := int32(0)
+	for v := 0; v < g.n; v++ {
+		s.rowStart[v] = off
+		n := g.rowEnd[v] - g.rowStart[v]
+		copy(s.edgeTo[off:off+n], g.edgeTo[g.rowStart[v]:g.rowEnd[v]])
+		copy(s.weight[off:off+n], g.weight[g.rowStart[v]:g.rowEnd[v]])
+		off += n
+		s.rowEnd[v] = off
+		off += int32(slack)
+	}
+	s.rowStart[g.n] = off
+	g.rowStart, s.rowStart = s.rowStart, g.rowStart
+	g.rowEnd, s.rowEnd = s.rowEnd, g.rowEnd
+	g.edgeTo, s.edgeTo = s.edgeTo, g.edgeTo
+	g.weight, s.weight = s.weight, g.weight
+	g.patchSlack = slack
+}
 
 // resizeSlice returns s with length n, reusing its backing array when large
 // enough.
@@ -159,8 +387,26 @@ func resizeSlice[T any](s []T, n int) []T {
 	return s[:n]
 }
 
+// FrozenRow appends node v's live entries from the frozen CSR image to buf
+// and returns it. Unlike Neighbors it reflects PatchFrozen mutations, so
+// differential tests can compare a patched image against a rebuilt one;
+// entry order within a row is unspecified (patching reorders rows), so
+// callers should compare rows as sets. It returns buf unchanged when the
+// graph is not frozen or v is out of range.
+func (g *Graph) FrozenRow(v int, buf []Edge) []Edge {
+	if !g.frozen || v < 0 || v >= g.n {
+		return buf
+	}
+	for idx := g.rowStart[v]; idx < g.rowEnd[v]; idx++ {
+		buf = append(buf, Edge{To: int(g.edgeTo[idx]), Weight: g.weight[idx]})
+	}
+	return buf
+}
+
 // Neighbors returns the adjacency list of a node. The returned slice is
-// owned by the graph and must not be modified.
+// owned by the graph and must not be modified; for a graph in patched mode
+// (CopyFrozenFrom/PatchFrozen) the adjacency lists are stale — use
+// FrozenRow there.
 func (g *Graph) Neighbors(node int) []Edge {
 	if node < 0 || node >= g.n {
 		return nil
@@ -339,7 +585,7 @@ func (g *Graph) dijkstra(src int, transit func(node int) bool, dist []float64, p
 // zero-weight edges keep a deterministic but order-dependent tree, which is
 // why RepairSSSP refuses its fast path on them.
 func (g *Graph) runHeap(sp *ShortestPaths, transit func(node int) bool, h *minHeap) {
-	rs, et, wt := g.rowStart, g.edgeTo, g.weight
+	rs, re, et, wt := g.rowStart, g.rowEnd, g.edgeTo, g.weight
 	src := sp.Source
 	for len(*h) > 0 {
 		it := h.pop()
@@ -349,7 +595,7 @@ func (g *Graph) runHeap(sp *ShortestPaths, transit func(node int) bool, h *minHe
 		if transit != nil && it.node != src && !transit(it.node) {
 			continue // reachable, but not allowed to forward
 		}
-		for idx := rs[it.node]; idx < rs[it.node+1]; idx++ {
+		for idx := rs[it.node]; idx < re[it.node]; idx++ {
 			to := int(et[idx])
 			w := wt[idx]
 			nd := it.dist + w

@@ -110,10 +110,10 @@ func (g *Graph) RepairSSSP(sp *ShortestPaths, deltas []EdgeDelta, transit func(n
 	// Tree edges still present are found by scanning the new CSR; tree
 	// edges that were themselves removed rooted their child directly in
 	// phase 1.
-	rs, et := g.rowStart, g.edgeTo
+	rs, re, et := g.rowStart, g.rowEnd, g.edgeTo
 	for i := 0; i < len(queue); i++ {
 		u := int(queue[i])
-		for idx := rs[u]; idx < rs[u+1]; idx++ {
+		for idx := rs[u]; idx < re[u]; idx++ {
 			v := int(et[idx])
 			if sp.Prev[v] == u && stamp[v] != cone {
 				stamp[v] = cone
@@ -148,7 +148,7 @@ func (g *Graph) RepairSSSP(sp *ShortestPaths, deltas []EdgeDelta, transit func(n
 	for _, u := range queue {
 		b := int(u)
 		bd, bp := Inf, -1
-		for idx := rs[b]; idx < rs[b+1]; idx++ {
+		for idx := rs[b]; idx < re[b]; idx++ {
 			v := int(et[idx])
 			if stamp[v] == cone {
 				continue // unsettled alongside b

@@ -329,6 +329,26 @@ func StarlinkPhase1(model Model) []ShellConfig {
 	}
 }
 
+// StarlinkGen2 returns the nine shells of the FCC-filed second-generation
+// Starlink constellation: 29,988 satellites, dominated by three dense
+// VLEO layers at 340–350 km plus mid-inclination shells around 525–535 km,
+// a near-polar shell at 360 km and two small retrograde shells. This is
+// the scale target of the Gen2 fast path: incremental visibility updates,
+// in-place CSR patching and arena-backed snapshots.
+func StarlinkGen2(model Model) []ShellConfig {
+	return []ShellConfig{
+		{Name: "gen2-1", Planes: 48, SatsPerPlane: 110, AltitudeKm: 340, InclinationDeg: 53.0, ArcDeg: 360, PhasingFactor: 17, Model: model},
+		{Name: "gen2-2", Planes: 48, SatsPerPlane: 110, AltitudeKm: 345, InclinationDeg: 46.0, ArcDeg: 360, PhasingFactor: 17, Model: model},
+		{Name: "gen2-3", Planes: 48, SatsPerPlane: 110, AltitudeKm: 350, InclinationDeg: 38.0, ArcDeg: 360, PhasingFactor: 17, Model: model},
+		{Name: "gen2-4", Planes: 30, SatsPerPlane: 120, AltitudeKm: 360, InclinationDeg: 96.9, ArcDeg: 360, PhasingFactor: 1, Model: model},
+		{Name: "gen2-5", Planes: 28, SatsPerPlane: 120, AltitudeKm: 525, InclinationDeg: 53.0, ArcDeg: 360, PhasingFactor: 17, Model: model},
+		{Name: "gen2-6", Planes: 28, SatsPerPlane: 120, AltitudeKm: 530, InclinationDeg: 43.0, ArcDeg: 360, PhasingFactor: 17, Model: model},
+		{Name: "gen2-7", Planes: 28, SatsPerPlane: 120, AltitudeKm: 535, InclinationDeg: 33.0, ArcDeg: 360, PhasingFactor: 17, Model: model},
+		{Name: "gen2-8", Planes: 12, SatsPerPlane: 12, AltitudeKm: 604, InclinationDeg: 148.0, ArcDeg: 360, PhasingFactor: 1, Model: model},
+		{Name: "gen2-9", Planes: 18, SatsPerPlane: 18, AltitudeKm: 614, InclinationDeg: 115.7, ArcDeg: 360, PhasingFactor: 1, Model: model},
+	}
+}
+
 // Iridium returns the Iridium constellation used in the paper's case study
 // (§5): a single shell of 66 satellites in 6 planes at 780 km altitude in a
 // polar orbit (90° inclination), with planes spaced evenly over only half

@@ -26,6 +26,17 @@ func For(n int, fn func(lo, hi int)) {
 // as 1. It is the hook the sequential reference implementation uses
 // (workers = 1 runs chunks in order on the calling goroutine).
 func ForWorkers(n, workers int, fn func(lo, hi int)) {
+	ForWorkersIndexed(n, workers, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ForWorkersIndexed is ForWorkers passing each chunk its worker index w in
+// [0, Chunks(n, workers)). The index identifies the chunk, not the OS
+// thread, and the chunk boundaries are a pure function of (n, workers) — so
+// per-worker scratch slots indexed by w give lock-free reductions whose
+// inputs are deterministic (a requirement for exact-float reductions like
+// the visibility index's maximum radius staying byte-identical across
+// runs).
+func ForWorkersIndexed(n, workers int, fn func(w, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -33,7 +44,7 @@ func ForWorkers(n, workers int, fn func(lo, hi int)) {
 		workers = n
 	}
 	if workers <= 1 {
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -47,13 +58,29 @@ func ForWorkers(n, workers int, fn func(lo, hi int)) {
 		if w < rem {
 			hi++
 		}
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			fn(w, lo, hi)
+		}(w, lo, hi)
 		lo = hi
 	}
 	wg.Wait()
+}
+
+// Chunks returns the number of chunks ForWorkersIndexed splits n elements
+// into for the given worker count — the size a per-worker scratch array
+// needs.
+func Chunks(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return 1
+	}
+	return workers
 }
 
 // FirstError collects at most one error from concurrent chunk workers. The

@@ -94,6 +94,8 @@ type TickReport struct {
 	CarriedPaths    int `json:"carried_paths"`
 	RepairedPaths   int `json:"repaired_paths"`
 	RepairFallbacks int `json:"repair_fallbacks"`
+	PatchedTicks    int `json:"patched_ticks"`
+	PatchedEdges    int `json:"patched_edges"`
 }
 
 // NetworkReport are the virtual network's global delivery counters.

@@ -303,6 +303,10 @@ func (r *Runner) observeTick() {
 	t.CarriedPaths += d.CarriedPaths
 	t.RepairedPaths += d.RepairedPaths
 	t.RepairFallbacks += d.RepairFallbacks
+	if d.GraphPatched {
+		t.PatchedTicks++
+	}
+	t.PatchedEdges += d.PatchedEdges
 }
 
 // Run executes the scenario: it boots the testbed, schedules every flow

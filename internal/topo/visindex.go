@@ -3,7 +3,6 @@ package topo
 import (
 	"math"
 	"sort"
-	"sync"
 
 	"celestial/internal/geom"
 	"celestial/internal/par"
@@ -28,8 +27,14 @@ import (
 // VisibleSatsInto for any minimum elevation ≥ 0.
 //
 // A VisIndex is built for one snapshot's positions and queried read-only;
-// Build may be called again each tick to reuse all buffers. Build and
-// queries must not overlap.
+// Build rebuilds the buckets from scratch each call, while Update — the
+// steady-state path — re-buckets only the satellites that crossed a grid
+// cell boundary since the previous tick, which at a 1 s step is a small
+// fraction of the shell. Both reuse all buffers; builds/updates and
+// queries must not overlap. Query results are identical either way: the
+// buckets hold the same satellite sets (only their internal order may
+// differ) and VisibleInto sorts its output by the total (distance, index)
+// order, so enumeration order never shows.
 type VisIndex struct {
 	sats        []geom.Vec3
 	cellDeg     float64
@@ -37,53 +42,119 @@ type VisIndex struct {
 	lonCells    int
 	maxRadiusKm float64
 
-	// cellOf[i] is the grid cell of satellite i; start/idx are the CSR
-	// buckets (idx holds satellite indices grouped by cell, ascending
-	// within each cell so queries enumerate candidates deterministically).
+	// cellOf[i] is the grid cell of satellite i. The buckets are a slack
+	// CSR: cell c owns slots [start[c], start[c+1]) of idx, of which the
+	// first cnt[c] are live satellite indices; slot[i] locates satellite i
+	// within idx so Update can remove it in O(1) by swapping with its
+	// cell's last live entry. cur is counting-sort scratch.
 	cellOf []int32
 	start  []int32
+	cnt    []int32
 	cur    []int32
 	idx    []int32
+	slot   []int32
+
+	// newCell is Update's scratch for the recomputed cells; partialMax
+	// holds the per-worker maximum radii reduced after the parallel join.
+	newCell    []int32
+	partialMax []float64
+
+	// built marks that the bucket arrays describe ix.sats' generation, so
+	// Update can patch them instead of rebuilding.
+	built bool
 }
 
-// visIndexMaxRadius tracks the largest satellite radius seen by concurrent
-// build workers. Max is commutative and exact in floating point, so the
-// result is independent of the chunking — a requirement for parallel
-// snapshots staying byte-identical to sequential ones.
-type visIndexMaxRadius struct {
-	mu sync.Mutex
-	r  float64
-}
+// bucketSlack is the number of free slots reserved per grid cell beyond
+// its current population. A cell that gains more than this many satellites
+// net (between repacks) forces a full repack that re-spreads the slack;
+// with ~1 s ticks only a tiny fraction of a shell crosses a cell boundary
+// per tick, so repacks are rare.
+const bucketSlack = 4
 
 // Build indexes the given satellite positions on a grid with ~cellSizeDeg
 // cells, fanning the per-satellite spherical coordinate computation over
 // the given worker count. The positions slice is retained (not copied)
-// until the next Build.
+// until the next Build or Update.
 func (ix *VisIndex) Build(sats []geom.Vec3, cellSizeDeg float64, workers int) {
-	if cellSizeDeg <= 0 {
-		cellSizeDeg = 8
+	ix.prepare(sats, cellSizeDeg)
+	if len(sats) == 0 {
+		return
 	}
-	cellSizeDeg = math.Min(math.Max(cellSizeDeg, 1), 30)
+	ix.scanCells(sats, workers, ix.cellOf)
+	ix.pack()
+	ix.built = true
+}
+
+// Update re-buckets only the satellites whose grid cell changed since the
+// previous Build or Update, patching the CSR buckets in place (per-cell
+// swap-remove and slack-append) instead of re-running the counting sort.
+// The maximum radius is still recomputed exactly over all satellites — it
+// can shrink, and the candidate bound needs the true maximum — so the
+// index state after Update is query-identical to a fresh Build over the
+// same positions. The satellite count and grid geometry must match the
+// previous generation; any mismatch (or a cold index) falls back to Build.
+func (ix *VisIndex) Update(sats []geom.Vec3, cellSizeDeg float64, workers int) {
+	if !ix.built || len(sats) != len(ix.cellOf) || len(sats) == 0 ||
+		normalizedCellDeg(cellSizeDeg) != ix.cellDeg {
+		ix.Build(sats, cellSizeDeg, workers)
+		return
+	}
 	ix.sats = sats
-	ix.cellDeg = cellSizeDeg
-	ix.latCells = int(math.Ceil(180 / cellSizeDeg))
-	ix.lonCells = int(math.Ceil(360 / cellSizeDeg))
+	ix.newCell = resizeInt32(ix.newCell, len(sats))
+	ix.scanCells(sats, workers, ix.newCell)
+	for i, c := range ix.newCell {
+		if c != ix.cellOf[i] {
+			ix.move(int32(i), c)
+		}
+	}
+}
+
+// prepare records the grid geometry and sizes the per-satellite arrays.
+func (ix *VisIndex) prepare(sats []geom.Vec3, cellSizeDeg float64) {
+	ix.sats = sats
+	ix.cellDeg = normalizedCellDeg(cellSizeDeg)
+	ix.latCells = int(math.Ceil(180 / ix.cellDeg))
+	ix.lonCells = int(math.Ceil(360 / ix.cellDeg))
 	cells := ix.latCells * ix.lonCells
 
 	ix.cellOf = resizeInt32(ix.cellOf, len(sats))
 	ix.start = resizeInt32(ix.start, cells+1)
+	ix.cnt = resizeInt32(ix.cnt, cells)
 	ix.cur = resizeInt32(ix.cur, cells)
-	ix.idx = resizeInt32(ix.idx, len(sats))
+	ix.slot = resizeInt32(ix.slot, len(sats))
 	if len(sats) == 0 {
 		for i := range ix.start {
 			ix.start[i] = 0
 		}
+		for i := range ix.cnt {
+			ix.cnt[i] = 0
+		}
+		ix.idx = ix.idx[:0]
 		ix.maxRadiusKm = 0
-		return
+		ix.built = false
 	}
+}
 
-	var maxR visIndexMaxRadius
-	par.ForWorkers(len(sats), workers, func(lo, hi int) {
+func normalizedCellDeg(cellSizeDeg float64) float64 {
+	if cellSizeDeg <= 0 {
+		cellSizeDeg = 8
+	}
+	return math.Min(math.Max(cellSizeDeg, 1), 30)
+}
+
+// scanCells computes every satellite's grid cell into dst and the exact
+// maximum radius, fanned over workers. The maximum is reduced from
+// per-worker partials after the join: chunk boundaries are a pure function
+// of (n, workers) and float max is exact and commutative, so the result is
+// byte-identical to a sequential scan with no lock traffic on the hot
+// build path.
+func (ix *VisIndex) scanCells(sats []geom.Vec3, workers int, dst []int32) {
+	chunks := par.Chunks(len(sats), workers)
+	if cap(ix.partialMax) < chunks {
+		ix.partialMax = make([]float64, chunks)
+	}
+	partial := ix.partialMax[:chunks]
+	par.ForWorkersIndexed(len(sats), workers, func(w, lo, hi int) {
 		localMax := 0.0
 		for i := lo; i < hi; i++ {
 			s := sats[i]
@@ -91,31 +162,66 @@ func (ix *VisIndex) Build(sats []geom.Vec3, cellSizeDeg float64, workers int) {
 			if r > localMax {
 				localMax = r
 			}
-			ix.cellOf[i] = int32(ix.cellAt(latDegOf(s, r), geom.Deg(math.Atan2(s.Y, s.X))))
+			dst[i] = int32(ix.cellAt(latDegOf(s, r), geom.Deg(math.Atan2(s.Y, s.X))))
 		}
-		maxR.mu.Lock()
-		if localMax > maxR.r {
-			maxR.r = localMax
-		}
-		maxR.mu.Unlock()
+		partial[w] = localMax
 	})
-	ix.maxRadiusKm = maxR.r
+	maxR := 0.0
+	for _, r := range partial {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	ix.maxRadiusKm = maxR
+}
 
-	// Counting sort into CSR buckets, ascending satellite index per cell.
-	for i := range ix.start {
-		ix.start[i] = 0
+// pack (re)builds the slack CSR buckets from cellOf by counting sort,
+// reserving bucketSlack free slots per cell. Live entries end up in
+// ascending satellite order within each cell.
+func (ix *VisIndex) pack() {
+	cells := ix.latCells * ix.lonCells
+	ix.idx = resizeInt32(ix.idx, len(ix.cellOf)+bucketSlack*cells)
+	for c := 0; c < cells; c++ {
+		ix.cnt[c] = 0
 	}
 	for _, c := range ix.cellOf {
-		ix.start[c+1]++
+		ix.cnt[c]++
 	}
+	off := int32(0)
 	for c := 0; c < cells; c++ {
-		ix.start[c+1] += ix.start[c]
-		ix.cur[c] = ix.start[c]
+		ix.start[c] = off
+		ix.cur[c] = off
+		off += ix.cnt[c] + bucketSlack
 	}
+	ix.start[cells] = off
 	for i, c := range ix.cellOf {
 		ix.idx[ix.cur[c]] = int32(i)
+		ix.slot[i] = ix.cur[c]
 		ix.cur[c]++
 	}
+}
+
+// move transfers satellite i from its current bucket to cell c: a swap
+// with the old cell's last live entry, then an append into the new cell's
+// slack — repacking the whole index first when that cell is full.
+func (ix *VisIndex) move(i, c int32) {
+	old := ix.cellOf[i]
+	last := ix.start[old] + ix.cnt[old] - 1
+	at := ix.slot[i]
+	moved := ix.idx[last]
+	ix.idx[at] = moved
+	ix.slot[moved] = at
+	ix.cnt[old]--
+
+	ix.cellOf[i] = c
+	if ix.start[c]+ix.cnt[c] == ix.start[c+1] {
+		ix.pack() // cell out of slack: re-spread, which also places i
+		return
+	}
+	dst := ix.start[c] + ix.cnt[c]
+	ix.idx[dst] = i
+	ix.slot[i] = dst
+	ix.cnt[c]++
 }
 
 // latDegOf returns the geocentric latitude of a position with known radius.
@@ -216,7 +322,8 @@ func (ix *VisIndex) VisibleInto(station geom.Vec3, minElevDeg float64, buf []Upl
 				lc += ix.lonCells
 			}
 			cell := band*ix.lonCells + lc
-			for _, si := range ix.idx[ix.start[cell]:ix.start[cell+1]] {
+			live := ix.idx[ix.start[cell] : ix.start[cell]+ix.cnt[cell]]
+			for _, si := range live {
 				s := ix.sats[si]
 				el := geom.ElevationDeg(station, s)
 				if el >= minElevDeg {
