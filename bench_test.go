@@ -22,6 +22,7 @@ import (
 	"celestial/internal/geom"
 	"celestial/internal/orbit"
 	"celestial/internal/stats"
+	"celestial/internal/supervise"
 )
 
 // runReport executes one experiment per benchmark iteration and fails the
@@ -360,6 +361,23 @@ func BenchmarkTickUpdateGen2(b *testing.B) {
 	cons := gen2With100GSTs(b)
 	pool := cons.NewSnapshotPool()
 	gst := cons.NodeCount() - 1
+	// Tick supervision runs live during the measurement, exactly as a
+	// watchdog-enabled coordinator would drive this pipeline: per-stage
+	// timings feed the watchdog's projections against the 1 s real-time
+	// budget, and the fraction of ticks it would have degraded is
+	// reported as a metric. The observation itself is a few clock reads
+	// and EWMA updates per tick — it must not move the tick cost.
+	wd := supervise.New(supervise.Config{Interval: time.Second})
+	pool.SetStageTimer(func(stage string, d time.Duration) {
+		switch stage {
+		case "snapshot":
+			wd.Observe(supervise.StageSnapshot, d)
+		case "diff":
+			wd.Observe(supervise.StageDiff, d)
+		case "repair":
+			wd.Observe(supervise.StagePathRepair, d)
+		}
+	})
 	// Prime the double buffer: the cold-start tick pays the full build
 	// and is excluded from the steady-state measurement.
 	prev, err := pool.Snapshot(0)
@@ -374,6 +392,7 @@ func BenchmarkTickUpdateGen2(b *testing.B) {
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
+		wd.BeginTick()
 		st, err := pool.Snapshot(float64(i + 1))
 		if err != nil {
 			b.Fatal(err)
@@ -388,11 +407,13 @@ func BenchmarkTickUpdateGen2(b *testing.B) {
 		}
 		pool.Recycle(prev)
 		prev = st
+		wd.EndTick()
 	}
 	elapsed := time.Since(start)
 	b.StopTimer()
 	b.ReportMetric(float64(patchedTicks)/float64(b.N), "patched-tick-frac")
 	b.ReportMetric(float64(patchedEdges)/float64(b.N), "patched-edges/op")
+	b.ReportMetric(float64(wd.Stats().DegradedTicks)/float64(b.N), "degraded-tick-frac")
 	if mean := elapsed / time.Duration(b.N); mean > time.Second {
 		b.Fatalf("steady-state Gen2 tick took %v, over the 1 s real-time bound", mean)
 	}

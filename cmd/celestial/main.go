@@ -8,6 +8,7 @@
 //
 //	celestial -config testbed.toml [-progress 30s] [-dns :5353] [-http :8080] [-wall]
 //	celestial -scenario run.toml [-horizon 10s] [-report out.json] [-http :8080]
+//	celestial -scenario run.toml -checkpoint run.ckpt [-checkpoint-every 5] [-resume]
 //
 // Without -wall the emulation runs in virtual time (a 10-minute experiment
 // finishes in seconds); with -wall it advances in real time so external
@@ -23,6 +24,13 @@
 // GET /diff server-sent event stream) serves concurrently with the run,
 // so external tools can watch link and activity deltas as the scenario
 // executes.
+//
+// -checkpoint persists a crash-safe snapshot of the run state at tick
+// boundaries (atomic write: temp file, fsync, rename). After a crash — or
+// a scripted one via -crash-after-ticks — rerunning with -resume replays
+// the run deterministically from the epoch, verifies the replayed state
+// against the checkpoint field for field, and continues to the horizon;
+// the resumed report is byte-identical to an uninterrupted run's.
 package main
 
 import (
@@ -45,6 +53,10 @@ func main() {
 	scenarioPath := flag.String("scenario", "", "path to a TOML scenario file (overrides -config mode)")
 	horizon := flag.Duration("horizon", 0, "truncate the scenario horizon (scenario mode only; a no-op when the scenario is already shorter)")
 	reportPath := flag.String("report", "", "write the scenario run report to this file (default stdout)")
+	checkpointPath := flag.String("checkpoint", "", "persist a crash-safe run checkpoint to this file at tick boundaries (scenario mode only)")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "checkpoint period in ticks")
+	resume := flag.Bool("resume", false, "resume a killed run from the -checkpoint file: replay deterministically, verify against the checkpoint, continue")
+	crashAfter := flag.Int("crash-after-ticks", 0, "exit hard after this many ticks, after checkpoint persistence (crash/resume testing)")
 	progress := flag.Duration("progress", 30*time.Second, "virtual-time interval between progress reports")
 	dnsAddr := flag.String("dns", "", "UDP address to serve testbed DNS on (e.g. :5353)")
 	httpAddr := flag.String("http", "", "TCP address to serve the HTTP info API on (e.g. :8080)")
@@ -52,7 +64,16 @@ func main() {
 	flag.Parse()
 
 	if *scenarioPath != "" {
-		runScenario(*scenarioPath, *horizon, *reportPath, *httpAddr)
+		runScenario(scenarioOpts{
+			path:            *scenarioPath,
+			horizon:         *horizon,
+			reportPath:      *reportPath,
+			httpAddr:        *httpAddr,
+			checkpointPath:  *checkpointPath,
+			checkpointEvery: *checkpointEvery,
+			resume:          *resume,
+			crashAfter:      *crashAfter,
+		})
 		return
 	}
 	if *configPath == "" {
@@ -149,15 +170,29 @@ func main() {
 	log.Printf("experiment complete at t=%.0fs", tb.ElapsedSeconds())
 }
 
+// scenarioOpts bundles the scenario-mode flags.
+type scenarioOpts struct {
+	path            string
+	horizon         time.Duration
+	reportPath      string
+	httpAddr        string
+	checkpointPath  string
+	checkpointEvery int
+	resume          bool
+	crashAfter      int
+}
+
 // runScenario executes a declarative scenario file and writes its run
-// report, optionally serving the information service alongside the run.
-func runScenario(path string, horizon time.Duration, reportPath, httpAddr string) {
-	sc, err := scenario.ParseFile(path)
+// report, optionally serving the information service alongside the run,
+// checkpointing the run state at tick boundaries, and resuming a killed
+// run from its checkpoint.
+func runScenario(o scenarioOpts) {
+	sc, err := scenario.ParseFile(o.path)
 	if err != nil {
 		log.Fatalf("celestial: %v", err)
 	}
-	if horizon > 0 && horizon < sc.Horizon {
-		if err := sc.Truncate(horizon); err != nil {
+	if o.horizon > 0 && o.horizon < sc.Horizon {
+		if err := sc.Truncate(o.horizon); err != nil {
 			log.Fatalf("celestial: %v", err)
 		}
 	}
@@ -165,8 +200,8 @@ func runScenario(path string, horizon time.Duration, reportPath, httpAddr string
 	if err != nil {
 		log.Fatalf("celestial: %v", err)
 	}
-	if httpAddr != "" {
-		ln, err := net.Listen("tcp", httpAddr)
+	if o.httpAddr != "" {
+		ln, err := net.Listen("tcp", o.httpAddr)
 		if err != nil {
 			log.Fatalf("celestial: http listener: %v", err)
 		}
@@ -183,15 +218,45 @@ func runScenario(path string, horizon time.Duration, reportPath, httpAddr string
 		sc.Name, sc.Seed, cfg.TotalSatellites(), len(cfg.Shells), len(cfg.GroundStations),
 		len(sc.Flows), len(sc.Events))
 	log.Printf("horizon %v, update resolution %v", sc.Horizon, cfg.Resolution)
-	rep, err := r.Run()
+
+	runOpts := scenario.RunOptions{
+		CheckpointPath:  o.checkpointPath,
+		CheckpointEvery: o.checkpointEvery,
+	}
+	if o.resume {
+		if o.checkpointPath == "" {
+			log.Fatal("celestial: -resume requires -checkpoint")
+		}
+		cp, err := scenario.LoadCheckpoint(o.checkpointPath)
+		if err != nil {
+			log.Fatalf("celestial: %v", err)
+		}
+		runOpts.Resume = cp
+		log.Printf("resuming from checkpoint at tick %d (t=%vs): replaying prefix and verifying", cp.Tick, cp.SimS)
+	}
+	if o.crashAfter > 0 {
+		if o.checkpointPath == "" {
+			log.Fatal("celestial: -crash-after-ticks requires -checkpoint")
+		}
+		runOpts.TickHook = func(tick int) error {
+			if tick >= o.crashAfter {
+				// A hard exit, not a clean unwind: the checkpoint on
+				// disk must carry the resume on its own.
+				log.Printf("crashing at tick %d as requested", tick)
+				os.Exit(3)
+			}
+			return nil
+		}
+	}
+	rep, err := r.RunWith(runOpts)
 	if err != nil {
 		log.Fatalf("celestial: %v", err)
 	}
 	log.Printf("run complete: %d ticks, %d/%d messages delivered/dropped, %d active satellites at end",
 		rep.Ticks.Ticks, rep.Network.Delivered, rep.Network.Dropped, r.ActiveSatellites())
 	out := os.Stdout
-	if reportPath != "" {
-		f, err := os.Create(reportPath)
+	if o.reportPath != "" {
+		f, err := os.Create(o.reportPath)
 		if err != nil {
 			log.Fatalf("celestial: %v", err)
 		}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"celestial/internal/config"
 	"celestial/internal/geom"
@@ -746,6 +747,9 @@ type SnapshotPool struct {
 	// reused across Snapshot calls (which snapMu serializes).
 	deltaScratch []graph.EdgeDelta
 	jobScratch   []repairJob
+	// stageTimer, when set, receives the wall-clock duration of each
+	// Snapshot stage (see SetStageTimer).
+	stageTimer func(stage string, d time.Duration)
 }
 
 // NewSnapshotPool creates an empty pool for the constellation.
@@ -774,6 +778,10 @@ func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
 		prev, p.last = nil, nil
 	}
 	p.mu.Unlock()
+	stageStart := time.Time{}
+	if p.stageTimer != nil {
+		stageStart = time.Now()
+	}
 	out, err := p.c.snapshotInto(st, t, runtime.GOMAXPROCS(0), false)
 	if err != nil {
 		// The buffers remain reusable even when the computation
@@ -787,6 +795,11 @@ func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
 				out.Active[i] = false
 			}
 		}
+	}
+	if p.stageTimer != nil {
+		now := time.Now()
+		p.stageTimer("snapshot", now.Sub(stageStart))
+		stageStart = now
 	}
 	out.computeDiffFrom(prev)
 
@@ -818,6 +831,11 @@ func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
 	if !patched {
 		out.rebuildGraph()
 	}
+	if p.stageTimer != nil {
+		now := time.Now()
+		p.stageTimer("diff", now.Sub(stageStart))
+		stageStart = now
+	}
 
 	if prev != nil && !out.diff.Full {
 		if out.diff.LinksUnchanged() {
@@ -829,6 +847,9 @@ func (p *SnapshotPool) Snapshot(t float64) (*State, error) {
 		} else if !p.noRepair {
 			p.repairPaths(prev, out, deltas)
 		}
+	}
+	if p.stageTimer != nil {
+		p.stageTimer("repair", time.Since(stageStart))
 	}
 	p.mu.Lock()
 	p.last = out
@@ -867,6 +888,16 @@ func (p *SnapshotPool) SetPathRepair(on bool) { p.noRepair = !on }
 // tests); the knob exists for differential testing and benchmarks. It must
 // not be toggled concurrently with Snapshot.
 func (p *SnapshotPool) SetGraphPatch(on bool) { p.noGraphPatch = !on }
+
+// SetStageTimer installs a callback that receives the wall-clock duration
+// of each pooled-snapshot stage, keyed "snapshot" (propagation and state
+// assembly), "diff" (fingerprint comparison and graph materialization) and
+// "repair" (path-cache transplant or incremental repair). The coordinator's
+// tick watchdog uses these measurements to budget the update pipeline
+// against the tick interval. The callback runs on the Snapshot goroutine;
+// nil (the default) disables timing entirely. It must not be changed
+// concurrently with Snapshot.
+func (p *SnapshotPool) SetStageTimer(fn func(stage string, d time.Duration)) { p.stageTimer = fn }
 
 // Recycle returns a State's buffers to the pool. The State must not be
 // used afterwards; its next Snapshot will overwrite every buffer in place.

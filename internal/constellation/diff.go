@@ -62,6 +62,12 @@ type Diff struct {
 	// are query-identical.
 	GraphPatched bool
 	PatchedEdges int
+	// Degraded is the supervision level the producing tick ran at (the
+	// numeric supervise.Level: 0 full, 1 repair deferred, 2 distribution
+	// coalesced, 3 activity-only). Zero on unsupervised runs. It rides on
+	// the diff so downstream consumers of /diff frames can tell which
+	// deltas were produced under deadline pressure.
+	Degraded uint8
 }
 
 // Empty reports whether the diff is empty at emulation granularity: no
@@ -105,6 +111,8 @@ type DiffRecord struct {
 	CarriedPaths    int
 	RepairedPaths   int
 	RepairFallbacks int
+	// Degraded is the producing tick's supervision level, as in Diff.
+	Degraded uint8
 }
 
 // Empty reports whether the record describes an empty diff (see Diff.Empty).
@@ -142,6 +150,7 @@ func (d *Diff) AppendRecord(dst DiffRecord) DiffRecord {
 	dst.CarriedPaths = d.CarriedPaths
 	dst.RepairedPaths = d.RepairedPaths
 	dst.RepairFallbacks = d.RepairFallbacks
+	dst.Degraded = d.Degraded
 	return dst
 }
 
@@ -160,6 +169,7 @@ type DiffStats struct {
 	RepairFallbacks int
 	GraphPatched    bool
 	PatchedEdges    int
+	Degraded        uint8
 }
 
 // Stats summarizes the diff.
@@ -172,6 +182,7 @@ func (d *Diff) Stats() DiffStats {
 		CarriedPaths:  d.CarriedPaths,
 		RepairedPaths: d.RepairedPaths, RepairFallbacks: d.RepairFallbacks,
 		GraphPatched: d.GraphPatched, PatchedEdges: d.PatchedEdges,
+		Degraded: d.Degraded,
 	}
 }
 
@@ -200,6 +211,7 @@ func (st *State) computeDiffFrom(prev *State) {
 	d.RepairFallbacks = 0
 	d.GraphPatched = false
 	d.PatchedEdges = 0
+	d.Degraded = 0
 	if prev == nil || prev.c != st.c || len(prev.islQ) != len(st.islQ) ||
 		len(prev.gslOff) != len(st.gslOff) || len(prev.Active) != len(st.Active) {
 		d.Full = true

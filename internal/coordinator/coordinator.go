@@ -18,6 +18,8 @@ import (
 	"celestial/internal/faults"
 	"celestial/internal/host"
 	"celestial/internal/machine"
+	"celestial/internal/retry"
+	"celestial/internal/supervise"
 	"celestial/internal/vnet"
 )
 
@@ -61,6 +63,23 @@ type Coordinator struct {
 	// recycled.
 	leases  map[*constellation.State]int
 	retired map[*constellation.State]bool
+
+	// wd, when set, supervises each tick against the update interval and
+	// decides its degradation level (see SetWatchdog). It is only touched
+	// from the update path on the simulation goroutine.
+	wd *supervise.Watchdog
+	// pendingInvalidate and pendingActivity carry distribution work a
+	// degraded tick withheld: the next tick that is allowed to distribute
+	// invalidates the virtual network's paths and runs a full activity
+	// sweep, which is complete and idempotent, so coalescing loses
+	// nothing.
+	pendingInvalidate bool
+	pendingActivity   bool
+	// applyErrors counts host activity sweeps that still failed after
+	// retries; the error is recorded and the run continues — one stuck
+	// machine must not abort the emulation. Guarded by mu.
+	applyErrors  int
+	lastApplyErr error
 }
 
 // diffRingCap is how many recent updates' diff records the coordinator
@@ -338,6 +357,72 @@ func (c *Coordinator) ElapsedSeconds() float64 {
 	return c.sim.Now().Sub(c.cfg.Epoch).Seconds()
 }
 
+// SetWatchdog installs a tick watchdog: every update is budgeted against
+// the configured interval (the testbed's update resolution when
+// cfg.Interval is zero), and a tick projected or measured to overrun walks
+// the degradation ladder — defer path-cache repair, coalesce the diff into
+// the next tick, fall back to activity-only updates — instead of silently
+// drifting behind real time. Degradations ride on each tick's diff
+// (Diff.Degraded) and are counted in Robustness. Watchdog decisions depend
+// on wall-clock stage timings, so supervised runs trade byte-exact
+// reproducibility for bounded tick latency; leave the watchdog off for
+// differential testing. Must not be called concurrently with the update
+// loop (normally: call it before Start).
+func (c *Coordinator) SetWatchdog(cfg supervise.Config) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = c.cfg.Resolution
+	}
+	c.wd = supervise.New(cfg)
+	c.pool.SetStageTimer(func(stage string, d time.Duration) {
+		switch stage {
+		case "snapshot":
+			c.wd.Observe(supervise.StageSnapshot, d)
+		case "diff":
+			c.wd.Observe(supervise.StageDiff, d)
+		case "repair":
+			c.wd.Observe(supervise.StagePathRepair, d)
+		}
+	})
+}
+
+// Watchdog returns the installed tick watchdog, nil when unsupervised.
+func (c *Coordinator) Watchdog() *supervise.Watchdog { return c.wd }
+
+// Robustness summarizes the failure handling of a run: watchdog decisions,
+// activity sweeps that failed even after retries, and the retry middleware
+// counters aggregated over every host plus the virtual network's shaper
+// programming.
+type Robustness struct {
+	// Watchdog is zero when no watchdog is installed.
+	Watchdog supervise.Stats
+	// ApplyErrors counts ticks whose activity sweep reported at least one
+	// machine error after retries; LastApplyErr is the most recent one.
+	ApplyErrors  int
+	LastApplyErr error
+	// HostRetries aggregates machine lifecycle retry counters across all
+	// hosts; ShaperRetries counts the virtual network's shaper
+	// programming retries.
+	HostRetries   retry.Stats
+	ShaperRetries retry.Stats
+}
+
+// Robustness returns the run's failure-handling counters so far.
+func (c *Coordinator) Robustness() Robustness {
+	r := Robustness{}
+	if c.wd != nil {
+		r.Watchdog = c.wd.Stats()
+	}
+	c.mu.RLock()
+	r.ApplyErrors = c.applyErrors
+	r.LastApplyErr = c.lastApplyErr
+	c.mu.RUnlock()
+	for _, h := range c.hosts {
+		r.HostRetries.Add(h.RetryStats())
+	}
+	r.ShaperRetries = c.net.RetryStats()
+	return r
+}
+
 // update runs one constellation calculation cycle and distributes the
 // difference to the hosts, like the paper's coordinator ships link deltas
 // instead of reprogramming the whole network every epoch. Snapshots are
@@ -353,11 +438,38 @@ func (c *Coordinator) ElapsedSeconds() float64 {
 // tick. The coordinator only decides when the pipeline runs; the repair
 // mechanism itself lives in constellation and graph.
 func (c *Coordinator) update() error {
+	// Tick supervision: the watchdog projects this tick's cost from the
+	// per-stage estimates and picks the degradation level up front, so an
+	// overloaded pipeline sheds work *before* overrunning the interval.
+	level := supervise.LevelFull
+	if c.wd != nil {
+		level = c.wd.BeginTick()
+	}
+	deferRepair := level >= supervise.LevelDeferRepair
+	if deferRepair {
+		// Skip the incremental path-cache repair for this tick; queries
+		// recompute on demand, and repair resumes once the ladder steps
+		// back down.
+		c.pool.SetPathRepair(false)
+	}
 	st, err := c.pool.Snapshot(c.ElapsedSeconds())
+	if deferRepair {
+		c.pool.SetPathRepair(true)
+	}
 	if err != nil {
+		if c.wd != nil {
+			c.wd.EndTick()
+		}
 		return fmt.Errorf("coordinator: update at t=%v: %w", c.ElapsedSeconds(), err)
 	}
+	// Mid-tick check: the compute stages already ate the budget — coalesce
+	// the distribution instead of pushing the tick further past its
+	// deadline.
+	if c.wd != nil && level < supervise.LevelCoalesce && c.wd.OverBudget() {
+		level = c.wd.Escalate(supervise.LevelCoalesce)
+	}
 	d := st.Diff()
+	d.Degraded = uint8(level)
 	c.mu.Lock()
 	old := c.prev
 	c.prev = c.current
@@ -389,27 +501,74 @@ func (c *Coordinator) update() error {
 	c.mu.Unlock()
 	c.pool.Recycle(old)
 
-	if !d.Empty() {
-		// Links changed: cached per-pair paths and shaper parameters in
-		// the virtual network are stale.
-		c.net.InvalidatePaths()
+	c.distribute(st, d, level)
+	if c.wd != nil {
+		c.wd.EndTick()
 	}
+	return nil
+}
+
+// distribute ships the tick's diff to the virtual network and the hosts,
+// honoring the degradation level and any distribution debt earlier
+// coalesced ticks left behind.
+func (c *Coordinator) distribute(st *constellation.State, d *constellation.Diff, level supervise.Level) {
+	applyStart := time.Time{}
+	if c.wd != nil {
+		applyStart = time.Now()
+	}
+	needInvalidate := !d.Empty() || c.pendingInvalidate
+	needActivity := d.Full || len(d.Activated) > 0 || len(d.Deactivated) > 0 || c.pendingActivity
+
+	if level >= supervise.LevelCoalesce {
+		// Coalesce (and worse): withhold shaper reprogramming. The debt is
+		// remembered; the next tick allowed to distribute invalidates the
+		// network against the then-current state, which subsumes every
+		// coalesced delta.
+		c.pendingInvalidate = needInvalidate
+	} else if needInvalidate {
+		// Links changed (now or on a coalesced tick): cached per-pair
+		// paths and shaper parameters in the virtual network are stale.
+		c.net.InvalidatePaths()
+		c.pendingInvalidate = false
+	}
+
 	switch {
-	case d.Full || len(d.Activated) > 0 || len(d.Deactivated) > 0:
+	case level == supervise.LevelCoalesce:
+		// Machine activity is withheld too; a full sweep later applies the
+		// coalesced state (the sweep is complete and idempotent).
+		c.pendingActivity = needActivity
+	case needActivity:
+		var errs error
 		for _, h := range c.hosts {
 			if err := h.ApplyActivity(func(id int) bool { return st.Active[id] }); err != nil {
-				return err
+				if errs == nil {
+					errs = err
+				}
 			}
 		}
-	case !d.Empty():
+		c.pendingActivity = false
+		if errs != nil {
+			// Retries already ran inside the host sweep; whatever
+			// survived them is recorded, not fatal — the sweep is
+			// re-applied in full on every activity tick, so a machine
+			// that unsticks converges back to the intended state.
+			c.mu.Lock()
+			c.applyErrors++
+			c.lastApplyErr = errs
+			c.mu.Unlock()
+		}
+	case !d.Empty() && level < supervise.LevelCoalesce:
 		// Delta-only tick: the hosts reprogram links (manager CPU
 		// spike) but no machine changes state, so the per-machine
-		// activity sweep is skipped.
+		// activity sweep is skipped. Degraded ticks that withheld the
+		// reprogramming cause no spike.
 		for _, h := range c.hosts {
 			h.NoteUpdate()
 		}
 	}
-	return nil
+	if c.wd != nil {
+		c.wd.Observe(supervise.StageApply, time.Since(applyStart))
+	}
 }
 
 // Start boots all machines and begins the periodic update loop. It

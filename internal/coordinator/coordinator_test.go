@@ -12,6 +12,8 @@ import (
 	"celestial/internal/geom"
 	"celestial/internal/machine"
 	"celestial/internal/orbit"
+	"celestial/internal/retry"
+	"celestial/internal/supervise"
 	"celestial/internal/vnet"
 )
 
@@ -595,5 +597,112 @@ func TestDiffDrivenUpdatesPreserveDelivery(t *testing.T) {
 	}
 	if c.LastDiff().T == 0 && c.LastDiff().Full {
 		t.Fatalf("diff stats never advanced: %+v", c.LastDiff())
+	}
+}
+
+func TestWatchdogWalksLadderAndRecordsDegradation(t *testing.T) {
+	c, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1ns budget is impossible to meet, so every tick degrades: the
+	// first escalates mid-tick to coalesce, later ones project over budget
+	// at tick start and climb to activity-only. This drives the ladder
+	// deterministically without depending on real pipeline cost.
+	c.SetWatchdog(supervise.Config{Interval: time.Nanosecond})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Robustness()
+	if r.Watchdog.Ticks == 0 || r.Watchdog.DegradedTicks != r.Watchdog.Ticks {
+		t.Fatalf("watchdog stats = %+v", r.Watchdog)
+	}
+	if r.Watchdog.Coalesced == 0 || r.Watchdog.ActivityOnly == 0 {
+		t.Fatalf("ladder did not walk through coalesce and activity-only: %+v", r.Watchdog)
+	}
+	if lvl := c.Watchdog().Level(); lvl != supervise.LevelActivityOnly {
+		t.Fatalf("final level = %v", lvl)
+	}
+	// The degradation level rides on the retained diff records.
+	entries, ok := c.DiffsSince(0)
+	if !ok || len(entries) == 0 {
+		t.Fatal("no diff history")
+	}
+	degraded := 0
+	for _, e := range entries {
+		if e.Diff.Degraded > 0 {
+			degraded++
+		}
+	}
+	if degraded != len(entries) {
+		t.Fatalf("only %d/%d diffs marked degraded", degraded, len(entries))
+	}
+	// Machines still booted: activity-only ticks keep applying activity,
+	// so the fleet is not frozen by degradation.
+	booted := 0
+	for _, h := range c.Hosts() {
+		for _, m := range h.Machines() {
+			if m.State() == machine.Active {
+				booted++
+			}
+		}
+	}
+	if booted == 0 {
+		t.Fatal("no machine became active under permanent degradation")
+	}
+}
+
+func TestWatchdogRecoversWhenBudgetAmple(t *testing.T) {
+	c, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A huge budget is never exceeded: the pipeline must stay at full
+	// fidelity and mark nothing degraded.
+	c.SetWatchdog(supervise.Config{Interval: time.Hour})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Robustness()
+	if r.Watchdog.Ticks == 0 || r.Watchdog.DegradedTicks != 0 || r.Watchdog.Escalations != 0 {
+		t.Fatalf("watchdog stats = %+v", r.Watchdog)
+	}
+	if st := c.LastDiff(); st.Degraded != 0 {
+		t.Fatalf("last diff degraded = %d", st.Degraded)
+	}
+}
+
+func TestApplyErrorsDoNotAbortRun(t *testing.T) {
+	c, err := New(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every lifecycle attempt fails: the initial boot sweep and every
+	// later activity sweep report errors, but the run must keep going.
+	for _, h := range c.Hosts() {
+		h.SetApplyFaults(1.0, int64(h.ID())+1)
+		h.SetRetryPolicy(retry.Policy{MaxAttempts: 2}, int64(h.ID())+1)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Robustness()
+	if r.ApplyErrors == 0 || r.LastApplyErr == nil {
+		t.Fatalf("robustness = %+v", r)
+	}
+	if r.HostRetries.GaveUp == 0 || r.HostRetries.Ops == 0 {
+		t.Fatalf("host retry stats = %+v", r.HostRetries)
+	}
+	if c.Updates() < 5 {
+		t.Fatalf("run stalled at %d updates", c.Updates())
 	}
 }

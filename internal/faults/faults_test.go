@@ -241,3 +241,62 @@ func TestMTBF(t *testing.T) {
 		t.Errorf("MTBF(0) = %v", got)
 	}
 }
+
+func TestSampleZeroRateLongHorizon(t *testing.T) {
+	// A zero rate must stay event-free over an arbitrarily long horizon —
+	// and return immediately, not loop sampling infinite gaps.
+	m := SEUModel{RatePerHour: 0, ShutdownProb: 1, RebootAfter: time.Minute}
+	for _, horizon := range []time.Duration{time.Hour, 24 * 365 * time.Hour, 100 * 24 * 365 * time.Hour} {
+		evs, err := m.Sample(rand.New(rand.NewSource(9)), horizon)
+		if err != nil {
+			t.Fatalf("horizon %v: %v", horizon, err)
+		}
+		if len(evs) != 0 {
+			t.Fatalf("horizon %v produced %d events at rate 0", horizon, len(evs))
+		}
+	}
+}
+
+func TestSampleHorizonShorterThanOneExpectedEvent(t *testing.T) {
+	// One event per hour expected, but only a 1 s horizon: most draws have
+	// no event, and every event that does occur must fall inside the
+	// horizon. Across many seeds the frequency must be far below one per
+	// sample (≈ 1/3600).
+	m := validModel()
+	m.RatePerHour = 1
+	horizon := time.Second
+	total := 0
+	for seed := int64(0); seed < 2000; seed++ {
+		evs, err := m.Sample(rand.New(rand.NewSource(seed)), horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range evs {
+			if ev.At < 0 || ev.At >= horizon {
+				t.Fatalf("seed %d: event at %v outside horizon %v", seed, ev.At, horizon)
+			}
+			if ev.Until < ev.At {
+				t.Fatalf("seed %d: event ends %v before it starts %v", seed, ev.Until, ev.At)
+			}
+		}
+		total += len(evs)
+	}
+	// Expectation is 2000/3600 ≈ 0.56 events; allow generous slack but
+	// catch a model that misreads the rate unit (e.g. per second).
+	if total > 20 {
+		t.Fatalf("%d events across 2000 1s samples at 1/hour", total)
+	}
+}
+
+func TestValidateRejectsNegativeRates(t *testing.T) {
+	for _, rate := range []float64{-0.001, -1, -1e9, math.Inf(-1)} {
+		m := validModel()
+		m.RatePerHour = rate
+		if err := m.Validate(); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+		if _, err := m.Sample(rand.New(rand.NewSource(1)), time.Hour); err == nil {
+			t.Errorf("rate %v sampled", rate)
+		}
+	}
+}

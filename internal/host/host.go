@@ -15,12 +15,15 @@
 package host
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"celestial/internal/machine"
+	"celestial/internal/retry"
+	"celestial/internal/rng"
 )
 
 // Scheduler schedules callbacks at absolute times (satisfied by vnet.Sim).
@@ -105,6 +108,16 @@ type Host struct {
 	loads      map[int]float64 // workload CPU demand, fraction of allocation
 	lastUpdate time.Time
 	trace      []UsagePoint
+	retryStats retry.Stats
+
+	// retryPolicy, retryRnd, faultRate and faultRnd configure the
+	// lifecycle-op retry middleware and its fault injection; they are only
+	// touched from the apply path (the simulation goroutine) and must not
+	// be changed concurrently with it.
+	retryPolicy retry.Policy
+	retryRnd    *rng.Stream
+	faultRate   float64
+	faultRnd    *rng.Stream
 }
 
 // New creates a host. The current scheduler time marks the start of the
@@ -161,8 +174,62 @@ func (h *Host) Machines() []*machine.Machine {
 	return out
 }
 
+// SetRetryPolicy configures the retry middleware around machine lifecycle
+// operations (start, suspend, resume): transient failures are retried under
+// the policy, with jitter drawn from a stream seeded with seed. The zero
+// policy adopts retry.Default. Must not be called concurrently with
+// ApplyActivity or StartMachine.
+func (h *Host) SetRetryPolicy(p retry.Policy, seed int64) {
+	h.retryPolicy = p
+	h.retryRnd = rng.New(seed)
+}
+
+// SetApplyFaults injects transient failures into machine lifecycle
+// operations: each attempt independently fails with probability rate before
+// reaching the machine, drawn from a stream seeded with seed. The injected
+// errors are marked retry.Transient, so a configured retry policy recovers
+// from them; rate 0 disables injection. This is the scenario engine's hook
+// for exercising the retry path deterministically. Must not be called
+// concurrently with ApplyActivity or StartMachine.
+func (h *Host) SetApplyFaults(rate float64, seed int64) {
+	h.faultRate = rate
+	h.faultRnd = rng.New(seed)
+}
+
+// RetryStats returns the accumulated lifecycle-op retry counters.
+func (h *Host) RetryStats() retry.Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.retryStats
+}
+
+// lifecycleOp runs one machine lifecycle operation through the retry
+// middleware, injecting configured faults ahead of the real operation, and
+// folds the outcome into the host's retry stats.
+func (h *Host) lifecycleOp(op func() error) error {
+	attempt := op
+	if h.faultRate > 0 && h.faultRnd != nil {
+		attempt = func() error {
+			if h.faultRnd.Float64() < h.faultRate {
+				return retry.Transient(fmt.Errorf("injected apply fault"))
+			}
+			return op()
+		}
+	}
+	var rnd func() float64
+	if h.retryRnd != nil {
+		rnd = h.retryRnd.Float64
+	}
+	res := retry.Do(h.retryPolicy, rnd, attempt)
+	h.mu.Lock()
+	h.retryStats.Record(res)
+	h.mu.Unlock()
+	return res.Err
+}
+
 // StartMachine boots one machine, scheduling its boot completion after the
-// machine's boot delay.
+// machine's boot delay. The start transition runs through the retry
+// middleware (see SetRetryPolicy).
 func (h *Host) StartMachine(id int) error {
 	h.mu.Lock()
 	m, ok := h.machines[id]
@@ -171,7 +238,7 @@ func (h *Host) StartMachine(id int) error {
 		return fmt.Errorf("host %d: no machine %d", h.id, id)
 	}
 	now := h.sched.Now()
-	if err := m.Start(now); err != nil {
+	if err := h.lifecycleOp(func() error { return m.Start(now) }); err != nil {
 		return err
 	}
 	return h.sched.At(now.Add(m.BootDelay()), func() {
@@ -213,40 +280,41 @@ func (h *Host) SetLoad(id int, fraction float64) error {
 // processes for satellites inside the bounding box (their memory is then
 // kept even when they later move out, §4.2). It also records the update
 // time for the manager CPU trace.
+//
+// The sweep visits machines in node-ID order and does not stop at the
+// first failure: one stuck machine must not leave the rest of the host's
+// fleet on a stale activity state. Each transition runs through the retry
+// middleware (see SetRetryPolicy); errors that survive it are aggregated
+// with errors.Join, each naming its machine.
 func (h *Host) ApplyActivity(active func(id int) bool) error {
 	now := h.sched.Now()
 	h.mu.Lock()
 	h.lastUpdate = now
-	machines := make([]*machine.Machine, 0, len(h.machines))
-	for _, m := range h.machines {
-		machines = append(machines, m)
-	}
 	h.mu.Unlock()
 
-	for _, m := range machines {
+	var errs []error
+	for _, m := range h.Machines() {
 		want := active(m.ID())
+		var err error
 		switch m.State() {
 		case machine.Created:
 			if want {
-				if err := h.StartMachine(m.ID()); err != nil {
-					return fmt.Errorf("host %d: %w", h.id, err)
-				}
+				err = h.StartMachine(m.ID())
 			}
 		case machine.Active:
 			if !want {
-				if err := m.Suspend(now); err != nil {
-					return fmt.Errorf("host %d: %w", h.id, err)
-				}
+				err = h.lifecycleOp(func() error { return m.Suspend(now) })
 			}
 		case machine.Suspended:
 			if want {
-				if err := m.Resume(now); err != nil {
-					return fmt.Errorf("host %d: %w", h.id, err)
-				}
+				err = h.lifecycleOp(func() error { return m.Resume(now) })
 			}
 		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("host %d: machine %d: %w", h.id, m.ID(), err))
+		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // NoteUpdate records that a constellation update reprogrammed this host's

@@ -1,10 +1,12 @@
 package host
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"celestial/internal/machine"
+	"celestial/internal/retry"
 	"celestial/internal/vnet"
 )
 
@@ -319,5 +321,121 @@ func TestAllocationAccounting(t *testing.T) {
 	}
 	if h.Capacity().Cores != 32 {
 		t.Errorf("capacity = %+v", h.Capacity())
+	}
+}
+
+func TestApplyActivityAggregatesErrors(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h := newHost(t, sim)
+	m1 := addMachine(t, h, 1, 1, 128, 0)
+	m2 := addMachine(t, h, 2, 1, 128, 0)
+	if err := h.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(hostStart.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	m3 := addMachine(t, h, 3, 1, 128, 0) // never started, must stay untouched
+	// Every lifecycle attempt fails: both suspends must still be tried and
+	// both failures reported, naming their machines.
+	h.SetApplyFaults(1.0, 7)
+	h.SetRetryPolicy(retry.Policy{MaxAttempts: 2}, 7)
+	err := h.ApplyActivity(func(id int) bool { return false })
+	if err == nil {
+		t.Fatal("sweep with universal faults returned nil")
+	}
+	for _, want := range []string{"machine 1", "machine 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %s", err, want)
+		}
+	}
+	if strings.Contains(err.Error(), "machine 3") {
+		t.Errorf("error %q names untouched machine 3", err)
+	}
+	if !retry.IsTransient(err) {
+		t.Error("aggregated error lost the transient classification")
+	}
+	// Both suspends were blocked, but the error naming machine 2 proves
+	// the sweep did not stop at machine 1's failure.
+	if m1.State() != machine.Active || m2.State() != machine.Active || m3.State() != machine.Created {
+		t.Errorf("states = %v, %v, %v", m1.State(), m2.State(), m3.State())
+	}
+	// 2 clean starts from StartAll, then 2 given-up suspends of 2 attempts.
+	st := h.RetryStats()
+	if st.Ops != 4 || st.GaveUp != 2 || st.Attempts != 6 {
+		t.Errorf("retry stats = %+v", st)
+	}
+}
+
+func TestApplyActivityRetriesTransientFaults(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h := newHost(t, sim)
+	ms := []*machine.Machine{}
+	for id := 1; id <= 6; id++ {
+		ms = append(ms, addMachine(t, h, id, 1, 128, 0))
+	}
+	if err := h.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(hostStart.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Each attempt fails with p=0.4; 8 attempts make give-up vanishingly
+	// rare, and the seeded stream makes the outcome reproducible.
+	h.SetApplyFaults(0.4, 11)
+	h.SetRetryPolicy(retry.Policy{MaxAttempts: 8}, 11)
+	if err := h.ApplyActivity(func(id int) bool { return false }); err != nil {
+		t.Fatalf("sweep with retried faults failed: %v", err)
+	}
+	for _, m := range ms {
+		if m.State() != machine.Suspended {
+			t.Errorf("machine %d state = %v", m.ID(), m.State())
+		}
+	}
+	// 6 clean starts from StartAll plus 6 suspends under injected faults.
+	st := h.RetryStats()
+	if st.Ops != 12 || st.Retried == 0 || st.Recovered != st.Retried || st.GaveUp != 0 {
+		t.Errorf("retry stats = %+v", st)
+	}
+	if st.Attempts <= st.Ops {
+		t.Errorf("attempts %d not above ops %d despite faults", st.Attempts, st.Ops)
+	}
+}
+
+func TestStartMachineRetriesInjectedFaults(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h := newHost(t, sim)
+	m := addMachine(t, h, 1, 1, 128, 100*time.Millisecond)
+	h.SetApplyFaults(0.5, 3)
+	h.SetRetryPolicy(retry.Policy{MaxAttempts: 10}, 3)
+	if err := h.StartMachine(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(hostStart.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != machine.Active {
+		t.Fatalf("state = %v", m.State())
+	}
+}
+
+func TestApplyActivityFatalErrorsNotRetried(t *testing.T) {
+	sim := vnet.NewSim(hostStart)
+	h := newHost(t, sim)
+	m := addMachine(t, h, 1, 1, 128, 0)
+	if err := h.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(hostStart.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the machine out from under the sweep: Resume from Crashed is an
+	// illegal transition, a fatal error the middleware must not retry.
+	if err := m.Crash(sim.Now(), "seu"); err != nil {
+		t.Fatal(err)
+	}
+	h.SetRetryPolicy(retry.Policy{MaxAttempts: 5}, 1)
+	if err := h.ApplyActivity(func(id int) bool { return true }); err != nil {
+		t.Fatalf("crashed machine is not runnable, sweep must skip it: %v", err)
 	}
 }

@@ -2,7 +2,9 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -22,6 +24,14 @@ const maxDiffWait = 60 * time.Second
 // bytes indefinitely and get reaped by proxy idle timeouts. A variable
 // only so tests can shrink it.
 var sseKeepAlive = 15 * time.Second
+
+// sseWriteTimeout bounds each write on a /diff event stream. A subscriber
+// that stops reading fills its connection's buffers; without a deadline the
+// handler goroutine would block in Write forever, pinned along with its
+// coordinator resources. A stalled write evicts the subscriber instead
+// (EventSource clients reconnect and resume via Last-Event-ID). A variable
+// only so tests can shrink it.
+var sseWriteTimeout = 10 * time.Second
 
 // DiffResponse is the GET /diff?since=<gen> response: every retained
 // topology delta after the client's cursor, oldest first. Clients advance
@@ -68,6 +78,11 @@ type DiffDoc struct {
 	CarriedPaths    int `json:"carried_paths,omitempty"`
 	RepairedPaths   int `json:"repaired_paths,omitempty"`
 	RepairFallbacks int `json:"repair_fallbacks,omitempty"`
+	// Degraded is the tick watchdog's degradation level when the update
+	// ran under deadline pressure: 1 path repair deferred, 2 distribution
+	// coalesced into a later tick, 3 activity-only. Absent (0) on healthy
+	// or unsupervised ticks.
+	Degraded uint8 `json:"degraded,omitempty"`
 }
 
 // LinkChange is one link delta between nodes A and B. Latencies are the
@@ -100,6 +115,7 @@ func diffDoc(e coordinator.DiffEntry) DiffDoc {
 		CarriedPaths:    e.Diff.CarriedPaths,
 		RepairedPaths:   e.Diff.RepairedPaths,
 		RepairFallbacks: e.Diff.RepairFallbacks,
+		Degraded:        e.Diff.Degraded,
 		Activated:       e.Diff.Activated,
 		Deactivated:     e.Diff.Deactivated,
 	}
@@ -199,13 +215,11 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 // serveDiffSSE streams diffs as server-sent events: one "diff" event per
 // update (its id is the generation, so EventSource reconnects resume via
 // Last-Event-ID), and a "resync" event when the client's cursor fell off
-// the retention ring.
+// the retention ring. Every write runs under sseWriteTimeout; a subscriber
+// whose connection stalls past it is evicted rather than blocking the
+// handler goroutine indefinitely.
 func (s *Server) serveDiffSSE(w http.ResponseWriter, r *http.Request, since uint64) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported")
-		return
-	}
+	rc := http.NewResponseController(w)
 	if v := r.Header.Get("Last-Event-ID"); v != "" {
 		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
 			since = n
@@ -215,16 +229,36 @@ func (s *Server) serveDiffSSE(w http.ResponseWriter, r *http.Request, since uint
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	fl.Flush()
+	// write sends one frame under the per-write deadline and flushes it.
+	// false means the subscriber is gone or stalled — the caller returns,
+	// which evicts it. Writers that cannot set deadlines or flush
+	// (httptest recorders, exotic wrappers) report http.ErrNotSupported
+	// and keep streaming unbounded rather than failing.
+	write := func(frame string) bool {
+		if err := rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			return false
+		}
+		if _, err := io.WriteString(w, frame); err != nil {
+			return false
+		}
+		if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			return false
+		}
+		return true
+	}
+	if !write("") {
+		return
+	}
 	keepAlive := time.NewTicker(sseKeepAlive)
 	defer keepAlive.Stop()
 	for {
 		entries, ok := s.coord.DiffsSince(since)
 		if !ok {
 			gen := s.coord.Generation()
-			fmt.Fprintf(w, "event: resync\ndata: {\"generation\":%d}\n\n", gen)
+			if !write(fmt.Sprintf("event: resync\ndata: {\"generation\":%d}\n\n", gen)) {
+				return
+			}
 			since = gen
-			fl.Flush()
 			continue
 		}
 		for _, e := range entries {
@@ -232,11 +266,10 @@ func (s *Server) serveDiffSSE(w http.ResponseWriter, r *http.Request, since uint
 			if err != nil {
 				return // unreachable: wire structs always encode
 			}
-			fmt.Fprintf(w, "event: diff\nid: %d\ndata: %s\n\n", e.Generation, data)
+			if !write(fmt.Sprintf("event: diff\nid: %d\ndata: %s\n\n", e.Generation, data)) {
+				return
+			}
 			since = e.Generation
-		}
-		if len(entries) > 0 {
-			fl.Flush()
 		}
 		ch := s.coord.UpdateChan()
 		if s.coord.Generation() > since {
@@ -247,8 +280,9 @@ func (s *Server) serveDiffSSE(w http.ResponseWriter, r *http.Request, since uint
 		case <-keepAlive.C:
 			// A comment frame: ignored by SSE clients, but keeps the
 			// connection visibly alive through intermediaries.
-			fmt.Fprint(w, ": keepalive\n\n")
-			fl.Flush()
+			if !write(": keepalive\n\n") {
+				return
+			}
 		case <-r.Context().Done():
 			return
 		}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"celestial/internal/coordinator"
 	"celestial/internal/geom"
 	"celestial/internal/orbit"
+	"celestial/internal/supervise"
 )
 
 func TestDiffSinceReplay(t *testing.T) {
@@ -378,5 +380,78 @@ func TestDiffSSEStreams(t *testing.T) {
 		if !strings.HasPrefix(d, "{") {
 			t.Errorf("data frame is not JSON: %q", d)
 		}
+	}
+}
+
+// stallingWriter fakes a subscriber whose connection stalls: writes succeed
+// until failAfter is reached, then report a deadline error like a net.Conn
+// whose write deadline expired. It supports SetWriteDeadline so the handler
+// exercises the real eviction path rather than the ErrNotSupported bypass.
+type stallingWriter struct {
+	h         http.Header
+	writes    int
+	failAfter int
+	deadlines int
+}
+
+func (w *stallingWriter) Header() http.Header { return w.h }
+func (w *stallingWriter) WriteHeader(int)     {}
+func (w *stallingWriter) Flush()              {}
+func (w *stallingWriter) SetWriteDeadline(time.Time) error {
+	w.deadlines++
+	return nil
+}
+func (w *stallingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.failAfter {
+		return 0, os.ErrDeadlineExceeded
+	}
+	return len(p), nil
+}
+
+func TestDiffSSEEvictsStalledSubscriber(t *testing.T) {
+	s, c := testServer(t)
+	if err := c.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/diff?since=0", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	w := &stallingWriter{h: make(http.Header), failAfter: 2}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ServeHTTP(w, req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not evict the stalled subscriber")
+	}
+	if w.deadlines == 0 {
+		t.Error("no write deadline was set on the stream")
+	}
+}
+
+func TestDiffDegradedLevelOnWire(t *testing.T) {
+	s, c := testServer(t)
+	// An impossible 1ns budget degrades every tick; the level must show up
+	// on the replayed wire diffs.
+	c.SetWatchdog(supervise.Config{Interval: time.Nanosecond})
+	if err := c.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var resp DiffResponse
+	get(t, s, "/diff?since=0", http.StatusOK, &resp)
+	if len(resp.Diffs) == 0 {
+		t.Fatal("no diffs replayed")
+	}
+	degraded := 0
+	for _, d := range resp.Diffs {
+		if d.Degraded > 0 {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatalf("no degraded diffs in %d replayed", len(resp.Diffs))
 	}
 }

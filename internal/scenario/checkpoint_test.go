@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// errKilled is the sentinel the tests' tick hooks abort runs with,
+// simulating a crash at a tick boundary.
+var errKilled = errors.New("killed")
+
+// runnerFor builds a fresh Runner for the given document.
+func runnerFor(t *testing.T, doc string) *Runner {
+	t.Helper()
+	sc, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// supervisedTOML layers deterministic fault injection and retries on top of
+// the standard unit workload: every host lifecycle attempt and shaper
+// programming attempt fails with 20% probability, absorbed by a 6-attempt
+// retry policy.
+const supervisedTOML = `
+[supervision]
+apply_fault_rate = 0.2
+shaper_fault_rate = 0.2
+retry_max_attempts = 6
+retry_jitter = 0.25
+`
+
+// TestKillAndResumeByteIdentical is the crash-safety differential: a run
+// killed at an arbitrary tick boundary and resumed from its checkpoint
+// produces a final report byte-identical to an uninterrupted run — with
+// fault injection and retries active, so the resumed replay must also
+// reconstruct every retry draw. Kill points cover the first tick, a
+// mid-run tick and the last tick before the horizon.
+func TestKillAndResumeByteIdentical(t *testing.T) {
+	doc := workloadTOML + supervisedTOML + testbedTOML
+	want, err := runnerFor(t, doc).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := want.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, killAt := range []int{1, 3, 6} {
+		path := filepath.Join(t.TempDir(), "run.ckpt")
+		_, err := runnerFor(t, doc).RunWith(RunOptions{
+			CheckpointPath: path,
+			TickHook: func(tick int) error {
+				if tick == killAt {
+					return errKilled
+				}
+				return nil
+			},
+		})
+		if !errors.Is(err, errKilled) {
+			t.Fatalf("kill at tick %d: run returned %v, want errKilled", killAt, err)
+		}
+		cp, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatalf("kill at tick %d: %v", killAt, err)
+		}
+		if cp.Tick != killAt {
+			t.Fatalf("kill at tick %d: checkpoint records tick %d", killAt, cp.Tick)
+		}
+		got, err := runnerFor(t, doc).RunWith(RunOptions{Resume: cp})
+		if err != nil {
+			t.Fatalf("resume from tick %d: %v", killAt, err)
+		}
+		gotJSON, err := got.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("resume from tick %d: report differs from uninterrupted run:\n--- uninterrupted\n%s\n--- resumed\n%s",
+				killAt, wantJSON, gotJSON)
+		}
+	}
+}
+
+// TestCheckpointRoundTrip pins the on-disk format: a written checkpoint
+// loads back identical, and its digest actually covers the content.
+func TestCheckpointRoundTrip(t *testing.T) {
+	doc := workloadTOML + testbedTOML
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := runnerFor(t, doc).RunWith(RunOptions{CheckpointPath: path, CheckpointEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 s at 2 s resolution with checkpoints every 2 ticks: the last one
+	// lands on tick 6.
+	if cp.Tick != 6 {
+		t.Errorf("final checkpoint at tick %d, want 6", cp.Tick)
+	}
+	if cp.Version != CheckpointVersion || cp.Scenario != "unit-run" || cp.Seed != 7 {
+		t.Errorf("checkpoint identity = %+v", cp)
+	}
+	if len(cp.Flows) != 2 || cp.Flows[0].Name != "ping" || cp.Flows[0].Sent == 0 {
+		t.Errorf("flow state not captured: %+v", cp.Flows)
+	}
+	if cp.Flows[1].RNGState == 0 {
+		t.Error("poisson flow RNG state not captured")
+	}
+}
+
+// TestCheckpointRejectsCorruptFile guards the integrity check: any byte
+// flip in the persisted file must surface as a digest mismatch, and a
+// truncated file as a decode error.
+func TestCheckpointRejectsCorruptFile(t *testing.T) {
+	doc := workloadTOML + testbedTOML
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := runnerFor(t, doc).RunWith(RunOptions{CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one digit inside the flow counters.
+	tampered := bytes.Replace(data, []byte(`"sent": 6`), []byte(`"sent": 7`), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("tamper target not found in checkpoint")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("tampered checkpoint loaded: %v", err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Error("truncated checkpoint loaded")
+	}
+}
+
+// TestResumeRejectsForeignCheckpoint guards Matches: a checkpoint from a
+// different seed (i.e. a different run) must fail fast, before any replay.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	doc := workloadTOML + testbedTOML
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := runnerFor(t, doc).RunWith(RunOptions{CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := strings.Replace(workloadTOML, "seed = 7", "seed = 8", 1) + testbedTOML
+	if _, err := runnerFor(t, other).RunWith(RunOptions{Resume: cp}); err == nil ||
+		!strings.Contains(err.Error(), "seed") {
+		t.Errorf("foreign checkpoint accepted: %v", err)
+	}
+}
+
+// TestResumeRejectsDivergedState guards Verify: a checkpoint whose state
+// does not match the deterministic replay — here a hand-edited RNG word,
+// standing in for a changed scenario file or binary — must abort the
+// resume instead of continuing a franken-run. The digest is recomputed so
+// only the field-for-field replay comparison can catch it.
+func TestResumeRejectsDivergedState(t *testing.T) {
+	doc := workloadTOML + testbedTOML
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := runnerFor(t, doc).RunWith(RunOptions{CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Flows[1].RNGState++
+	cp.Digest = cp.computeDigest()
+	if _, err := runnerFor(t, doc).RunWith(RunOptions{Resume: cp}); err == nil ||
+		!strings.Contains(err.Error(), "diverged") {
+		t.Errorf("diverged checkpoint accepted: %v", err)
+	}
+}
+
+// TestInjectedFaultsRecoveredAndReported runs the unit workload under
+// supervision: transient faults are injected into host lifecycle and
+// shaper programming, the retry middleware absorbs them, and the report's
+// robustness section records the recoveries — deterministically, so two
+// supervised runs still produce byte-identical reports.
+func TestInjectedFaultsRecoveredAndReported(t *testing.T) {
+	doc := workloadTOML + supervisedTOML + testbedTOML
+	rep, err := runnerFor(t, doc).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := rep.Robustness
+	if rb.HostRetries.Ops == 0 || rb.HostRetries.Retried == 0 || rb.HostRetries.Recovered == 0 {
+		t.Errorf("host retries not exercised: %+v", rb.HostRetries)
+	}
+	if rb.ShaperRetries.Ops == 0 || rb.ShaperRetries.Retried == 0 {
+		t.Errorf("shaper retries not exercised: %+v", rb.ShaperRetries)
+	}
+	if rb.HostRetries.BackoffMs <= 0 {
+		t.Errorf("no virtual backoff charged: %+v", rb.HostRetries)
+	}
+	// The run must complete its full tick schedule despite the faults.
+	if rep.Ticks.Ticks != 7 {
+		t.Errorf("ticks = %d, want 7", rep.Ticks.Ticks)
+	}
+	if rep.Flows[0].Delivered == 0 {
+		t.Errorf("rpc flow starved under supervision: %+v", rep.Flows[0])
+	}
+	// Determinism gate: injected faults and retries are fully seeded.
+	again, err := runnerFor(t, doc).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := rep.JSON()
+	b, _ := again.JSON()
+	if !bytes.Equal(a, b) {
+		t.Errorf("supervised runs differ:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}

@@ -21,10 +21,11 @@ type Report struct {
 	GroundStations int     `json:"ground_stations"`
 	Hosts          int     `json:"hosts"`
 
-	Flows   []FlowReport  `json:"flows"`
-	Events  []EventReport `json:"events"`
-	Ticks   TickReport    `json:"ticks"`
-	Network NetworkReport `json:"network"`
+	Flows      []FlowReport     `json:"flows"`
+	Events     []EventReport    `json:"events"`
+	Ticks      TickReport       `json:"ticks"`
+	Network    NetworkReport    `json:"network"`
+	Robustness RobustnessReport `json:"robustness"`
 }
 
 // FlowReport summarizes one workload flow.
@@ -96,6 +97,47 @@ type TickReport struct {
 	RepairFallbacks int `json:"repair_fallbacks"`
 	PatchedTicks    int `json:"patched_ticks"`
 	PatchedEdges    int `json:"patched_edges"`
+	// DegradedTicks counts updates the tick watchdog ran at a reduced
+	// level (always 0 in unsupervised runs).
+	DegradedTicks int `json:"degraded_ticks"`
+}
+
+// RobustnessReport summarizes the run's failure handling: retry middleware
+// counters for host machine lifecycle operations and shaper programming,
+// activity sweeps that still failed after retries, and the tick watchdog's
+// decisions. With fault injection configured but the watchdog off, every
+// field is a pure function of the scenario seed and stays inside the
+// determinism gate.
+type RobustnessReport struct {
+	HostRetries   RetryReport    `json:"host_retries"`
+	ShaperRetries RetryReport    `json:"shaper_retries"`
+	ApplyErrors   int            `json:"apply_errors"`
+	LastApplyErr  string         `json:"last_apply_error,omitempty"`
+	Watchdog      WatchdogReport `json:"watchdog"`
+}
+
+// RetryReport mirrors retry.Stats on the wire.
+type RetryReport struct {
+	Ops       int64   `json:"ops"`
+	Attempts  int64   `json:"attempts"`
+	Retried   int64   `json:"retried"`
+	Recovered int64   `json:"recovered"`
+	GaveUp    int64   `json:"gave_up"`
+	Fatal     int64   `json:"fatal"`
+	BackoffMs float64 `json:"backoff_ms"`
+}
+
+// WatchdogReport mirrors supervise.Stats on the wire. All zero when the
+// watchdog is off; nondeterministic (wall-clock-driven) when it is on.
+type WatchdogReport struct {
+	Ticks          int `json:"ticks"`
+	DegradedTicks  int `json:"degraded_ticks"`
+	DeferredRepair int `json:"deferred_repair"`
+	Coalesced      int `json:"coalesced"`
+	ActivityOnly   int `json:"activity_only"`
+	Escalations    int `json:"escalations"`
+	Recoveries     int `json:"recoveries"`
+	Overruns       int `json:"overruns"`
 }
 
 // NetworkReport are the virtual network's global delivery counters.

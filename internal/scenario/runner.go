@@ -2,11 +2,13 @@ package scenario
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"celestial/internal/constellation"
 	"celestial/internal/coordinator"
+	"celestial/internal/retry"
+	"celestial/internal/rng"
+	"celestial/internal/supervise"
 	"celestial/internal/vnet"
 )
 
@@ -27,13 +29,17 @@ type Runner struct {
 	ticks  TickReport
 }
 
-// flowState is the live state of one workload flow.
+// flowState is the live state of one workload flow. Its random stream is an
+// rng.Stream rather than math/rand precisely because the run must be
+// checkpointable: the stream's complete state is one exportable word, so a
+// checkpoint can persist it and a resumed replay can prove it reconstructed
+// the identical random sequence.
 type flowState struct {
 	r        *Runner
 	idx      int
 	cfg      Flow
 	src, dst int
-	rng      *rand.Rand
+	rng      *rng.Stream
 
 	nextID  uint64
 	pending map[uint64]time.Time
@@ -76,6 +82,27 @@ func NewRunner(sc *Scenario) (*Runner, error) {
 	// draws (distinct per directed pair, derived from this base).
 	r.net.SetSeed(sc.Seed)
 
+	// Robustness middleware: seeded fault injection and retries on every
+	// host and on shaper programming, and optionally the tick watchdog.
+	// All seeds derive from the scenario seed in disjoint index ranges
+	// (flows use small indices, fault bursts 1<<20+i), so the random
+	// processes never alias.
+	if sup := sc.Supervision; sup.Enabled() {
+		for _, h := range coord.Hosts() {
+			h.SetRetryPolicy(sup.Retry, flowSeed(sc.Seed, 1<<21+h.ID()))
+			if sup.ApplyFaultRate > 0 {
+				h.SetApplyFaults(sup.ApplyFaultRate, flowSeed(sc.Seed, 1<<22+h.ID()))
+			}
+		}
+		r.net.SetRetryPolicy(sup.Retry, flowSeed(sc.Seed, 1<<23))
+		if sup.ShaperFaultRate > 0 {
+			r.net.SetShaperFaults(sup.ShaperFaultRate, flowSeed(sc.Seed, 1<<24))
+		}
+		if sup.Watchdog {
+			coord.SetWatchdog(supervise.Config{Interval: sup.WatchdogInterval})
+		}
+	}
+
 	handled := map[int]bool{}
 	for i := range sc.Flows {
 		f := &sc.Flows[i]
@@ -92,7 +119,7 @@ func NewRunner(sc *Scenario) (*Runner, error) {
 		}
 		fs := &flowState{
 			r: r, idx: i, cfg: *f, src: src, dst: dst,
-			rng:     rand.New(rand.NewSource(flowSeed(sc.Seed, i))),
+			rng:     rng.New(flowSeed(sc.Seed, i)),
 			pending: map[uint64]time.Time{},
 		}
 		r.flows = append(r.flows, fs)
@@ -307,12 +334,59 @@ func (r *Runner) observeTick() {
 		t.PatchedTicks++
 	}
 	t.PatchedEdges += d.PatchedEdges
+	if d.Degraded > 0 {
+		t.DegradedTicks++
+	}
+}
+
+// RunOptions control how RunWith executes the scenario. The zero value is
+// a plain run to the horizon.
+type RunOptions struct {
+	// CheckpointPath, when set, persists a crash-safe checkpoint of the
+	// run state to this file every CheckpointEvery ticks (atomically:
+	// write-temp, fsync, rename).
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint period in ticks; zero means 1.
+	CheckpointEvery int
+	// Resume verifies the run against a checkpoint from a previous,
+	// killed execution of the same scenario: the run replays
+	// deterministically from the epoch, and when it reaches the
+	// checkpoint's tick its recomputed state is compared field for field
+	// against the persisted one. Any mismatch — a changed scenario file,
+	// binary, or corrupted checkpoint — aborts the resume instead of
+	// silently continuing a different run.
+	Resume *Checkpoint
+	// TickHook, when set, runs at every tick boundary after checkpoint
+	// persistence with the 1-based tick index. A non-nil error aborts the
+	// run (the in-process kill used by the crash/resume differential
+	// tests and the -crash-after-ticks CLI flag).
+	TickHook func(tick int) error
 }
 
 // Run executes the scenario: it boots the testbed, schedules every flow
 // and timeline event, advances virtual time to the horizon and returns the
 // run report. Run must only be called once per Runner.
-func (r *Runner) Run() (*Report, error) {
+func (r *Runner) Run() (*Report, error) { return r.RunWith(RunOptions{}) }
+
+// RunWith executes the scenario under the given options (checkpointing,
+// resume verification, per-tick hooks). Like Run it must only be called
+// once per Runner.
+//
+// Resume works by deterministic re-execution: simulation state includes
+// scheduled closures (pending RPC timeouts, in-flight deliveries, armed
+// fault events) that no checkpoint format could faithfully serialize, so a
+// resumed run replays the entire prefix from the epoch — cheap, since
+// virtual time costs no wall-clock waiting — and uses the checkpoint to
+// *prove* the replay reconstructed the killed run exactly (every flow's
+// RNG word, counters, pending-RPC digests, tick counters, network totals).
+// The remainder then continues from reconstructed state, so the final
+// report is byte-identical to an uninterrupted run.
+func (r *Runner) RunWith(opts RunOptions) (*Report, error) {
+	if opts.Resume != nil {
+		if err := opts.Resume.Matches(r.sc); err != nil {
+			return nil, err
+		}
+	}
 	// Start performs the first constellation update and flushes
 	// zero-delay boot completions, so flows scheduled below (same
 	// timestamp, later sequence numbers) find machines usable.
@@ -331,18 +405,44 @@ func (r *Runner) Run() (*Report, error) {
 			return nil, fmt.Errorf("scenario: scheduling event %d: %w", i, err)
 		}
 	}
-	// Per-tick observation: the coordinator's update loop runs at the
-	// same timestamps with earlier sequence numbers, so each observation
-	// sees that tick's fresh diff.
+	// The explicit per-tick loop: each iteration advances the simulation
+	// one update resolution, which executes the coordinator's update and
+	// every flow and timeline event due in that window, then observes the
+	// fresh diff and runs the checkpoint/hook machinery at the boundary.
+	// Checkpoint capture only reads state, so a checkpointed run and a
+	// plain run execute identical event sequences.
 	horizon := r.epoch.Add(r.sc.Horizon)
 	res := r.sc.Config.Resolution
-	if err := r.sim.Every(r.sim.Now().Add(res), res, func() bool {
-		r.observeTick()
-		return r.sim.Now().Add(res).Before(horizon) || r.sim.Now().Add(res).Equal(horizon)
-	}); err != nil {
-		return nil, err
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = 1
 	}
-	if err := r.coord.Run(r.sc.Horizon); err != nil {
+	tick := 0
+	for t := r.epoch.Add(res); !t.After(horizon); t = t.Add(res) {
+		if err := r.sim.RunUntil(t); err != nil {
+			return nil, err
+		}
+		r.observeTick()
+		tick++
+		if opts.Resume != nil && tick == opts.Resume.Tick {
+			if err := opts.Resume.Verify(r.capture(tick)); err != nil {
+				return nil, fmt.Errorf("scenario: resume verification at tick %d: %w", tick, err)
+			}
+		}
+		if opts.CheckpointPath != "" && tick%every == 0 {
+			if err := r.capture(tick).WriteFile(opts.CheckpointPath); err != nil {
+				return nil, fmt.Errorf("scenario: writing checkpoint: %w", err)
+			}
+		}
+		if opts.TickHook != nil {
+			if err := opts.TickHook(tick); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// The tail past the last full tick (a horizon that is not a multiple
+	// of the resolution).
+	if err := r.sim.RunUntil(horizon); err != nil {
 		return nil, err
 	}
 	return r.report(), nil
@@ -367,6 +467,7 @@ func (r *Runner) report() *Report {
 	}
 	delivered, dropped := r.net.Stats()
 	rep.Network = NetworkReport{Delivered: delivered, Dropped: dropped}
+	rep.Robustness = r.robustness()
 	for _, f := range r.flows {
 		rep.Flows = append(rep.Flows, FlowReport{
 			Name:       f.cfg.Name,
@@ -386,6 +487,44 @@ func (r *Runner) report() *Report {
 		rep.Flows = []FlowReport{}
 	}
 	return rep
+}
+
+// robustness converts the coordinator's failure-handling counters to their
+// report form.
+func (r *Runner) robustness() RobustnessReport {
+	rb := r.coord.Robustness()
+	rep := RobustnessReport{
+		HostRetries:   retryReport(rb.HostRetries),
+		ShaperRetries: retryReport(rb.ShaperRetries),
+		ApplyErrors:   rb.ApplyErrors,
+		Watchdog: WatchdogReport{
+			Ticks:          rb.Watchdog.Ticks,
+			DegradedTicks:  rb.Watchdog.DegradedTicks,
+			DeferredRepair: rb.Watchdog.DeferredRepair,
+			Coalesced:      rb.Watchdog.Coalesced,
+			ActivityOnly:   rb.Watchdog.ActivityOnly,
+			Escalations:    rb.Watchdog.Escalations,
+			Recoveries:     rb.Watchdog.Recoveries,
+			Overruns:       rb.Watchdog.Overruns,
+		},
+	}
+	if rb.LastApplyErr != nil {
+		rep.LastApplyErr = rb.LastApplyErr.Error()
+	}
+	return rep
+}
+
+// retryReport converts retry.Stats to its report form.
+func retryReport(s retry.Stats) RetryReport {
+	return RetryReport{
+		Ops:       s.Ops,
+		Attempts:  s.Attempts,
+		Retried:   s.Retried,
+		Recovered: s.Recovered,
+		GaveUp:    s.GaveUp,
+		Fatal:     s.Fatal,
+		BackoffMs: float64(s.Backoff) / float64(time.Millisecond),
+	}
 }
 
 // ActiveSatellites returns the number of active satellites in the current

@@ -25,6 +25,7 @@ import (
 	"celestial/internal/config"
 	"celestial/internal/faults"
 	"celestial/internal/netem"
+	"celestial/internal/retry"
 	"celestial/internal/toml"
 )
 
@@ -109,6 +110,36 @@ type Event struct {
 	Node string
 }
 
+// Supervision configures the run's robustness middleware (the [supervision]
+// table): deterministic transient-fault injection into machine lifecycle
+// operations and shaper programming, the retry policy that absorbs those
+// faults, and optionally the tick watchdog. Fault injection and retries are
+// fully seeded — a scenario with injected faults is still byte-identical
+// across runs. The watchdog is the exception: its decisions depend on
+// wall-clock stage timings, so enabling it trades the determinism gate for
+// bounded tick latency (leave it off in checked-in CI scenarios).
+type Supervision struct {
+	// Watchdog enables tick supervision with graceful degradation.
+	Watchdog bool
+	// WatchdogInterval overrides the watchdog's per-tick budget interval;
+	// zero adopts the testbed's update resolution.
+	WatchdogInterval time.Duration
+	// ApplyFaultRate injects transient failures into each host machine
+	// lifecycle attempt (start, suspend, resume) with this probability.
+	ApplyFaultRate float64
+	// ShaperFaultRate injects transient failures into each shaper
+	// programming attempt with this probability.
+	ShaperFaultRate float64
+	// Retry bounds the retry middleware absorbing transient failures;
+	// zero fields adopt retry.Default.
+	Retry retry.Policy
+}
+
+// Enabled reports whether any robustness middleware is configured.
+func (s Supervision) Enabled() bool {
+	return s.Watchdog || s.ApplyFaultRate > 0 || s.ShaperFaultRate > 0 || s.Retry != (retry.Policy{})
+}
+
 // Scenario is one complete declarative experiment.
 type Scenario struct {
 	// Name labels the run.
@@ -122,6 +153,9 @@ type Scenario struct {
 	// Config is the testbed description (inline [testbed] table or a
 	// referenced file).
 	Config *config.Config
+
+	// Supervision is the run's robustness middleware configuration.
+	Supervision Supervision
 
 	Flows  []Flow
 	Events []Event
@@ -222,10 +256,59 @@ func parse(text, baseDir string, allowRef bool) (*Scenario, error) {
 		sc.Events = append(sc.Events, ev)
 	}
 
+	sup, err := toml.GetTable(doc, "supervision")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if sup != nil {
+		if sc.Supervision, err = supervisionFromTable(sup); err != nil {
+			return nil, fmt.Errorf("scenario: supervision: %w", err)
+		}
+	}
+
 	if err := sc.finalize(); err != nil {
 		return nil, err
 	}
 	return sc, nil
+}
+
+// supervisionFromTable decodes the [supervision] table.
+func supervisionFromTable(tbl map[string]any) (Supervision, error) {
+	s := Supervision{}
+	var err error
+	if s.Watchdog, _, err = toml.GetBool(tbl, "watchdog"); err != nil {
+		return s, err
+	}
+	if s.WatchdogInterval, _, err = seconds(tbl, "watchdog_interval"); err != nil {
+		return s, err
+	}
+	if s.ApplyFaultRate, _, err = toml.GetFloat(tbl, "apply_fault_rate"); err != nil {
+		return s, err
+	}
+	if s.ShaperFaultRate, _, err = toml.GetFloat(tbl, "shaper_fault_rate"); err != nil {
+		return s, err
+	}
+	if v, _, err := toml.GetInt(tbl, "retry_max_attempts"); err != nil {
+		return s, err
+	} else {
+		s.Retry.MaxAttempts = int(v)
+	}
+	if s.Retry.Initial, _, err = milliseconds(tbl, "retry_initial_ms"); err != nil {
+		return s, err
+	}
+	if s.Retry.Max, _, err = milliseconds(tbl, "retry_max_ms"); err != nil {
+		return s, err
+	}
+	if s.Retry.Multiplier, _, err = toml.GetFloat(tbl, "retry_multiplier"); err != nil {
+		return s, err
+	}
+	if s.Retry.Jitter, _, err = toml.GetFloat(tbl, "retry_jitter"); err != nil {
+		return s, err
+	}
+	if s.Retry.Budget, _, err = milliseconds(tbl, "retry_budget_ms"); err != nil {
+		return s, err
+	}
+	return s, nil
 }
 
 // seconds reads a float seconds key as a duration.
@@ -447,6 +530,20 @@ func (sc *Scenario) finalize() error {
 		if f.Start < 0 || f.Stop > sc.Horizon || f.Start >= f.Stop {
 			return fmt.Errorf("scenario: flow %q: window [%v, %v] outside (0, %v]", f.Name, f.Start, f.Stop, sc.Horizon)
 		}
+	}
+
+	sup := &sc.Supervision
+	if sup.WatchdogInterval < 0 {
+		return fmt.Errorf("scenario: supervision: negative watchdog interval %v", sup.WatchdogInterval)
+	}
+	if sup.ApplyFaultRate < 0 || sup.ApplyFaultRate > 1 {
+		return fmt.Errorf("scenario: supervision: apply fault rate %v outside [0, 1]", sup.ApplyFaultRate)
+	}
+	if sup.ShaperFaultRate < 0 || sup.ShaperFaultRate > 1 {
+		return fmt.Errorf("scenario: supervision: shaper fault rate %v outside [0, 1]", sup.ShaperFaultRate)
+	}
+	if err := sup.Retry.Validate(); err != nil {
+		return fmt.Errorf("scenario: supervision: %w", err)
 	}
 
 	for i := range sc.Events {

@@ -143,6 +143,49 @@ func TestParseScenario(t *testing.T) {
 	}
 }
 
+func TestParseSupervision(t *testing.T) {
+	doc := `
+seed = 1
+horizon = 4.0
+
+[supervision]
+watchdog = true
+watchdog_interval = 0.5
+apply_fault_rate = 0.1
+shaper_fault_rate = 0.05
+retry_max_attempts = 6
+retry_initial_ms = 2.0
+retry_max_ms = 50.0
+retry_multiplier = 3.0
+retry_jitter = 0.25
+retry_budget_ms = 200.0
+` + testbedTOML
+	sc, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sc.Supervision
+	if !s.Enabled() {
+		t.Fatal("supervision not enabled")
+	}
+	if !s.Watchdog || s.WatchdogInterval != 500*time.Millisecond {
+		t.Errorf("watchdog = %v interval %v", s.Watchdog, s.WatchdogInterval)
+	}
+	if s.ApplyFaultRate != 0.1 || s.ShaperFaultRate != 0.05 {
+		t.Errorf("fault rates = %v / %v", s.ApplyFaultRate, s.ShaperFaultRate)
+	}
+	if s.Retry.MaxAttempts != 6 || s.Retry.Initial != 2*time.Millisecond ||
+		s.Retry.Max != 50*time.Millisecond || s.Retry.Multiplier != 3 ||
+		s.Retry.Jitter != 0.25 || s.Retry.Budget != 200*time.Millisecond {
+		t.Errorf("retry policy = %+v", s.Retry)
+	}
+
+	plain := parseTestScenario(t)
+	if plain.Supervision.Enabled() {
+		t.Errorf("supervision enabled without [supervision] table: %+v", plain.Supervision)
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := map[string]string{
 		"no testbed":        `name = "x"`,
@@ -158,6 +201,9 @@ func TestParseErrors(t *testing.T) {
 		"empty fault burst": "[[event]]\nat = 1.0\naction = \"fault-burst\"\n" + testbedTOML,
 		"churn needs node":  "[[event]]\nat = 1.0\naction = \"node-down\"\n" + testbedTOML,
 		"bad impair":        "[[event]]\nat = 1.0\naction = \"impair\"\nloss = 1.5\n" + testbedTOML,
+		"bad fault rate":    "[supervision]\napply_fault_rate = 1.5\n" + testbedTOML,
+		"bad retry jitter":  "[supervision]\nretry_jitter = 2.0\n" + testbedTOML,
+		"bad wd interval":   "[supervision]\nwatchdog_interval = -1.0\n" + testbedTOML,
 	}
 	for name, doc := range cases {
 		if _, err := Parse(strings.NewReader(doc)); err == nil {

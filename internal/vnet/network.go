@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"celestial/internal/netem"
+	"celestial/internal/retry"
+	"celestial/internal/rng"
 )
 
 // PathInfo describes the current network path between two nodes as the
@@ -102,6 +104,16 @@ type Network struct {
 	// loss-model drops.
 	delivered uint64
 	dropped   uint64
+
+	// retryPolicy, retryRnd, faultRate and faultRnd configure the retry
+	// middleware around shaper programming (see SetRetryPolicy and
+	// SetShaperFaults); retryStats accumulates its outcomes. All are
+	// driven from the simulation goroutine, like the rest of the network.
+	retryPolicy retry.Policy
+	retryRnd    *rng.Stream
+	faultRate   float64
+	faultRnd    *rng.Stream
+	retryStats  retry.Stats
 }
 
 // NewNetwork creates a network driven by sim. The seed makes the loss and
@@ -163,6 +175,50 @@ func (n *Network) SetBandwidthCap(kbps float64) error {
 	n.bwCapKbps = kbps
 	n.InvalidatePaths()
 	return nil
+}
+
+// SetRetryPolicy configures the retry middleware around per-pair shaper
+// programming (creation and parameter updates in pair): transient failures
+// are retried under the policy, with jitter drawn from a stream seeded with
+// seed. The zero policy adopts retry.Default.
+func (n *Network) SetRetryPolicy(p retry.Policy, seed int64) {
+	n.retryPolicy = p
+	n.retryRnd = rng.New(seed)
+}
+
+// SetShaperFaults injects transient failures into shaper programming: each
+// attempt independently fails with probability rate before reaching the
+// shaper, drawn from a stream seeded with seed. The injected errors are
+// marked retry.Transient so a configured retry policy recovers from them;
+// rate 0 disables injection. Scenario engines use this to exercise the
+// retry path deterministically.
+func (n *Network) SetShaperFaults(rate float64, seed int64) {
+	n.faultRate = rate
+	n.faultRnd = rng.New(seed)
+}
+
+// RetryStats returns the accumulated shaper-programming retry counters.
+func (n *Network) RetryStats() retry.Stats { return n.retryStats }
+
+// shaperOp runs one shaper-programming operation through the retry
+// middleware, injecting configured faults ahead of the real operation.
+func (n *Network) shaperOp(op func() error) error {
+	attempt := op
+	if n.faultRate > 0 && n.faultRnd != nil {
+		attempt = func() error {
+			if n.faultRnd.Float64() < n.faultRate {
+				return retry.Transient(fmt.Errorf("injected shaper fault"))
+			}
+			return op()
+		}
+	}
+	var rnd func() float64
+	if n.retryRnd != nil {
+		rnd = n.retryRnd.Float64
+	}
+	res := retry.Do(n.retryPolicy, rnd, attempt)
+	n.retryStats.Record(res)
+	return res.Err
 }
 
 // Handle registers the message handler of a node, replacing any previous
@@ -248,13 +304,18 @@ func (n *Network) pair(from, to int) (*pairState, error) {
 		// Distinct deterministic seed per directed pair, stable across
 		// reachability changes so runs stay reproducible.
 		seed := n.seed ^ int64(from)<<32 ^ int64(to)
-		s, err := netem.NewShaper(params, seed)
-		if err != nil {
+		if err := n.shaperOp(func() error {
+			s, err := netem.NewShaper(params, seed)
+			if err != nil {
+				return err
+			}
+			ps.shaper = s
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		ps.shaper = s
 	} else if params != ps.shaper.Params() {
-		if err := ps.shaper.Update(params); err != nil {
+		if err := n.shaperOp(func() error { return ps.shaper.Update(params) }); err != nil {
 			return nil, err
 		}
 	}

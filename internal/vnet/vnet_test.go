@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"celestial/internal/netem"
+	"celestial/internal/retry"
 )
 
 var simStart = time.Date(2022, 4, 14, 12, 0, 0, 0, time.UTC)
@@ -464,5 +465,57 @@ func TestParseSatRef(t *testing.T) {
 		if _, _, ok := ParseSatRef(ref); ok {
 			t.Errorf("ParseSatRef(%q) parsed, want rejection", ref)
 		}
+	}
+}
+
+func TestShaperRetryRecoversInjectedFaults(t *testing.T) {
+	s := NewSim(simStart)
+	topo := StaticTopology{Latency: map[int]map[int]float64{
+		0: {1: 0.01}, 1: {0: 0.01},
+	}}
+	n := NewNetwork(s, topo, 1)
+	got := 0
+	n.Handle(1, func(Message) { got++ })
+	// Every programming attempt fails with p=0.6; 10 attempts make the
+	// seeded outcome recover deterministically.
+	n.SetShaperFaults(0.6, 5)
+	n.SetRetryPolicy(retry.Policy{MaxAttempts: 10}, 5)
+	if err := n.Send(0, 1, 100, "x"); err != nil {
+		t.Fatalf("send with retried shaper faults: %v", err)
+	}
+	if err := s.RunUntil(simStart.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("delivered %d messages", got)
+	}
+	st := n.RetryStats()
+	if st.Ops != 1 || st.Retried != 1 || st.Recovered != 1 || st.GaveUp != 0 {
+		t.Fatalf("retry stats = %+v", st)
+	}
+}
+
+func TestShaperRetryGivesUpSurfacesError(t *testing.T) {
+	s := NewSim(simStart)
+	topo := StaticTopology{Latency: map[int]map[int]float64{0: {1: 0.01}}}
+	n := NewNetwork(s, topo, 1)
+	n.Handle(1, func(Message) {})
+	n.SetShaperFaults(1.0, 5)
+	n.SetRetryPolicy(retry.Policy{MaxAttempts: 3}, 5)
+	err := n.Send(0, 1, 100, "x")
+	if err == nil {
+		t.Fatal("send with unrecoverable shaper faults returned nil")
+	}
+	if !retry.IsTransient(err) {
+		t.Errorf("give-up error %v lost transient classification", err)
+	}
+	if st := n.RetryStats(); st.GaveUp != 1 || st.Attempts != 3 {
+		t.Fatalf("retry stats = %+v", st)
+	}
+	// The pair was left unprogrammed: a later fault-free send must
+	// program it and deliver.
+	n.SetShaperFaults(0, 5)
+	if err := n.Send(0, 1, 100, "x"); err != nil {
+		t.Fatalf("send after faults cleared: %v", err)
 	}
 }
