@@ -1,0 +1,78 @@
+// Command celestial-agent is the standalone host agent for distributed
+// runs: it dials the coordinator's -agents-listen socket, claims one
+// shard, follows the versioned frame stream (snapshots, diffs,
+// heartbeats) into a local replica, and acks every applied generation
+// with its digest chain so the coordinator can prove byte-exact
+// convergence. Killed agents can simply be restarted: the agent redials
+// with its replica cursor and the coordinator resyncs it from the diff
+// retention ring, or with a full snapshot when the ring has moved on.
+//
+// Usage:
+//
+//	celestial-agent -coordinator host:port -agent N [-heartbeat 15s]
+//
+// The process exits 0 when the coordinator ends the run with a clean
+// Bye, and non-zero on a refused handshake (bad shard id, version skew).
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"celestial/internal/hostlink"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "", "coordinator agent-listener address (host:port)")
+	agent := flag.Int("agent", -1, "shard id this agent owns")
+	heartbeat := flag.Duration("heartbeat", hostlink.DefaultHeartbeat, "heartbeat interval; must match the coordinator's")
+	reconnect := flag.Duration("reconnect", 500*time.Millisecond, "wait between redial attempts")
+	crashAfter := flag.Uint64("crash-after-gens", 0, "exit hard (status 3, no Bye) once the replica has applied this generation — agent-loss testing; a restarted agent resyncs and rejoins")
+	flag.Parse()
+
+	if *coordinator == "" || *agent < 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	a := &hostlink.Agent{
+		ID:            *agent,
+		Addr:          *coordinator,
+		Replica:       hostlink.NewReplica(),
+		Heartbeat:     *heartbeat,
+		ReconnectWait: *reconnect,
+		Logf:          log.Printf,
+	}
+	if *crashAfter > 0 {
+		// The kill is keyed on applied generations, not wall clock, so the
+		// CI kill/rejoin leg lands at the same run point every time.
+		go func() {
+			for {
+				if gen, _ := a.Replica.Cursor(); gen >= *crashAfter {
+					log.Printf("celestial-agent %d: crashing at generation %d as requested", *agent, gen)
+					os.Exit(3)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
+	if err := a.Run(ctx); err != nil {
+		if ctx.Err() != nil {
+			log.Printf("celestial-agent %d: interrupted", *agent)
+			return
+		}
+		log.Fatalf("celestial-agent %d: %v", *agent, err)
+	}
+	active, inactive, links, frames, snapshots := a.Replica.Counts()
+	gen, digest := a.Replica.Cursor()
+	log.Printf("celestial-agent %d: run complete at generation %d (digest %016x): %d active, %d inactive, %d links via %d frames + %d snapshots",
+		*agent, gen, digest, active, inactive, links, frames, snapshots)
+}

@@ -9,6 +9,7 @@
 //	celestial -config testbed.toml [-progress 30s] [-dns :5353] [-http :8080] [-wall]
 //	celestial -scenario run.toml [-horizon 10s] [-report out.json] [-http :8080]
 //	celestial -scenario run.toml -checkpoint run.ckpt [-checkpoint-every 5] [-resume]
+//	celestial -scenario run.toml -agents-listen :7700 -agents 4 [-agents-barrier 2s]
 //
 // Without -wall the emulation runs in virtual time (a 10-minute experiment
 // finishes in seconds); with -wall it advances in real time so external
@@ -24,6 +25,16 @@
 // GET /diff server-sent event stream) serves concurrently with the run,
 // so external tools can watch link and activity deltas as the scenario
 // executes.
+//
+// -agents-listen serves the host-agent wire protocol (see
+// internal/hostlink and cmd/celestial-agent): remote agent processes
+// attach as digest-verified replica followers of their shard's topology
+// feed, with -agents holding the start until a fleet has attached and
+// -agents-barrier bounding how long each tick waits for acks. Remote
+// agents never touch virtual state, so the run report stays
+// byte-identical to a single-process run; at the end of the run every
+// attached agent's final ack is verified against the coordinator's digest
+// chain and any divergence fails the process.
 //
 // -checkpoint persists a crash-safe snapshot of the run state at tick
 // boundaries (atomic write: temp file, fsync, rename). After a crash — or
@@ -60,6 +71,9 @@ func main() {
 	progress := flag.Duration("progress", 30*time.Second, "virtual-time interval between progress reports")
 	dnsAddr := flag.String("dns", "", "UDP address to serve testbed DNS on (e.g. :5353)")
 	httpAddr := flag.String("http", "", "TCP address to serve the HTTP info API on (e.g. :8080)")
+	agentsListen := flag.String("agents-listen", "", "TCP address to serve the host-agent wire protocol on (e.g. :7700; scenario mode only)")
+	agentsWait := flag.Int("agents", 0, "wait for this many celestial-agent connections before starting the run (requires -agents-listen)")
+	agentsBarrier := flag.Duration("agents-barrier", 2*time.Second, "per-tick wall-clock budget for attached agents to ack the new generation")
 	wall := flag.Bool("wall", false, "advance in wall-clock time instead of virtual time")
 	flag.Parse()
 
@@ -73,8 +87,14 @@ func main() {
 			checkpointEvery: *checkpointEvery,
 			resume:          *resume,
 			crashAfter:      *crashAfter,
+			agentsListen:    *agentsListen,
+			agentsWait:      *agentsWait,
+			agentsBarrier:   *agentsBarrier,
 		})
 		return
+	}
+	if *agentsListen != "" || *agentsWait > 0 {
+		log.Fatal("celestial: -agents-listen/-agents require -scenario mode")
 	}
 	if *configPath == "" {
 		flag.Usage()
@@ -180,6 +200,9 @@ type scenarioOpts struct {
 	checkpointEvery int
 	resume          bool
 	crashAfter      int
+	agentsListen    string
+	agentsWait      int
+	agentsBarrier   time.Duration
 }
 
 // runScenario executes a declarative scenario file and writes its run
@@ -213,6 +236,43 @@ func runScenario(o scenarioOpts) {
 		}()
 		log.Printf("serving info API on http://%s/info (diff stream: /diff?since=0)", ln.Addr())
 	}
+	// Multi-host mode: serve the host-agent wire protocol, optionally wait
+	// for a fleet of celestial-agent processes to attach, and hold each
+	// tick until attached agents ack it. None of this touches virtual
+	// state — remote agents are digest-verified followers — so the run
+	// report stays byte-identical to a single-process run.
+	var barrierHook func(tick int) error
+	fo := r.Coordinator().Fanout()
+	if o.agentsListen != "" {
+		ln, err := net.Listen("tcp", o.agentsListen)
+		if err != nil {
+			log.Fatalf("celestial: agent listener: %v", err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := fo.Serve(ln); err != nil {
+				log.Printf("celestial: agent server: %v", err)
+			}
+		}()
+		log.Printf("serving host-agent protocol on %s (%d shards)", ln.Addr(), fo.Shards())
+		if o.agentsWait > 0 {
+			log.Printf("waiting for %d agent(s) to attach", o.agentsWait)
+			for fo.ConnectedAgents() < o.agentsWait {
+				time.Sleep(50 * time.Millisecond)
+			}
+			log.Printf("%d agent(s) attached", fo.ConnectedAgents())
+		}
+		barrierHook = func(int) error {
+			// Detached agents never stall the run; they resync from the
+			// retention ring (or a snapshot) when they return.
+			fo.WaitRemotes(o.agentsBarrier)
+			return nil
+		}
+		defer fo.Close()
+	} else if o.agentsWait > 0 {
+		log.Fatal("celestial: -agents requires -agents-listen")
+	}
+
 	cfg := sc.Config
 	log.Printf("scenario %q (seed %d): %d satellites in %d shell(s), %d ground stations, %d flow(s), %d event(s)",
 		sc.Name, sc.Seed, cfg.TotalSatellites(), len(cfg.Shells), len(cfg.GroundStations),
@@ -234,11 +294,15 @@ func runScenario(o scenarioOpts) {
 		runOpts.Resume = cp
 		log.Printf("resuming from checkpoint at tick %d (t=%vs): replaying prefix and verifying", cp.Tick, cp.SimS)
 	}
+	runOpts.TickHook = barrierHook
 	if o.crashAfter > 0 {
 		if o.checkpointPath == "" {
 			log.Fatal("celestial: -crash-after-ticks requires -checkpoint")
 		}
 		runOpts.TickHook = func(tick int) error {
+			if barrierHook != nil {
+				_ = barrierHook(tick)
+			}
 			if tick >= o.crashAfter {
 				// A hard exit, not a clean unwind: the checkpoint on
 				// disk must carry the resume on its own.
@@ -251,6 +315,17 @@ func runScenario(o scenarioOpts) {
 	rep, err := r.RunWith(runOpts)
 	if err != nil {
 		log.Fatalf("celestial: %v", err)
+	}
+	if o.agentsListen != "" {
+		// The distributed run's proof of equivalence: every attached agent
+		// must have acked the final generation with the coordinator's own
+		// chain digest. A divergent replica is a hard failure, not a log
+		// line — the CI multihost job relies on this exit code.
+		fo.WaitRemotes(o.agentsBarrier)
+		if err := fo.VerifyRemotes(); err != nil {
+			log.Fatalf("celestial: remote verification failed: %v", err)
+		}
+		log.Printf("verified %d attached agent(s) against the digest chain", fo.ConnectedAgents())
 	}
 	log.Printf("run complete: %d ticks, %d/%d messages delivered/dropped, %d active satellites at end",
 		rep.Ticks.Ticks, rep.Network.Delivered, rep.Network.Dropped, r.ActiveSatellites())

@@ -11,12 +11,14 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"celestial/internal/config"
 	"celestial/internal/constellation"
 	"celestial/internal/faults"
 	"celestial/internal/host"
+	"celestial/internal/hostlink"
 	"celestial/internal/machine"
 	"celestial/internal/retry"
 	"celestial/internal/supervise"
@@ -51,10 +53,16 @@ type Coordinator struct {
 	// observe it. Empty-diff ticks advance the generation but not this.
 	topoVer uint64
 	// ring retains the most recent updates' diff records for the
-	// information service's GET /diff?since= replay; genHead is the
-	// generation of the newest entry.
-	ring    [diffRingCap]DiffEntry
+	// information service's GET /diff?since= replay and the fan-out
+	// tier's agent resyncs; its capacity is ringCap (SetDiffRetention).
+	ring    []DiffEntry
+	ringCap int
 	ringLen int
+	// ringEvictions counts retained entries overwritten by newer
+	// generations (guarded by mu); forcedResyncs counts DiffsSince calls
+	// that could not replay and sent the caller back to full state.
+	ringEvictions uint64
+	forcedResyncs atomic.Uint64
 	// notify is closed (and replaced) on every completed update, waking
 	// long-poll and SSE readers blocked in WaitGeneration.
 	notify chan struct{}
@@ -68,24 +76,25 @@ type Coordinator struct {
 	// decides its degradation level (see SetWatchdog). It is only touched
 	// from the update path on the simulation goroutine.
 	wd *supervise.Watchdog
-	// pendingInvalidate and pendingActivity carry distribution work a
-	// degraded tick withheld: the next tick that is allowed to distribute
-	// invalidates the virtual network's paths and runs a full activity
-	// sweep, which is complete and idempotent, so coalescing loses
-	// nothing.
-	pendingInvalidate bool
-	pendingActivity   bool
-	// applyErrors counts host activity sweeps that still failed after
-	// retries; the error is recorded and the run continues — one stuck
-	// machine must not abort the emulation. Guarded by mu.
-	applyErrors  int
-	lastApplyErr error
+
+	// fo is the host fan-out tier: every tick's diff is distributed to
+	// the hosts through per-shard loopback appliers (and, when agents are
+	// attached, mirrored to them over TCP). foOpts remembers the
+	// configuration so retention changes can rebuild the tier pre-Start.
+	fo     *hostlink.Fanout
+	foOpts FanoutOptions
+	// shardOf maps node ID to its owning shard; shardNodes and
+	// shardHosts are each shard's nodes (ID order) and hosts.
+	shardOf    []int
+	shardNodes [][]int
+	shardHosts [][]*host.Host
 }
 
-// diffRingCap is how many recent updates' diff records the coordinator
-// retains for replay. At the paper's 1 s update resolution this covers
-// about a minute of history; a client that falls further behind gets a
-// resync signal and refetches full state.
+// diffRingCap is the default diff retention: how many recent updates'
+// diff records the coordinator keeps for replay (see SetDiffRetention).
+// At the paper's 1 s update resolution this covers about a minute of
+// history; a client that falls further behind gets a resync signal and
+// refetches full state.
 const diffRingCap = 64
 
 // DiffEntry is one retained update in the coordinator's diff history: the
@@ -111,6 +120,8 @@ func New(cfg *config.Config) (*Coordinator, error) {
 		notify:  make(chan struct{}),
 		leases:  map[*constellation.State]int{},
 		retired: map[*constellation.State]bool{},
+		ring:    make([]DiffEntry, diffRingCap),
+		ringCap: diffRingCap,
 	}
 	c.net = vnet.NewNetwork(sim, stateTopology{c}, 1)
 	// Fold machine health into snapshot activity: a crashed (or stopped)
@@ -171,7 +182,56 @@ func New(cfg *config.Config) (*Coordinator, error) {
 		c.byNode[node.ID] = m
 		c.hostOf[node.ID] = target
 	}
+	if err := c.buildFanout(FanoutOptions{}); err != nil {
+		return nil, err
+	}
 	return c, nil
+}
+
+// SetDiffRetention resizes the diff retention ring (default diffRingCap).
+// A larger ring lets slow /diff clients and disconnected agents catch up
+// by replay instead of full-state resync, at the cost of retained diff
+// memory. Must be called before Start; it rebuilds the fan-out tier so
+// the digest rings match the new retention.
+func (c *Coordinator) SetDiffRetention(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("coordinator: diff retention %d", n)
+	}
+	c.mu.Lock()
+	if c.updates > 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("coordinator: cannot change diff retention after Start")
+	}
+	c.ring = make([]DiffEntry, n)
+	c.ringCap = n
+	c.ringLen = 0
+	c.mu.Unlock()
+	return c.buildFanout(c.foOpts)
+}
+
+// RingStats describes the diff retention ring: its capacity, current
+// fill, how many retained entries were evicted by newer generations, and
+// how many DiffsSince calls missed the window and forced the caller into
+// a full-state resync.
+type RingStats struct {
+	Capacity      int    `json:"capacity"`
+	Length        int    `json:"length"`
+	Evictions     uint64 `json:"evictions"`
+	ForcedResyncs uint64 `json:"forced_resyncs"`
+}
+
+// RingStats returns the retention ring counters. Evictions are a
+// deterministic function of the run (ticks beyond capacity); forced
+// resyncs depend on client behavior and stay out of the run report.
+func (c *Coordinator) RingStats() RingStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return RingStats{
+		Capacity:      c.ringCap,
+		Length:        c.ringLen,
+		Evictions:     c.ringEvictions,
+		ForcedResyncs: c.forcedResyncs.Load(),
+	}
 }
 
 // Constellation returns the underlying constellation.
@@ -315,6 +375,7 @@ func (c *Coordinator) DiffsSince(since uint64) (entries []DiffEntry, ok bool) {
 	defer c.mu.RUnlock()
 	gen := uint64(c.updates)
 	if since > gen {
+		c.forcedResyncs.Add(1)
 		return nil, false
 	}
 	if since == gen {
@@ -323,10 +384,11 @@ func (c *Coordinator) DiffsSince(since uint64) (entries []DiffEntry, ok bool) {
 	// gen > since >= 0 here, so at least one update ran and ringLen >= 1.
 	oldest := gen - uint64(c.ringLen) + 1
 	if since+1 < oldest {
+		c.forcedResyncs.Add(1)
 		return nil, false
 	}
 	for g := since + 1; g <= gen; g++ {
-		slot := &c.ring[g%diffRingCap]
+		slot := &c.ring[g%uint64(c.ringCap)]
 		// Clone, don't alias: ring slots reuse their slice backing
 		// arrays across ticks (AppendRecord), and the copies escape the
 		// lock.
@@ -389,21 +451,23 @@ func (c *Coordinator) SetWatchdog(cfg supervise.Config) {
 func (c *Coordinator) Watchdog() *supervise.Watchdog { return c.wd }
 
 // Robustness summarizes the failure handling of a run: watchdog decisions,
-// activity sweeps that failed even after retries, and the retry middleware
-// counters aggregated over every host plus the virtual network's shaper
-// programming.
+// frame applications that failed even after retries, and the retry
+// middleware counters aggregated over every host, the virtual network's
+// shaper programming, and the fan-out tier's wire sends.
 type Robustness struct {
 	// Watchdog is zero when no watchdog is installed.
 	Watchdog supervise.Stats
-	// ApplyErrors counts ticks whose activity sweep reported at least one
-	// machine error after retries; LastApplyErr is the most recent one.
+	// ApplyErrors counts shard frames whose application (activity sweep,
+	// path invalidation) reported at least one machine error after
+	// retries; LastApplyErr is the most recent one.
 	ApplyErrors  int
 	LastApplyErr error
 	// HostRetries aggregates machine lifecycle retry counters across all
 	// hosts; ShaperRetries counts the virtual network's shaper
-	// programming retries.
+	// programming retries; WireRetries the fan-out tier's frame sends.
 	HostRetries   retry.Stats
 	ShaperRetries retry.Stats
+	WireRetries   retry.Stats
 }
 
 // Robustness returns the run's failure-handling counters so far.
@@ -412,14 +476,12 @@ func (c *Coordinator) Robustness() Robustness {
 	if c.wd != nil {
 		r.Watchdog = c.wd.Stats()
 	}
-	c.mu.RLock()
-	r.ApplyErrors = c.applyErrors
-	r.LastApplyErr = c.lastApplyErr
-	c.mu.RUnlock()
+	r.ApplyErrors, r.LastApplyErr = c.fo.ApplyErrors()
 	for _, h := range c.hosts {
 		r.HostRetries.Add(h.RetryStats())
 	}
 	r.ShaperRetries = c.net.RetryStats()
+	r.WireRetries = c.fo.RetryStats()
 	return r
 }
 
@@ -483,12 +545,19 @@ func (c *Coordinator) update() error {
 	// Retain this update's diff for /diff?since= replay. The slot's
 	// record reuses its backing arrays, so steady-state ticks do not
 	// allocate for history retention.
-	slot := &c.ring[gen%diffRingCap]
+	slot := &c.ring[gen%uint64(c.ringCap)]
+	if slot.Generation > 0 {
+		c.ringEvictions++
+	}
 	slot.Generation = gen
 	slot.Diff = d.AppendRecord(slot.Diff)
-	if c.ringLen < diffRingCap {
+	if c.ringLen < c.ringCap {
 		c.ringLen++
 	}
+	// Fold the new generation into the fan-out tier's per-shard digest
+	// chains before any reader can observe it: a remote writer woken by
+	// notify must find the digest for this generation already recorded.
+	c.fo.Advance(recordOf(gen, &slot.Diff))
 	// Wake long-poll/SSE readers waiting for a new generation.
 	close(c.notify)
 	c.notify = make(chan struct{})
@@ -501,71 +570,28 @@ func (c *Coordinator) update() error {
 	c.mu.Unlock()
 	c.pool.Recycle(old)
 
-	c.distribute(st, d, level)
+	c.distribute(level)
 	if c.wd != nil {
 		c.wd.EndTick()
 	}
 	return nil
 }
 
-// distribute ships the tick's diff to the virtual network and the hosts,
-// honoring the degradation level and any distribution debt earlier
-// coalesced ticks left behind.
-func (c *Coordinator) distribute(st *constellation.State, d *constellation.Diff, level supervise.Level) {
+// distribute ships the generation prepared by the last fan-out Advance to
+// every host shard through the fan-out tier, which honors the per-shard
+// degradation ladders, the global watchdog level, and any distribution
+// debt coalesced ticks left behind. Frame-apply failures are recorded in
+// the shard counters (see Robustness), not fatal — one stuck machine must
+// not abort the emulation.
+func (c *Coordinator) distribute(level supervise.Level) {
 	applyStart := time.Time{}
 	if c.wd != nil {
 		applyStart = time.Now()
 	}
-	needInvalidate := !d.Empty() || c.pendingInvalidate
-	needActivity := d.Full || len(d.Activated) > 0 || len(d.Deactivated) > 0 || c.pendingActivity
-
-	if level >= supervise.LevelCoalesce {
-		// Coalesce (and worse): withhold shaper reprogramming. The debt is
-		// remembered; the next tick allowed to distribute invalidates the
-		// network against the then-current state, which subsumes every
-		// coalesced delta.
-		c.pendingInvalidate = needInvalidate
-	} else if needInvalidate {
-		// Links changed (now or on a coalesced tick): cached per-pair
-		// paths and shaper parameters in the virtual network are stale.
-		c.net.InvalidatePaths()
-		c.pendingInvalidate = false
-	}
-
-	switch {
-	case level == supervise.LevelCoalesce:
-		// Machine activity is withheld too; a full sweep later applies the
-		// coalesced state (the sweep is complete and idempotent).
-		c.pendingActivity = needActivity
-	case needActivity:
-		var errs error
-		for _, h := range c.hosts {
-			if err := h.ApplyActivity(func(id int) bool { return st.Active[id] }); err != nil {
-				if errs == nil {
-					errs = err
-				}
-			}
-		}
-		c.pendingActivity = false
-		if errs != nil {
-			// Retries already ran inside the host sweep; whatever
-			// survived them is recorded, not fatal — the sweep is
-			// re-applied in full on every activity tick, so a machine
-			// that unsticks converges back to the intended state.
-			c.mu.Lock()
-			c.applyErrors++
-			c.lastApplyErr = errs
-			c.mu.Unlock()
-		}
-	case !d.Empty() && level < supervise.LevelCoalesce:
-		// Delta-only tick: the hosts reprogram links (manager CPU
-		// spike) but no machine changes state, so the per-machine
-		// activity sweep is skipped. Degraded ticks that withheld the
-		// reprogramming cause no spike.
-		for _, h := range c.hosts {
-			h.NoteUpdate()
-		}
-	}
+	// The only error Distribute can surface is a scheduling failure for
+	// deferred frames, which means the simulation is shutting down;
+	// delivery errors live in the shard counters.
+	_ = c.fo.Distribute(level)
 	if c.wd != nil {
 		c.wd.Observe(supervise.StageApply, time.Since(applyStart))
 	}

@@ -1,0 +1,272 @@
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"celestial/internal/constellation"
+	"celestial/internal/host"
+	"celestial/internal/hostlink"
+	"celestial/internal/netem"
+	"celestial/internal/retry"
+	"celestial/internal/supervise"
+)
+
+// FanoutOptions configures the host fan-out tier (see ConfigureFanout).
+// The zero value yields one shard per host with no frame faults.
+type FanoutOptions struct {
+	// Agents is the fan-out width: how many host agents share the
+	// machines. Zero means one agent per host; it must not exceed the
+	// host count (hosts are never split across agents).
+	Agents int
+	// Ladder configures each shard's follower degradation ladder.
+	Ladder supervise.FollowerConfig
+	// Retry is the wire-send retry policy; Seed feeds the per-shard
+	// jitter and fault-injection streams.
+	Retry retry.Policy
+	Seed  int64
+	// FrameDropRate, FrameDupRate and FrameDelayRate inject frame loss,
+	// duplication and delay (by FrameDelay) into the loopback wire sends
+	// — deterministic scenario events, not wall-clock noise.
+	FrameDropRate  float64
+	FrameDupRate   float64
+	FrameDelayRate float64
+	FrameDelay     time.Duration
+	// DeadAfter declares a killed agent permanently dead after this much
+	// virtual time, failing its shard's machines through the SEU health
+	// path; zero disables the dead path.
+	DeadAfter time.Duration
+	// Heartbeat and WriteTimeout size the remote agent connections; zero
+	// means the hostlink defaults.
+	Heartbeat    time.Duration
+	WriteTimeout time.Duration
+}
+
+// ConfigureFanout rebuilds the fan-out tier with the given options. Must
+// be called before Start.
+func (c *Coordinator) ConfigureFanout(o FanoutOptions) error {
+	c.mu.RLock()
+	started := c.updates > 0
+	c.mu.RUnlock()
+	if started {
+		return errors.New("coordinator: cannot configure fan-out after Start")
+	}
+	return c.buildFanout(o)
+}
+
+// Fanout returns the host fan-out tier, e.g. to serve remote agents on a
+// listener or script kill/rejoin events.
+func (c *Coordinator) Fanout() *hostlink.Fanout { return c.fo }
+
+// buildFanout constructs the fan-out tier: shard layout, loopback
+// appliers, and the producer callbacks that make agent resyncs work
+// exactly like /diff clients.
+func (c *Coordinator) buildFanout(o FanoutOptions) error {
+	shards := o.Agents
+	if shards <= 0 {
+		shards = len(c.hosts)
+	}
+	if shards > len(c.hosts) {
+		return fmt.Errorf("coordinator: %d agents for %d hosts (hosts are never split across agents)", shards, len(c.hosts))
+	}
+	c.foOpts = o
+
+	// A host's machines all live on one shard: shard = host ID mod
+	// shards. With the default one-agent-per-host layout this is the
+	// identity, so the sweep order inside each shard matches the legacy
+	// single-process distribute path.
+	c.shardOf = make([]int, len(c.byNode))
+	c.shardNodes = make([][]int, shards)
+	c.shardHosts = make([][]*host.Host, shards)
+	for _, h := range c.hosts {
+		s := h.ID() % shards
+		c.shardHosts[s] = append(c.shardHosts[s], h)
+	}
+	for node, h := range c.hostOf {
+		if h == nil {
+			continue
+		}
+		s := h.ID() % shards
+		c.shardOf[node] = s
+		c.shardNodes[s] = append(c.shardNodes[s], node)
+	}
+
+	appliers := make([]hostlink.Applier, shards)
+	machines := make([]int, shards)
+	for s := 0; s < shards; s++ {
+		shard := s
+		appliers[s] = &shardApplier{
+			c:      c,
+			shard:  s,
+			member: func(id int) bool { return c.shardOf[id] == shard },
+		}
+		machines[s] = len(c.shardNodes[s])
+	}
+
+	fo, err := hostlink.New(hostlink.Config{
+		Shards:   shards,
+		ShardOf:  func(node int) int { return c.shardOf[node] },
+		Machines: machines,
+		Appliers: appliers,
+		Now:      c.sim.Now,
+		After:    c.sim.After,
+		Head:     c.Generation,
+		Updated:  c.UpdateChan,
+		Replay:   c.replayRecords,
+		Snapshot: c.shardSnapshot,
+		Fail:     c.failShard,
+		Ladder:   o.Ladder,
+		Retry:    o.Retry,
+		Seed:     o.Seed,
+		DropRate: o.FrameDropRate,
+		DupRate:  o.FrameDupRate, DelayRate: o.FrameDelayRate,
+		Delay:        o.FrameDelay,
+		DeadAfter:    o.DeadAfter,
+		Heartbeat:    o.Heartbeat,
+		WriteTimeout: o.WriteTimeout,
+	}, c.ringCap)
+	if err != nil {
+		return err
+	}
+	c.fo = fo
+	return nil
+}
+
+// recordOf flattens a retained diff record into the fan-out tier's view.
+// The slices are borrowed from the retention ring slot.
+func recordOf(gen uint64, d *constellation.DiffRecord) hostlink.Record {
+	return hostlink.Record{
+		Generation:   gen,
+		T:            d.T,
+		Full:         d.Full,
+		Degraded:     d.Degraded,
+		Added:        d.Added,
+		Removed:      d.Removed,
+		DelayChanged: d.DelayChanged,
+		Activated:    d.Activated,
+		Deactivated:  d.Deactivated,
+	}
+}
+
+// replayRecords adapts DiffsSince to the fan-out tier's Replay callback.
+func (c *Coordinator) replayRecords(since uint64) ([]hostlink.Record, bool) {
+	entries, ok := c.DiffsSince(since)
+	if !ok {
+		return nil, false
+	}
+	recs := make([]hostlink.Record, len(entries))
+	for i := range entries {
+		recs[i] = recordOf(entries[i].Generation, &entries[i].Diff)
+	}
+	return recs, true
+}
+
+// shardSnapshot builds a shard's full state at the current generation —
+// the resync document a rejoining agent adopts when the retention ring
+// has moved past its cursor.
+func (c *Coordinator) shardSnapshot(shard int) (*hostlink.Snapshot, error) {
+	st, gen, release := c.LeaseStateGen()
+	defer release()
+	if st == nil {
+		return nil, errors.New("coordinator: no state before the first update")
+	}
+	snap := &hostlink.Snapshot{Generation: gen, T: st.T}
+	for _, node := range c.shardNodes[shard] {
+		if st.Active[node] {
+			snap.Active = append(snap.Active, int32(node))
+		} else {
+			snap.Inactive = append(snap.Inactive, int32(node))
+		}
+	}
+	for _, l := range st.Links {
+		if c.shardOf[l.A] != shard && c.shardOf[l.B] != shard {
+			continue
+		}
+		snap.Links = append(snap.Links, hostlink.LinkState{
+			A: int32(l.A), B: int32(l.B),
+			DelayQ: int32(netem.LatencyQuanta(l.LatencyS)),
+		})
+	}
+	return snap, nil
+}
+
+// failShard crashes every machine of a shard whose agent was declared
+// permanently dead — the same health path SEU faults use, so the outage
+// surfaces as activity flips in the next tick's diff.
+func (c *Coordinator) failShard(shard int, reason string) error {
+	now := c.sim.Now()
+	var errs []error
+	for _, node := range c.shardNodes[shard] {
+		m := c.byNode[node]
+		if m == nil || !m.Running() {
+			continue
+		}
+		if err := m.Crash(now, reason); err != nil {
+			errs = append(errs, fmt.Errorf("coordinator: failing node %d: %w", node, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// shardApplier is the loopback Applier for one shard: it translates the
+// fan-out tier's policy flags into the legacy distribute actions — path
+// invalidation, machine-activity sweeps, link-reprogram notes — scoped to
+// the shard's hosts and machines.
+type shardApplier struct {
+	c      *Coordinator
+	shard  int
+	member func(id int) bool
+}
+
+// ApplyDiff implements hostlink.Applier.
+func (a *shardApplier) ApplyDiff(f *hostlink.DiffFrame) error {
+	c := a.c
+	if f.Flags&hostlink.FlagInvalidate != 0 {
+		// Stale shaper parameters: mark the cached pairs whose source
+		// this shard owns; other shards invalidate their own on their
+		// own frames (FlagChanged is global).
+		c.net.InvalidatePairsIf(func(from, to int) bool { return c.shardOf[from] == a.shard })
+	}
+	switch {
+	case f.Flags&hostlink.FlagSweep != 0:
+		st := c.State()
+		if st == nil {
+			return errors.New("coordinator: sweep before the first update")
+		}
+		var errs []error
+		for _, h := range c.shardHosts[a.shard] {
+			if err := h.ApplyActivityScoped(a.member, func(id int) bool { return st.Active[id] }); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	case f.Flags&hostlink.FlagNote != 0:
+		// Delta-only frame: the hosts reprogram links (manager CPU
+		// spike) but no machine changes state.
+		for _, h := range c.shardHosts[a.shard] {
+			h.NoteUpdate()
+		}
+	}
+	return nil
+}
+
+// ApplySnapshot implements hostlink.Applier: a full-state resync after
+// ring eviction. The loopback shard's authoritative state is the
+// coordinator's own, so the snapshot reduces to a scoped invalidate plus
+// a full activity sweep against the current state.
+func (a *shardApplier) ApplySnapshot(*hostlink.Snapshot) error {
+	c := a.c
+	c.net.InvalidatePairsIf(func(from, to int) bool { return c.shardOf[from] == a.shard })
+	st := c.State()
+	if st == nil {
+		return errors.New("coordinator: snapshot before the first update")
+	}
+	var errs []error
+	for _, h := range c.shardHosts[a.shard] {
+		if err := h.ApplyActivityScoped(a.member, func(id int) bool { return st.Active[id] }); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -144,6 +144,117 @@ func TestDiffsSinceSignalsResyncPastRing(t *testing.T) {
 	}
 }
 
+// TestSetDiffRetentionAndRingStats locks in the configurable retention
+// ring: capacity takes effect, evictions count ticks beyond it, forced
+// resyncs count DiffsSince calls that missed the window, and the knob
+// refuses to resize a ring that already holds history.
+func TestSetDiffRetentionAndRingStats(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Resolution = time.Second
+	cfg.Duration = 2 * time.Minute
+	if err := config.Finalize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const retention = 8
+	if err := c.SetDiffRetention(retention); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDiffRetention(0); err == nil {
+		t.Error("SetDiffRetention(0) did not error")
+	}
+	if rs := c.RingStats(); rs.Capacity != retention || rs.Length != 0 || rs.Evictions != 0 {
+		t.Fatalf("pre-start ring stats = %+v", rs)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Before wrapping: every generation retained, no evictions.
+	if err := c.Run((retention - 1) * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rs := c.RingStats(); rs.Length != int(c.Generation()) || rs.Evictions != 0 {
+		t.Fatalf("ring stats before wrap = %+v at generation %d", rs, c.Generation())
+	}
+	// Run past capacity: length pins at capacity and each further tick
+	// evicts exactly one slot.
+	if err := c.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	gen := c.Generation()
+	rs := c.RingStats()
+	if rs.Length != retention {
+		t.Errorf("ring length = %d, want %d", rs.Length, retention)
+	}
+	if want := gen - retention; rs.Evictions != want {
+		t.Errorf("evictions = %d, want %d (generation %d)", rs.Evictions, want, gen)
+	}
+	// A cursor past the window forces a resync and is counted; a cursor
+	// inside it is not.
+	if _, ok := c.DiffsSince(0); ok {
+		t.Error("DiffsSince(0) did not signal resync past an 8-deep ring")
+	}
+	if _, ok := c.DiffsSince(gen - 1); !ok {
+		t.Error("DiffsSince(head-1) signalled resync inside the window")
+	}
+	if got := c.RingStats().ForcedResyncs; got != rs.ForcedResyncs+1 {
+		t.Errorf("forced resyncs = %d, want %d", got, rs.ForcedResyncs+1)
+	}
+	// The ring cannot be resized once it holds history: replayability of
+	// the retained window must not silently change mid-run.
+	if err := c.SetDiffRetention(4); err == nil {
+		t.Error("SetDiffRetention after Start did not error")
+	}
+}
+
+// TestDiffsSinceConcurrentWithUpdates races /diff-style readers against
+// the update loop's ring writes (meaningful under -race): every replayed
+// window must be gap-free and in order even while slots are recycled.
+func TestDiffsSinceConcurrentWithUpdates(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Resolution = time.Second
+	cfg.Duration = 2 * time.Minute
+	if err := config.Finalize(cfg); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDiffRetention(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var cursor uint64
+		for i := 0; i < 200; i++ {
+			entries, ok := c.DiffsSince(cursor)
+			if !ok {
+				cursor = c.Generation()
+				continue
+			}
+			for _, e := range entries {
+				if e.Generation != cursor+1 {
+					t.Errorf("replay gap: got generation %d after cursor %d", e.Generation, cursor)
+					return
+				}
+				cursor = e.Generation
+			}
+		}
+	}()
+	if err := c.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
 func TestLeaseStateGenPairsStateWithGeneration(t *testing.T) {
 	c, err := New(testConfig(t))
 	if err != nil {

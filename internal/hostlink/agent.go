@@ -1,0 +1,260 @@
+package hostlink
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrGap reports a diff frame that does not extend the replica's cursor:
+// the agent must reconnect and resync (ring replay or snapshot).
+var ErrGap = errors.New("hostlink: generation gap")
+
+// Replica is the agent-side shard state: the set of active/inactive
+// machines and per-link delay quanta its host would program, rebuilt from
+// snapshots and diff frames, with the digest chain folded alongside so
+// the coordinator can verify byte-exact convergence. On a real multi-host
+// deployment this is where machine lifecycle and netem shaper calls
+// attach; the standalone agent keeps the state and the proof.
+type Replica struct {
+	mu     sync.Mutex
+	active map[int32]bool
+	links  map[[2]int32]int32
+	gen    uint64
+	digest uint64
+
+	frames    int
+	snapshots int
+}
+
+// NewReplica returns an empty replica at generation 0.
+func NewReplica() *Replica {
+	return &Replica{
+		active: make(map[int32]bool),
+		links:  make(map[[2]int32]int32),
+		digest: ChainSeed,
+	}
+}
+
+func linkKey(a, b int32) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{a, b}
+}
+
+// ApplySnapshot replaces the replica's state wholesale and adopts the
+// snapshot's generation and chain digest.
+func (r *Replica) ApplySnapshot(s *Snapshot) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clear(r.active)
+	clear(r.links)
+	for _, id := range s.Active {
+		r.active[id] = true
+	}
+	for _, id := range s.Inactive {
+		r.active[id] = false
+	}
+	for _, l := range s.Links {
+		r.links[linkKey(l.A, l.B)] = l.DelayQ
+	}
+	r.gen = s.Generation
+	r.digest = s.Digest
+	r.snapshots++
+	return nil
+}
+
+// ApplyDiff folds one in-order diff frame into the replica. Frames that
+// do not extend the cursor by exactly one generation — including Full
+// frames, which carry no deltas — return ErrGap.
+func (r *Replica) ApplyDiff(f *DiffFrame) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f.Flags&FlagFull != 0 || f.Generation != r.gen+1 {
+		return fmt.Errorf("%w: frame %d onto replica at %d", ErrGap, f.Generation, r.gen)
+	}
+	for _, l := range f.Added {
+		r.links[linkKey(l.A, l.B)] = l.DelayQ
+	}
+	for _, l := range f.Changed {
+		r.links[linkKey(l.A, l.B)] = l.DelayQ
+	}
+	for _, l := range f.Removed {
+		delete(r.links, linkKey(l.A, l.B))
+	}
+	for _, id := range f.Activated {
+		r.active[id] = true
+	}
+	for _, id := range f.Deactivated {
+		r.active[id] = false
+	}
+	r.gen = f.Generation
+	r.digest = FoldDiff(r.digest, f)
+	r.frames++
+	return nil
+}
+
+// Cursor returns the replica's applied generation and chain digest.
+func (r *Replica) Cursor() (gen, digest uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen, r.digest
+}
+
+// Counts returns the replica's tracked state sizes and how it got there.
+func (r *Replica) Counts() (active, inactive, links, frames, snapshots int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, a := range r.active {
+		if a {
+			active++
+		} else {
+			inactive++
+		}
+	}
+	return active, inactive, len(r.links), r.frames, r.snapshots
+}
+
+// Agent is the client side of the wire protocol: it dials the
+// coordinator, identifies its shard, follows the frame stream into its
+// Replica, acks every applied generation, and reconnects with its cursor
+// after any failure — the resync then comes from the coordinator's
+// retention ring, or a snapshot when the ring has moved on.
+type Agent struct {
+	// ID is the shard this agent owns; Addr the coordinator's listen
+	// address.
+	ID   int
+	Addr string
+	// Replica is the state being maintained; nil gets a fresh one.
+	Replica *Replica
+	// Heartbeat must match the coordinator's (both sides time out after
+	// three missed intervals); zero means DefaultHeartbeat.
+	Heartbeat time.Duration
+	// ReconnectWait spaces redial attempts; zero means 500ms.
+	ReconnectWait time.Duration
+	// Logf, when set, receives connection lifecycle notes.
+	Logf func(format string, args ...any)
+}
+
+// Run follows the coordinator until a clean Bye (returns nil) or the
+// context is canceled (returns the context error). Connection failures
+// and generation gaps trigger reconnect-and-resync, not failure.
+func (a *Agent) Run(ctx context.Context) error {
+	if a.Replica == nil {
+		a.Replica = NewReplica()
+	}
+	if a.Heartbeat <= 0 {
+		a.Heartbeat = DefaultHeartbeat
+	}
+	wait := a.ReconnectWait
+	if wait <= 0 {
+		wait = 500 * time.Millisecond
+	}
+	for {
+		done, err := a.session(ctx)
+		if done {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		a.logf("hostlink agent %d: reconnecting in %v: %v", a.ID, wait, err)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.Logf != nil {
+		a.Logf(format, args...)
+	}
+}
+
+// session runs one connection: handshake, then frames until error or Bye.
+// done is true only on a clean Bye or context cancellation.
+func (a *Agent) session(ctx context.Context) (done bool, err error) {
+	d := net.Dialer{Timeout: 10 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", a.Addr)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	gen, digest := a.Replica.Cursor()
+	buf, err := WriteFrame(conn, nil, &Hello{
+		Version: ProtocolVersion,
+		Agent:   int32(a.ID),
+		Cursor:  gen,
+		Digest:  digest,
+	})
+	if err != nil {
+		return false, err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(3 * a.Heartbeat))
+	f, rbuf, err := ReadFrame(conn, nil)
+	if err != nil {
+		return ctx.Err() != nil, err
+	}
+	switch f := f.(type) {
+	case *Welcome:
+		if f.Version != ProtocolVersion {
+			return true, fmt.Errorf("hostlink: coordinator protocol version %d, want %d", f.Version, ProtocolVersion)
+		}
+		a.logf("hostlink agent %d: attached to %s at generation %d", a.ID, a.Addr, f.Generation)
+	case *Bye:
+		return true, fmt.Errorf("hostlink: coordinator refused: %s", f.Reason)
+	default:
+		return false, fmt.Errorf("hostlink: handshake got %T", f)
+	}
+
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(3 * a.Heartbeat))
+		f, rbuf, err = ReadFrame(conn, rbuf)
+		if err != nil {
+			return ctx.Err() != nil, err
+		}
+		switch f := f.(type) {
+		case *Snapshot:
+			if err := a.Replica.ApplySnapshot(f); err != nil {
+				return false, err
+			}
+			if buf, err = a.ack(conn, buf); err != nil {
+				return false, err
+			}
+		case *DiffFrame:
+			if err := a.Replica.ApplyDiff(f); err != nil {
+				// A gap: reconnect with the current cursor and let the
+				// coordinator resync us.
+				return false, err
+			}
+			if buf, err = a.ack(conn, buf); err != nil {
+				return false, err
+			}
+		case *Heartbeat:
+			gen, _ := a.Replica.Cursor()
+			_ = conn.SetWriteDeadline(time.Now().Add(DefaultWriteTimeout))
+			if buf, err = WriteFrame(conn, buf, &Heartbeat{Generation: gen}); err != nil {
+				return false, err
+			}
+		case *Bye:
+			a.logf("hostlink agent %d: coordinator said goodbye: %s", a.ID, f.Reason)
+			return true, nil
+		}
+	}
+}
+
+// ack reports the replica's cursor and digest.
+func (a *Agent) ack(conn net.Conn, buf []byte) ([]byte, error) {
+	gen, digest := a.Replica.Cursor()
+	_ = conn.SetWriteDeadline(time.Now().Add(DefaultWriteTimeout))
+	return WriteFrame(conn, buf, &Ack{Agent: int32(a.ID), Generation: gen, Digest: digest})
+}

@@ -1,0 +1,755 @@
+package hostlink
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"celestial/internal/constellation"
+	"celestial/internal/retry"
+	"celestial/internal/rng"
+	"celestial/internal/supervise"
+)
+
+// Defaults for the wall-clock knobs. DefaultHeartbeat doubles as the
+// information service's SSE keepalive default so one setting sizes both
+// follower channels.
+const (
+	DefaultHeartbeat    = 15 * time.Second
+	DefaultWriteTimeout = 10 * time.Second
+)
+
+// Record is one retained generation as the fan-out tier consumes it: a
+// flat view of the coordinator's DiffRecord plus its generation number.
+// Slices are borrowed from the retention ring and must not be mutated.
+type Record struct {
+	Generation             uint64
+	T                      float64
+	Full                   bool
+	Degraded               uint8
+	Added, Removed         []constellation.LinkDelta
+	DelayChanged           []constellation.LinkDelta
+	Activated, Deactivated []int32
+}
+
+// empty reports whether the record carries no change at emulation
+// granularity (a Full record counts as changed).
+func (r *Record) empty() bool {
+	return !r.Full && len(r.Added) == 0 && len(r.Removed) == 0 &&
+		len(r.DelayChanged) == 0 && len(r.Activated) == 0 && len(r.Deactivated) == 0
+}
+
+// Applier consumes a shard's frame stream. The loopback applier translates
+// policy flags into path invalidation and machine-activity sweeps on the
+// in-process hosts; a remote replica rebuilds shard state from content.
+type Applier interface {
+	ApplySnapshot(s *Snapshot) error
+	ApplyDiff(f *DiffFrame) error
+}
+
+// Config wires a Fanout to its producer. All callbacks are required
+// unless noted.
+type Config struct {
+	// Shards is the fan-out width; ShardOf maps a constellation node ID
+	// to its owning shard. Machines[i] is shard i's machine count
+	// (status/report only).
+	Shards   int
+	ShardOf  func(node int) int
+	Machines []int
+
+	// Appliers[i] is shard i's loopback applier.
+	Appliers []Applier
+
+	// Now and After are the virtual clock: Now reads the simulation
+	// time, After schedules a callback on the simulation goroutine.
+	// They drive delayed-frame delivery and dead-agent detection, so
+	// frame faults stay deterministic scenario events.
+	Now   func() time.Time
+	After func(d time.Duration, fn func()) error
+
+	// Head returns the newest generation; Updated returns a channel
+	// closed when it advances; Replay returns the retained records
+	// after a cursor (nil, false when the ring has evicted it);
+	// SnapshotAt builds a shard's full state at head. These mirror the
+	// /diff information service's contract so agents resync exactly
+	// like diff clients.
+	Head     func() uint64
+	Updated  func() <-chan struct{}
+	Replay   func(since uint64) ([]Record, bool)
+	Snapshot func(shard int) (*Snapshot, error)
+
+	// Fail marks a shard's machines failed when its agent is declared
+	// permanently dead — the same health path SEU faults use. Optional.
+	Fail func(shard int, reason string) error
+
+	// Ladder configures the per-shard follower degradation ladder.
+	Ladder supervise.FollowerConfig
+
+	// Retry is the wire-send retry policy (virtual backoff); Seed feeds
+	// the per-shard jitter and fault-injection streams. DropRate,
+	// DupRate and DelayRate inject frame loss, duplication and delay
+	// (by Delay) into loopback sends.
+	Retry     retry.Policy
+	Seed      int64
+	DropRate  float64
+	DupRate   float64
+	DelayRate float64
+	Delay     time.Duration
+
+	// DeadAfter declares a down agent permanently dead after this much
+	// virtual time; zero disables the dead path.
+	DeadAfter time.Duration
+
+	// Heartbeat and WriteTimeout are wall-clock knobs for remote
+	// connections; zero means the package defaults.
+	Heartbeat    time.Duration
+	WriteTimeout time.Duration
+}
+
+// ShardStats is one shard's deterministic delivery counters — everything
+// here is a pure function of the scenario (seeded faults, scripted
+// kill/rejoin, virtual clock) and safe to include in the run report.
+type ShardStats struct {
+	Agent    int `json:"agent"`
+	Machines int `json:"machines"`
+	// Frames counts generations offered to the shard; Applied is the
+	// shard's consumed cursor; Digest is the shard's coordinator-side
+	// chain digest at the newest generation (the value a fully caught-up
+	// replica must ack).
+	Frames  int    `json:"frames"`
+	Applied uint64 `json:"applied"`
+	Digest  uint64 `json:"digest"`
+	// Coalesced and ActivityOnly count frames handled at a degraded
+	// ladder rung.
+	Coalesced    int `json:"coalesced"`
+	ActivityOnly int `json:"activity_only"`
+	// Dropped counts frames lost after the retry policy gave up;
+	// Duplicated injected duplicates (discarded on delivery); Delayed
+	// frames that arrived late.
+	Dropped    int `json:"dropped"`
+	Duplicated int `json:"duplicated"`
+	Delayed    int `json:"delayed"`
+	// Buffered counts generations skipped while the agent was down
+	// (retained in the ring); Replayed frames recovered from the ring;
+	// Resyncs ring replays (gap recovery and rejoins);
+	// SnapshotResyncs full-state resyncs after ring eviction.
+	Buffered        int `json:"buffered"`
+	Replayed        int `json:"replayed"`
+	Resyncs         int `json:"resyncs"`
+	SnapshotResyncs int `json:"snapshot_resyncs"`
+	// Killed/Rejoined count scripted agent-kill/agent-rejoin events;
+	// Dead is set when the agent was declared permanently dead.
+	Killed   int  `json:"killed"`
+	Rejoined int  `json:"rejoined"`
+	Down     bool `json:"down"`
+	Dead     bool `json:"dead"`
+	// Escalations/Recoveries are the follower ladder's rung moves.
+	Escalations int `json:"escalations"`
+	Recoveries  int `json:"recoveries"`
+	// ApplyErrors counts frames whose loopback application failed.
+	ApplyErrors int `json:"apply_errors"`
+}
+
+// shard is one agent's coordinator-side delivery state.
+type shard struct {
+	id      int
+	applier Applier
+	ladder  *supervise.Follower
+
+	// retryRnd jitters wire-send backoff; faultRnd draws frame faults.
+	// Both are per-shard streams so shard layouts do not perturb each
+	// other. rndFn is retryRnd.Float64 bound once (retry.Do takes a
+	// func; binding per send would allocate).
+	retryRnd *rng.Stream
+	faultRnd *rng.Stream
+	rndFn    func() float64
+	sendOp   func() error
+
+	// scratch is the shard's frame for the current generation, built by
+	// Advance and reused across ticks; it is cloned only when delivery
+	// is deferred (delay faults, queued backlog).
+	scratch DiffFrame
+
+	applied uint64 // consumed cursor
+	chain   uint64 // digest chain at head (coordinator side)
+	level   supervise.Level
+
+	// pendingInvalidate/pendingActivity carry coalesced debt exactly
+	// like the coordinator's former global flags, per shard.
+	pendingInvalidate bool
+	pendingActivity   bool
+
+	// queue holds deferred frames (delay faults) in arrival order.
+	queue []queuedFrame
+
+	down      bool
+	dead      bool
+	downSince time.Time
+
+	stats      ShardStats
+	retryStats retry.Stats
+	lastErr    error
+}
+
+type queuedFrame struct {
+	f   *DiffFrame
+	due time.Time
+}
+
+// Fanout is the coordinator-side fan-out tier: it owns per-shard delivery
+// state, applies frames through the loopback appliers on the simulation
+// goroutine, and (optionally) serves the same frame stream to remote
+// agents over TCP.
+type Fanout struct {
+	cfg    Config
+	shards []*shard
+	// level is the global watchdog rung for the generation currently
+	// being distributed; the effective per-shard level is the max of it
+	// and the shard ladder's rung.
+	level supervise.Level
+
+	// mu guards the digest rings, head, and remote bookkeeping — state
+	// shared with remote writer goroutines. Loopback delivery state is
+	// owned by the simulation goroutine and needs no lock.
+	mu sync.Mutex
+	// digests[shard] is a ring of (generation, chain digest) entries
+	// parallel to the coordinator's diff retention ring.
+	digests   [][]digestEntry
+	retention int
+	head      uint64
+
+	remotes   map[int]*remote
+	ackNotify chan struct{}
+	closed    bool
+	// statsSnap is the per-tick copy of the shard counters published for
+	// concurrent readers (the /agents endpoint); the live counters are
+	// owned by the simulation goroutine.
+	statsSnap []ShardStats
+}
+
+type digestEntry struct {
+	gen    uint64
+	digest uint64
+}
+
+// splitmix scatters a seed into decorrelated per-shard streams (the same
+// construction the scenario runner uses for flow seeds).
+func splitmix(seed int64, idx uint64) int64 {
+	z := uint64(seed) + (idx+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+var errFrameDropped = errors.New("hostlink: injected frame drop")
+
+// New builds a Fanout. Retention must match the producer's diff retention
+// ring capacity.
+func New(cfg Config, retention int) (*Fanout, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("hostlink: %d shards", cfg.Shards)
+	}
+	if len(cfg.Appliers) != cfg.Shards {
+		return nil, fmt.Errorf("hostlink: %d appliers for %d shards", len(cfg.Appliers), cfg.Shards)
+	}
+	if cfg.ShardOf == nil || cfg.Now == nil || cfg.After == nil ||
+		cfg.Head == nil || cfg.Updated == nil || cfg.Replay == nil || cfg.Snapshot == nil {
+		return nil, errors.New("hostlink: missing required callback")
+	}
+	if retention <= 0 {
+		return nil, fmt.Errorf("hostlink: retention %d", retention)
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	fo := &Fanout{
+		cfg:       cfg,
+		shards:    make([]*shard, cfg.Shards),
+		retention: retention,
+		digests:   make([][]digestEntry, cfg.Shards),
+		remotes:   make(map[int]*remote),
+		ackNotify: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{
+			id:       i,
+			applier:  cfg.Appliers[i],
+			ladder:   supervise.NewFollower(cfg.Ladder),
+			retryRnd: rng.New(splitmix(cfg.Seed, uint64(i))),
+			faultRnd: rng.New(splitmix(cfg.Seed, uint64(i)+0x10000)),
+			chain:    ChainSeed,
+		}
+		s.rndFn = s.retryRnd.Float64
+		drop, rnd := cfg.DropRate, s.faultRnd
+		if drop > 0 {
+			s.sendOp = func() error {
+				if rnd.Float64() < drop {
+					return retry.Transient(errFrameDropped)
+				}
+				return nil
+			}
+		} else {
+			s.sendOp = sendOK
+		}
+		if i < len(cfg.Machines) {
+			s.stats.Machines = cfg.Machines[i]
+		}
+		fo.digests[i] = make([]digestEntry, retention)
+		fo.shards[i] = s
+	}
+	return fo, nil
+}
+
+func sendOK() error { return nil }
+
+// Shards returns the fan-out width.
+func (fo *Fanout) Shards() int { return fo.cfg.Shards }
+
+// Advance folds one new generation into every shard's digest chain and
+// builds the per-shard scratch frames. The producer must call it for
+// every generation, in order, before waking replay readers — the digest
+// ring is what remote writers verify acks against.
+func (fo *Fanout) Advance(rec Record) {
+	for _, s := range fo.shards {
+		fo.buildFrameInto(&s.scratch, s.id, &rec)
+		s.chain = FoldDiff(s.chain, &s.scratch)
+	}
+	fo.mu.Lock()
+	fo.head = rec.Generation
+	for _, s := range fo.shards {
+		fo.digests[s.id][rec.Generation%uint64(fo.retention)] = digestEntry{rec.Generation, s.chain}
+	}
+	fo.mu.Unlock()
+}
+
+// digestAt returns shard's chain digest at gen, if the digest ring still
+// holds it.
+func (fo *Fanout) digestAt(shard int, gen uint64) (uint64, bool) {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	e := fo.digests[shard][gen%uint64(fo.retention)]
+	return e.digest, e.gen == gen && gen > 0
+}
+
+// buildFrameInto fills dst with rec's content scoped to one shard,
+// reusing dst's slices. Link deltas are scoped by their source endpoint
+// (the side whose host programs the shaper); activity flips by ownership.
+// FlagChanged is global — a link changing anywhere can move any path's
+// latency — while FlagActivity is per-shard.
+func (fo *Fanout) buildFrameInto(dst *DiffFrame, shard int, rec *Record) {
+	dst.Generation = rec.Generation
+	dst.T = rec.T
+	dst.Degraded = rec.Degraded
+	dst.Flags = 0
+	if rec.Full {
+		dst.Flags |= FlagFull
+	}
+	if !rec.empty() {
+		dst.Flags |= FlagChanged
+	}
+	dst.Added = appendShardLinks(dst.Added[:0], rec.Added, fo.cfg.ShardOf, shard)
+	dst.Removed = appendShardLinks(dst.Removed[:0], rec.Removed, fo.cfg.ShardOf, shard)
+	dst.Changed = appendShardLinks(dst.Changed[:0], rec.DelayChanged, fo.cfg.ShardOf, shard)
+	dst.Activated = appendShardIDs(dst.Activated[:0], rec.Activated, fo.cfg.ShardOf, shard)
+	dst.Deactivated = appendShardIDs(dst.Deactivated[:0], rec.Deactivated, fo.cfg.ShardOf, shard)
+	if len(dst.Activated) > 0 || len(dst.Deactivated) > 0 {
+		dst.Flags |= FlagActivity
+	}
+}
+
+func appendShardLinks(dst []LinkState, deltas []constellation.LinkDelta, shardOf func(int) int, shard int) []LinkState {
+	for _, d := range deltas {
+		if shardOf(d.A) != shard && shardOf(d.B) != shard {
+			continue
+		}
+		dst = append(dst, LinkState{A: int32(d.A), B: int32(d.B), DelayQ: d.NewQ})
+	}
+	return dst
+}
+
+func appendShardIDs(dst []int32, ids []int32, shardOf func(int) int, shard int) []int32 {
+	for _, id := range ids {
+		if shardOf(int(id)) == shard {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// cloneFrame deep-copies a frame for deferred delivery.
+func cloneFrame(f *DiffFrame) *DiffFrame {
+	c := *f
+	c.Added = append([]LinkState(nil), f.Added...)
+	c.Removed = append([]LinkState(nil), f.Removed...)
+	c.Changed = append([]LinkState(nil), f.Changed...)
+	c.Activated = append([]int32(nil), f.Activated...)
+	c.Deactivated = append([]int32(nil), f.Deactivated...)
+	return &c
+}
+
+// Distribute delivers the generation prepared by the last Advance call to
+// every shard's loopback applier, under the per-shard fault pipeline and
+// degradation ladder. level is the global watchdog rung for this tick.
+// Must run on the simulation goroutine, after Advance.
+func (fo *Fanout) Distribute(level supervise.Level) error {
+	fo.level = level
+	now := fo.cfg.Now()
+	var errs []error
+	for _, s := range fo.shards {
+		s.stats.Frames++
+		if s.dead {
+			continue
+		}
+		if s.down {
+			s.stats.Buffered++
+			fo.maybeDead(s, now)
+			continue
+		}
+		// Lag before this frame: generations produced but not consumed.
+		lag := int(s.scratch.Generation - 1 - s.applied)
+		if lag < 0 {
+			lag = 0
+		}
+		s.level = s.ladder.Observe(lag)
+		if err := fo.send(s, &s.scratch); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	fo.publishStats()
+	return errors.Join(errs...)
+}
+
+// publishStats copies the shard counters under fo.mu for concurrent
+// status readers. The slice is reused; after warmup this is copy-only.
+func (fo *Fanout) publishStats() {
+	fo.mu.Lock()
+	if fo.statsSnap == nil {
+		fo.statsSnap = make([]ShardStats, len(fo.shards))
+	}
+	for i, s := range fo.shards {
+		st := s.stats
+		st.Agent = s.id
+		st.Applied = s.applied
+		st.Digest = s.chain
+		ls := s.ladder.Stats()
+		st.Escalations = ls.Escalations
+		st.Recoveries = ls.Recoveries
+		fo.statsSnap[i] = st
+	}
+	fo.mu.Unlock()
+}
+
+// send runs the wire-send fault pipeline for one frame: drop injection
+// under the retry policy (virtual backoff), then delay and duplicate
+// draws, then delivery or enqueueing.
+func (fo *Fanout) send(s *shard, f *DiffFrame) error {
+	res := retry.Do(fo.cfg.Retry, s.rndFn, s.sendOp)
+	s.retryStats.Record(res)
+	if res.Err != nil {
+		// The frame is lost; the gap is healed from the retention ring
+		// when the next frame lands.
+		s.stats.Dropped++
+		return nil
+	}
+	delayed := false
+	if fo.cfg.DelayRate > 0 && s.faultRnd.Float64() < fo.cfg.DelayRate {
+		delayed = true
+		s.stats.Delayed++
+	}
+	dup := fo.cfg.DupRate > 0 && s.faultRnd.Float64() < fo.cfg.DupRate
+	if dup {
+		s.stats.Duplicated++
+	}
+	var err error
+	if delayed {
+		err = fo.defer_(s, f, fo.cfg.Delay)
+	} else if len(s.queue) > 0 {
+		// Order behind frames still in flight.
+		err = fo.defer_(s, f, 0)
+	} else {
+		fo.deliver(s, f)
+	}
+	if dup {
+		// The duplicate ships on the same schedule; delivery discards it
+		// by cursor.
+		if delayed {
+			err = errors.Join(err, fo.defer_(s, f, fo.cfg.Delay))
+		} else if len(s.queue) > 0 {
+			err = errors.Join(err, fo.defer_(s, f, 0))
+		} else {
+			fo.deliver(s, f)
+		}
+	}
+	return err
+}
+
+// defer_ schedules a cloned frame for later delivery on the simulation
+// clock.
+func (fo *Fanout) defer_(s *shard, f *DiffFrame, d time.Duration) error {
+	qf := queuedFrame{f: cloneFrame(f), due: fo.cfg.Now().Add(d)}
+	s.queue = append(s.queue, qf)
+	return fo.cfg.After(d, func() {
+		fo.drainDue(s)
+	})
+}
+
+// drainDue delivers every queued frame whose due time has arrived, in
+// arrival order.
+func (fo *Fanout) drainDue(s *shard) {
+	now := fo.cfg.Now()
+	for len(s.queue) > 0 {
+		qf := s.queue[0]
+		if qf.due.After(now) {
+			return
+		}
+		s.queue = s.queue[1:]
+		if len(s.queue) == 0 {
+			// Let the backing array go once drained so retained clones
+			// do not pin each other.
+			s.queue = nil
+		}
+		if !s.down && !s.dead {
+			fo.deliver(s, qf.f)
+		}
+	}
+}
+
+// deliver hands one frame to the shard pipeline: duplicates are discarded
+// by cursor, gaps healed from the retention ring, in-order frames applied
+// under the shard's effective degradation level.
+func (fo *Fanout) deliver(s *shard, f *DiffFrame) {
+	switch {
+	case f.Generation <= s.applied:
+		return // duplicate or superseded by a resync
+	case f.Generation != s.applied+1:
+		fo.resync(s)
+	default:
+		fo.applyFrame(s, f)
+		s.applied = f.Generation
+	}
+}
+
+// resync heals a shard whose next in-order frame is missing: replay the
+// retained generations after its cursor, or adopt a full snapshot when
+// the ring has evicted the cursor.
+func (fo *Fanout) resync(s *shard) {
+	recs, ok := fo.cfg.Replay(s.applied)
+	if ok {
+		s.stats.Resyncs++
+		var frame DiffFrame
+		for i := range recs {
+			fo.buildFrameInto(&frame, s.id, &recs[i])
+			fo.applyFrame(s, &frame)
+			s.applied = recs[i].Generation
+			s.stats.Replayed++
+		}
+		return
+	}
+	// The ring no longer covers the cursor: full-state resync, exactly
+	// like a /diff client that fell too far behind.
+	s.stats.SnapshotResyncs++
+	snap, err := fo.cfg.Snapshot(s.id)
+	if err != nil {
+		s.stats.ApplyErrors++
+		s.lastErr = err
+		return
+	}
+	if d, ok := fo.digestAt(s.id, snap.Generation); ok {
+		snap.Digest = d
+	}
+	if err := s.applier.ApplySnapshot(snap); err != nil {
+		s.stats.ApplyErrors++
+		s.lastErr = err
+		return
+	}
+	// A snapshot is authoritative: all carried debt is settled by it.
+	s.applied = snap.Generation
+	s.pendingInvalidate = false
+	s.pendingActivity = false
+}
+
+// applyFrame runs the per-shard degradation policy — the sharded version
+// of the coordinator's former global distribute step — and hands the
+// effective frame to the applier with policy flags set.
+func (fo *Fanout) applyFrame(s *shard, f *DiffFrame) {
+	level := s.level
+	if fo.level > level {
+		level = fo.level
+	}
+	needInvalidate := f.Flags&FlagChanged != 0 || s.pendingInvalidate
+	needActivity := f.Flags&(FlagActivity|FlagFull) != 0 || s.pendingActivity
+	eff := *f
+	if level >= supervise.LevelCoalesce {
+		s.pendingInvalidate = needInvalidate
+	} else if needInvalidate {
+		eff.Flags |= FlagInvalidate
+		s.pendingInvalidate = false
+	}
+	sweep := false
+	switch {
+	case level == supervise.LevelCoalesce:
+		s.pendingActivity = needActivity
+		s.stats.Coalesced++
+	case needActivity:
+		eff.Flags |= FlagSweep
+		s.pendingActivity = false
+		sweep = true
+	case f.Flags&FlagChanged != 0 && level < supervise.LevelCoalesce:
+		eff.Flags |= FlagNote
+	}
+	if level == supervise.LevelActivityOnly {
+		s.stats.ActivityOnly++
+	}
+	if eff.Flags&(FlagInvalidate|FlagSweep|FlagNote) == 0 {
+		return // nothing to do this generation
+	}
+	if err := s.applier.ApplyDiff(&eff); err != nil {
+		s.stats.ApplyErrors++
+		s.lastErr = err
+		if sweep {
+			// The sweep did not complete; carry it so the next frame
+			// converges the shard.
+			s.pendingActivity = true
+		}
+	}
+}
+
+// Converge drains every live shard's in-flight frames and heals cursor
+// gaps from the ring — the end-of-run settlement, so a frame lost on the
+// final generation cannot leave a shard behind head in the report. Must
+// run on the simulation goroutine after the last Distribute.
+func (fo *Fanout) Converge() {
+	head := fo.cfg.Head()
+	for _, s := range fo.shards {
+		if s.dead || s.down {
+			continue
+		}
+		for len(s.queue) > 0 {
+			qf := s.queue[0]
+			s.queue = s.queue[1:]
+			fo.deliver(s, qf.f)
+		}
+		s.queue = nil
+		if s.applied < head {
+			fo.resync(s)
+		}
+	}
+	fo.publishStats()
+}
+
+// maybeDead promotes a down shard to permanently dead once DeadAfter
+// virtual time has passed, failing its machines through the same health
+// path SEU faults use.
+func (fo *Fanout) maybeDead(s *shard, now time.Time) {
+	if fo.cfg.DeadAfter <= 0 || s.dead || !s.down {
+		return
+	}
+	if now.Sub(s.downSince) < fo.cfg.DeadAfter {
+		return
+	}
+	s.dead = true
+	s.stats.Dead = true
+	s.queue = nil
+	if fo.cfg.Fail != nil {
+		if err := fo.cfg.Fail(s.id, fmt.Sprintf("hostlink: agent %d dead after %v", s.id, fo.cfg.DeadAfter)); err != nil {
+			s.lastErr = err
+		}
+	}
+}
+
+// Kill marks an agent down (a scripted agent-kill event): its frames
+// buffer against the retention ring until it rejoins or is declared dead.
+func (fo *Fanout) Kill(agent int) error {
+	s, err := fo.shardByID(agent)
+	if err != nil {
+		return err
+	}
+	if s.dead {
+		return fmt.Errorf("hostlink: agent %d is dead", agent)
+	}
+	if s.down {
+		return fmt.Errorf("hostlink: agent %d is already down", agent)
+	}
+	s.down = true
+	s.stats.Down = true
+	s.downSince = fo.cfg.Now()
+	// In-flight frames die with the connection.
+	s.queue = nil
+	s.stats.Killed++
+	return nil
+}
+
+// Rejoin brings a down agent back (a scripted agent-rejoin event) and
+// resyncs it exactly like a reconnecting /diff client: ring replay when
+// its cursor is still retained, full snapshot otherwise.
+func (fo *Fanout) Rejoin(agent int) error {
+	s, err := fo.shardByID(agent)
+	if err != nil {
+		return err
+	}
+	if s.dead {
+		return fmt.Errorf("hostlink: agent %d is dead and cannot rejoin", agent)
+	}
+	if !s.down {
+		return fmt.Errorf("hostlink: agent %d is not down", agent)
+	}
+	s.down = false
+	s.stats.Down = false
+	s.stats.Rejoined++
+	if s.applied < fo.cfg.Head() {
+		fo.resync(s)
+	}
+	return nil
+}
+
+func (fo *Fanout) shardByID(agent int) (*shard, error) {
+	if agent < 0 || agent >= len(fo.shards) {
+		return nil, fmt.Errorf("hostlink: agent %d out of range [0, %d)", agent, len(fo.shards))
+	}
+	return fo.shards[agent], nil
+}
+
+// ShardStats returns every shard's deterministic delivery counters, in
+// shard order. Must be called from the simulation goroutine (or with it
+// quiescent).
+func (fo *Fanout) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(fo.shards))
+	for i, s := range fo.shards {
+		st := s.stats
+		st.Agent = s.id
+		st.Applied = s.applied
+		st.Digest = s.chain
+		ls := s.ladder.Stats()
+		st.Escalations = ls.Escalations
+		st.Recoveries = ls.Recoveries
+		out[i] = st
+	}
+	return out
+}
+
+// RetryStats aggregates the wire-send retry counters across shards.
+func (fo *Fanout) RetryStats() retry.Stats {
+	var agg retry.Stats
+	for _, s := range fo.shards {
+		agg.Add(s.retryStats)
+	}
+	return agg
+}
+
+// ApplyErrors returns the total failed frame applications and the most
+// recent error.
+func (fo *Fanout) ApplyErrors() (int, error) {
+	n := 0
+	var last error
+	for _, s := range fo.shards {
+		n += s.stats.ApplyErrors
+		if s.lastErr != nil {
+			last = s.lastErr
+		}
+	}
+	return n, last
+}

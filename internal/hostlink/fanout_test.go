@@ -1,0 +1,508 @@
+package hostlink
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"celestial/internal/constellation"
+	"celestial/internal/retry"
+	"celestial/internal/supervise"
+)
+
+// fakeSim is a minimal virtual clock: After-scheduled callbacks fire in
+// due-then-insertion order when the clock advances, like vnet.Sim.
+type fakeSim struct {
+	now    time.Time
+	timers []fakeTimer
+}
+
+type fakeTimer struct {
+	due time.Time
+	fn  func()
+}
+
+func (fs *fakeSim) Now() time.Time { return fs.now }
+
+func (fs *fakeSim) After(d time.Duration, fn func()) error {
+	fs.timers = append(fs.timers, fakeTimer{due: fs.now.Add(d), fn: fn})
+	return nil
+}
+
+func (fs *fakeSim) advance(to time.Time) {
+	for {
+		best := -1
+		for i, t := range fs.timers {
+			if t.due.After(to) {
+				continue
+			}
+			if best < 0 || t.due.Before(fs.timers[best].due) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		t := fs.timers[best]
+		fs.timers = append(fs.timers[:best], fs.timers[best+1:]...)
+		fs.now = t.due
+		t.fn()
+	}
+	fs.now = to
+}
+
+// memSource is an in-memory diff producer mirroring the coordinator's
+// retention-ring contract: Replay(since) serves the retained suffix or
+// reports eviction, Snapshot serves head. Safe for concurrent readers
+// (remote writer goroutines).
+type memSource struct {
+	mu        sync.Mutex
+	recs      []Record // recs[g-1] holds generation g
+	head      uint64
+	retention int
+	notify    chan struct{}
+}
+
+func newMemSource(retention int) *memSource {
+	return &memSource{retention: retention, notify: make(chan struct{})}
+}
+
+func (m *memSource) push(rec Record) {
+	m.mu.Lock()
+	m.recs = append(m.recs, rec)
+	m.head = rec.Generation
+	close(m.notify)
+	m.notify = make(chan struct{})
+	m.mu.Unlock()
+}
+
+func (m *memSource) Head() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.head
+}
+
+func (m *memSource) Updated() <-chan struct{} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.notify
+}
+
+func (m *memSource) Replay(since uint64) ([]Record, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if since > m.head {
+		return nil, false
+	}
+	if since == m.head {
+		return nil, true
+	}
+	oldest := uint64(1)
+	if m.head > uint64(m.retention) {
+		oldest = m.head - uint64(m.retention) + 1
+	}
+	if since+1 < oldest {
+		return nil, false
+	}
+	return append([]Record(nil), m.recs[since:m.head]...), true
+}
+
+func (m *memSource) Snapshot(shard int) (*Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return &Snapshot{Generation: m.head, T: float64(m.head)}, nil
+}
+
+// recApplier records the frames a shard's loopback applier received.
+type recApplier struct {
+	gens  []uint64
+	flags []uint8
+	snaps []uint64
+	err   error
+}
+
+func (a *recApplier) ApplySnapshot(s *Snapshot) error {
+	a.snaps = append(a.snaps, s.Generation)
+	return a.err
+}
+
+func (a *recApplier) ApplyDiff(f *DiffFrame) error {
+	a.gens = append(a.gens, f.Generation)
+	a.flags = append(a.flags, f.Flags)
+	return a.err
+}
+
+const testNodes = 4
+
+type harness struct {
+	fs    *fakeSim
+	src   *memSource
+	fo    *Fanout
+	apps  []*recApplier
+	fails []string
+	res   time.Duration
+	gen   uint64
+}
+
+func newHarness(t *testing.T, shards, retention int, mod func(*Config)) *harness {
+	t.Helper()
+	h := &harness{
+		fs:  &fakeSim{now: time.Unix(0, 0)},
+		src: newMemSource(retention),
+		res: 2 * time.Second,
+	}
+	appliers := make([]Applier, shards)
+	for i := range appliers {
+		a := &recApplier{}
+		h.apps = append(h.apps, a)
+		appliers[i] = a
+	}
+	cfg := Config{
+		Shards:   shards,
+		ShardOf:  func(node int) int { return node % shards },
+		Appliers: appliers,
+		Now:      h.fs.Now,
+		After:    h.fs.After,
+		Head:     h.src.Head,
+		Updated:  h.src.Updated,
+		Replay:   h.src.Replay,
+		Snapshot: h.src.Snapshot,
+		Fail: func(shard int, reason string) error {
+			h.fails = append(h.fails, fmt.Sprintf("agent %d", shard))
+			return nil
+		},
+		Seed:      42,
+		Heartbeat: 100 * time.Millisecond,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	fo, err := New(cfg, retention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.fo = fo
+	return h
+}
+
+// record fabricates generation g: node g%testNodes flips active and one
+// link delta moves, so every shard sees traffic over time. Generation 1
+// is Full, like a real run's first diff.
+func (h *harness) record(g uint64) Record {
+	rec := Record{Generation: g, T: float64(g) * h.res.Seconds()}
+	if g == 1 {
+		rec.Full = true
+		return rec
+	}
+	n := int32(g % testNodes)
+	rec.Activated = []int32{n}
+	rec.Added = []constellation.LinkDelta{{A: int(n), B: int((n + 1) % testNodes), NewQ: int32(g)}}
+	return rec
+}
+
+// tick advances the virtual clock one resolution (firing due timers) and
+// produces + distributes the next generation at the given global level.
+func (h *harness) tick(level supervise.Level) {
+	h.gen++
+	h.fs.advance(time.Unix(0, 0).Add(time.Duration(h.gen) * h.res))
+	rec := h.record(h.gen)
+	h.src.push(rec)
+	h.fo.Advance(rec)
+	if err := h.fo.Distribute(level); err != nil {
+		panic(err)
+	}
+}
+
+func (h *harness) run(n int) {
+	for i := 0; i < n; i++ {
+		h.tick(supervise.LevelFull)
+	}
+}
+
+func TestFanoutHealthyDeliveryInOrder(t *testing.T) {
+	h := newHarness(t, 2, 64, nil)
+	h.run(6)
+	for i, a := range h.apps {
+		want := []uint64{1, 2, 3, 4, 5, 6}
+		if !reflect.DeepEqual(a.gens, want) {
+			t.Errorf("shard %d applied gens %v, want %v", i, a.gens, want)
+		}
+		// Generation 1 is Full: both shards must sweep. Later
+		// generations sweep only the shard owning the flipped node and
+		// note the others.
+		if a.flags[0]&FlagSweep == 0 || a.flags[0]&FlagInvalidate == 0 {
+			t.Errorf("shard %d full frame flags = %08b, want sweep+invalidate", i, a.flags[0])
+		}
+	}
+	for g := uint64(2); g <= 6; g++ {
+		owner := int(g % testNodes % 2)
+		for i, a := range h.apps {
+			fl := a.flags[g-1]
+			if i == owner && fl&FlagSweep == 0 {
+				t.Errorf("gen %d: owner shard %d not swept (flags %08b)", g, i, fl)
+			}
+			if i != owner && (fl&FlagSweep != 0 || fl&FlagNote == 0) {
+				t.Errorf("gen %d: bystander shard %d flags %08b, want note without sweep", g, i, fl)
+			}
+		}
+	}
+	for _, st := range h.fo.ShardStats() {
+		if st.Applied != 6 {
+			t.Errorf("shard %d applied cursor = %d, want 6", st.Agent, st.Applied)
+		}
+		if st.Dropped+st.Duplicated+st.Delayed+st.Resyncs != 0 {
+			t.Errorf("shard %d has fault counters on a healthy run: %+v", st.Agent, st)
+		}
+	}
+}
+
+func TestFanoutDropHealsFromRing(t *testing.T) {
+	h := newHarness(t, 2, 64, func(c *Config) {
+		c.DropRate = 0.4
+		c.Retry = retry.Policy{MaxAttempts: 1} // every drop is a loss
+	})
+	h.run(20)
+	h.fo.Converge()
+	dropped := 0
+	for _, st := range h.fo.ShardStats() {
+		dropped += st.Dropped
+		if st.Applied != 20 {
+			t.Errorf("shard %d applied = %d, want 20 (gaps must heal from the ring)", st.Agent, st.Applied)
+		}
+		if st.Dropped > 0 && st.Resyncs == 0 {
+			t.Errorf("shard %d dropped %d frames but never resynced", st.Agent, st.Dropped)
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("40% drop rate over 40 sends injected no drops")
+	}
+	// In-order delivery despite gaps: each applier's gens strictly
+	// ascend.
+	for i, a := range h.apps {
+		for j := 1; j < len(a.gens); j++ {
+			if a.gens[j] <= a.gens[j-1] {
+				t.Fatalf("shard %d applied out of order: %v", i, a.gens)
+			}
+		}
+	}
+}
+
+func TestFanoutRetryAbsorbsDrops(t *testing.T) {
+	h := newHarness(t, 1, 64, func(c *Config) {
+		c.DropRate = 0.4
+		c.Retry = retry.Policy{MaxAttempts: 6, Initial: time.Millisecond, Multiplier: 2}
+	})
+	h.run(20)
+	st := h.fo.ShardStats()[0]
+	rs := h.fo.RetryStats()
+	if rs.Attempts <= rs.Ops {
+		t.Errorf("retry stats show no retries: %+v", rs)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("6-attempt retry still lost %d frames at 40%% drop", st.Dropped)
+	}
+	if st.Applied != 20 {
+		t.Errorf("applied = %d, want 20", st.Applied)
+	}
+}
+
+func TestFanoutDelayAndDupConverge(t *testing.T) {
+	h := newHarness(t, 2, 64, func(c *Config) {
+		c.DelayRate = 0.3
+		c.Delay = 3 * time.Second // lands mid-next-tick
+		c.DupRate = 0.3
+	})
+	h.run(20)
+	// One final quiet advance drains stragglers, and Converge settles
+	// any frame lost on the final generation.
+	h.fs.advance(h.fs.now.Add(10 * time.Second))
+	h.fo.Converge()
+	delayed, dup := 0, 0
+	for _, st := range h.fo.ShardStats() {
+		delayed += st.Delayed
+		dup += st.Duplicated
+		if st.Applied != 20 {
+			t.Errorf("shard %d applied = %d, want 20", st.Agent, st.Applied)
+		}
+	}
+	if delayed == 0 || dup == 0 {
+		t.Fatalf("fault injection inert: delayed=%d dup=%d", delayed, dup)
+	}
+	for i, a := range h.apps {
+		seen := map[uint64]bool{}
+		for _, g := range a.gens {
+			if seen[g] {
+				t.Fatalf("shard %d applied generation %d twice", i, g)
+			}
+			seen[g] = true
+		}
+	}
+}
+
+func TestFanoutKillBuffersAndRejoinReplays(t *testing.T) {
+	h := newHarness(t, 2, 64, nil)
+	h.run(3)
+	if err := h.fo.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.fo.Kill(1); err == nil {
+		t.Error("double kill must error")
+	}
+	h.run(2) // generations 4, 5 buffer against the ring
+	if err := h.fo.Rejoin(1); err != nil {
+		t.Fatal(err)
+	}
+	h.run(1)
+	st := h.fo.ShardStats()[1]
+	if st.Applied != 6 || st.Buffered != 2 || st.Replayed != 2 || st.Resyncs != 1 {
+		t.Errorf("after kill+rejoin: %+v, want applied 6, 2 buffered, 2 replayed, 1 resync", st)
+	}
+	if st.Killed != 1 || st.Rejoined != 1 {
+		t.Errorf("event counters = killed %d rejoined %d, want 1/1", st.Killed, st.Rejoined)
+	}
+	// The healthy shard was untouched.
+	if st0 := h.fo.ShardStats()[0]; st0.Buffered != 0 || st0.Applied != 6 {
+		t.Errorf("healthy shard perturbed: %+v", st0)
+	}
+	if !reflect.DeepEqual(h.apps[1].gens, []uint64{1, 2, 3, 4, 5, 6}) {
+		t.Errorf("shard 1 applied %v, want all six generations", h.apps[1].gens)
+	}
+}
+
+func TestFanoutRejoinAfterEvictionSnapshots(t *testing.T) {
+	h := newHarness(t, 2, 4, nil) // tiny ring
+	h.run(2)
+	if err := h.fo.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	h.run(10) // far past the 4-deep ring
+	if err := h.fo.Rejoin(0); err != nil {
+		t.Fatal(err)
+	}
+	st := h.fo.ShardStats()[0]
+	if st.SnapshotResyncs != 1 {
+		t.Errorf("SnapshotResyncs = %d, want 1", st.SnapshotResyncs)
+	}
+	if st.Applied != 12 {
+		t.Errorf("applied = %d, want 12 (snapshot at head)", st.Applied)
+	}
+	if len(h.apps[0].snaps) != 1 || h.apps[0].snaps[0] != 12 {
+		t.Errorf("applier snapshots = %v, want [12]", h.apps[0].snaps)
+	}
+}
+
+func TestFanoutDeadAgentFailsShard(t *testing.T) {
+	h := newHarness(t, 2, 64, func(c *Config) {
+		c.DeadAfter = 4 * time.Second // two ticks
+	})
+	h.run(2)
+	if err := h.fo.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	h.run(1) // down 2s: not dead yet
+	if h.fo.ShardStats()[1].Dead {
+		t.Fatal("shard declared dead before DeadAfter elapsed")
+	}
+	h.run(2) // down 6s: dead
+	st := h.fo.ShardStats()[1]
+	if !st.Dead {
+		t.Fatal("shard not declared dead after DeadAfter")
+	}
+	if !reflect.DeepEqual(h.fails, []string{"agent 1"}) {
+		t.Errorf("Fail calls = %v, want one for agent 1", h.fails)
+	}
+	if err := h.fo.Rejoin(1); err == nil {
+		t.Error("rejoin of a dead agent must error")
+	}
+	// Dead shards take no more frames, healthy ones are unaffected.
+	h.run(1)
+	if got := h.fo.ShardStats()[1].Applied; got != 2 {
+		t.Errorf("dead shard applied moved to %d", got)
+	}
+	if got := h.fo.ShardStats()[0].Applied; got != 6 {
+		t.Errorf("healthy shard applied = %d, want 6", got)
+	}
+}
+
+func TestFanoutCoalesceCarriesDebt(t *testing.T) {
+	h := newHarness(t, 2, 64, nil)
+	h.run(2)
+	h.tick(supervise.LevelCoalesce) // gen 3 coalesced on every shard
+	h.tick(supervise.LevelCoalesce) // gen 4 too
+	for i, a := range h.apps {
+		if len(a.gens) != 2 {
+			t.Fatalf("shard %d saw %d frames during coalesce, want 2 (pre-coalesce only)", i, len(a.gens))
+		}
+	}
+	h.tick(supervise.LevelFull) // gen 5 settles the debt
+	for i, a := range h.apps {
+		last := a.flags[len(a.flags)-1]
+		if last&FlagSweep == 0 || last&FlagInvalidate == 0 {
+			t.Errorf("shard %d debt-settling frame flags = %08b, want sweep+invalidate", i, last)
+		}
+	}
+	for _, st := range h.fo.ShardStats() {
+		if st.Coalesced != 2 {
+			t.Errorf("shard %d Coalesced = %d, want 2", st.Agent, st.Coalesced)
+		}
+		if st.Applied != 5 {
+			t.Errorf("shard %d applied = %d, want 5 (coalesced frames still consume)", st.Agent, st.Applied)
+		}
+	}
+}
+
+func TestFanoutActivityOnlySweepsWithoutInvalidate(t *testing.T) {
+	h := newHarness(t, 1, 64, nil)
+	h.run(2)
+	h.tick(supervise.LevelActivityOnly) // gen 3: node 3 flips, shard 0 owns all nodes
+	a := h.apps[0]
+	last := a.flags[len(a.flags)-1]
+	if last&FlagSweep == 0 {
+		t.Errorf("activity-only frame flags = %08b, want sweep", last)
+	}
+	if last&FlagInvalidate != 0 {
+		t.Errorf("activity-only frame flags = %08b: invalidation must be withheld", last)
+	}
+	// The withheld invalidation is debt: the next full frame carries it.
+	h.tick(supervise.LevelFull)
+	last = a.flags[len(a.flags)-1]
+	if last&FlagInvalidate == 0 {
+		t.Errorf("post-degradation frame flags = %08b, want carried invalidate", last)
+	}
+	if st := h.fo.ShardStats()[0]; st.ActivityOnly != 1 {
+		t.Errorf("ActivityOnly = %d, want 1", st.ActivityOnly)
+	}
+}
+
+// TestFanoutDeterminism is the core promise: identical configuration and
+// record streams produce identical counters, cursors and digest chains,
+// fault injection and all.
+func TestFanoutDeterminism(t *testing.T) {
+	run := func() []ShardStats {
+		h := newHarness(t, 3, 8, func(c *Config) {
+			c.DropRate = 0.2
+			c.DupRate = 0.2
+			c.DelayRate = 0.2
+			c.Delay = 3 * time.Second
+			c.Retry = retry.Policy{MaxAttempts: 2, Initial: time.Millisecond, Multiplier: 2, Jitter: 0.25}
+			c.DeadAfter = 30 * time.Second
+		})
+		h.run(5)
+		h.fo.Kill(2)
+		h.run(4)
+		h.fo.Rejoin(2)
+		h.run(11)
+		h.fs.advance(h.fs.now.Add(time.Minute))
+		h.fo.Converge()
+		return h.fo.ShardStats()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two identical runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a[0].Digest == 0 || a[0].Digest == a[1].Digest {
+		t.Errorf("shard digests suspicious: %016x vs %016x", a[0].Digest, a[1].Digest)
+	}
+}

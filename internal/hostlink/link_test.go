@@ -1,0 +1,222 @@
+package hostlink
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"celestial/internal/supervise"
+)
+
+// tcpHarness runs a Fanout serving real TCP agents against the memSource
+// producer. The loopback half still ticks deterministically; the remote
+// half is exercised with small heartbeats so tests stay fast.
+type tcpHarness struct {
+	*harness
+	t      *testing.T
+	ln     net.Listener
+	agents map[int]*agentProc
+	mu     sync.Mutex
+}
+
+type agentProc struct {
+	agent  *Agent
+	cancel context.CancelFunc
+	done   chan error
+}
+
+func newTCPHarness(t *testing.T, shards, retention int) *tcpHarness {
+	t.Helper()
+	h := newHarness(t, shards, retention, func(c *Config) {
+		c.Heartbeat = 50 * time.Millisecond
+		c.WriteTimeout = time.Second
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := &tcpHarness{harness: h, t: t, ln: ln, agents: make(map[int]*agentProc)}
+	go th.fo.Serve(ln)
+	t.Cleanup(func() {
+		th.fo.Close()
+		ln.Close()
+		th.mu.Lock()
+		defer th.mu.Unlock()
+		for _, p := range th.agents {
+			p.cancel()
+		}
+	})
+	return th
+}
+
+// startAgent launches (or relaunches) an agent for a shard, reusing the
+// given replica so reconnects resume from its cursor.
+func (th *tcpHarness) startAgent(id int, r *Replica) *agentProc {
+	ctx, cancel := context.WithCancel(context.Background())
+	a := &Agent{
+		ID:            id,
+		Addr:          th.ln.Addr().String(),
+		Replica:       r,
+		Heartbeat:     50 * time.Millisecond,
+		ReconnectWait: 20 * time.Millisecond,
+		Logf:          th.t.Logf,
+	}
+	p := &agentProc{agent: a, cancel: cancel, done: make(chan error, 1)}
+	go func() { p.done <- a.Run(ctx) }()
+	th.mu.Lock()
+	th.agents[id] = p
+	th.mu.Unlock()
+	return p
+}
+
+func (th *tcpHarness) waitAttached(n int) {
+	th.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for th.fo.ConnectedAgents() < n {
+		if time.Now().After(deadline) {
+			th.t.Fatalf("only %d/%d agents attached", th.fo.ConnectedAgents(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (th *tcpHarness) barrier() {
+	th.t.Helper()
+	if !th.fo.WaitRemotes(5 * time.Second) {
+		th.t.Fatal("remote agents did not ack the head generation in time")
+	}
+}
+
+func TestTCPAgentsFollowAndVerify(t *testing.T) {
+	th := newTCPHarness(t, 2, 64)
+	r0, r1 := NewReplica(), NewReplica()
+	th.startAgent(0, r0)
+	th.startAgent(1, r1)
+	th.waitAttached(2)
+
+	for i := 0; i < 8; i++ {
+		th.tick(supervise.LevelFull)
+		th.barrier()
+	}
+	if err := th.fo.VerifyRemotes(); err != nil {
+		t.Fatalf("digest verification failed: %v", err)
+	}
+	stats := th.fo.ShardStats()
+	for i, r := range []*Replica{r0, r1} {
+		gen, digest := r.Cursor()
+		if gen != 8 {
+			t.Errorf("replica %d cursor = %d, want 8", i, gen)
+		}
+		if digest != stats[i].Digest {
+			t.Errorf("replica %d digest %016x != coordinator %016x", i, digest, stats[i].Digest)
+		}
+		if _, _, _, frames, snaps := r.Counts(); frames == 0 && snaps == 0 {
+			t.Errorf("replica %d consumed nothing", i)
+		}
+	}
+	status := th.fo.AgentsStatus()
+	if len(status) != 2 {
+		t.Fatalf("AgentsStatus returned %d entries, want 2", len(status))
+	}
+	for i, st := range status {
+		if st.Remote == nil || !st.Remote.Connected {
+			t.Errorf("agent %d status missing remote half: %+v", i, st)
+		} else if st.Remote.Acked != 8 {
+			t.Errorf("agent %d acked %d, want 8", i, st.Remote.Acked)
+		}
+	}
+}
+
+func TestTCPAgentHardKillAndRejoinResyncsFromRing(t *testing.T) {
+	th := newTCPHarness(t, 2, 64)
+	r0, r1 := NewReplica(), NewReplica()
+	th.startAgent(0, r0)
+	p1 := th.startAgent(1, r1)
+	th.waitAttached(2)
+
+	for i := 0; i < 3; i++ {
+		th.tick(supervise.LevelFull)
+		th.barrier()
+	}
+	// The fresh replica bootstraps from one snapshot (the gen-1 Full frame
+	// carries no deltas); everything after rejoin must be ring replay.
+	_, _, _, _, baseSnaps := r1.Counts()
+
+	// Hard-kill agent 1 (connection torn down, no Bye) and keep ticking:
+	// the run must not stall on the dead remote.
+	p1.cancel()
+	<-p1.done
+	deadline := time.Now().Add(5 * time.Second)
+	for th.fo.ConnectedAgents() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("killed agent never detached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		th.tick(supervise.LevelFull)
+		th.barrier() // only agent 0 attached; must not block
+	}
+
+	// The rejoining agent reuses its replica: its Hello cursor is 3,
+	// still inside the 64-deep ring, so it catches up by replay.
+	th.startAgent(1, r1)
+	th.waitAttached(2)
+	th.tick(supervise.LevelFull)
+	th.barrier()
+	if err := th.fo.VerifyRemotes(); err != nil {
+		t.Fatalf("digest verification after rejoin failed: %v", err)
+	}
+	gen, digest := r1.Cursor()
+	if gen != 7 {
+		t.Errorf("rejoined replica cursor = %d, want 7", gen)
+	}
+	if want := th.fo.ShardStats()[1].Digest; digest != want {
+		t.Errorf("rejoined replica digest %016x != coordinator %016x", digest, want)
+	}
+	if _, _, _, _, snaps := r1.Counts(); snaps != baseSnaps {
+		t.Errorf("ring replay expected, but rejoin took %d extra snapshots", snaps-baseSnaps)
+	}
+}
+
+func TestTCPAgentRejoinAfterEvictionSnapshots(t *testing.T) {
+	th := newTCPHarness(t, 1, 4) // tiny ring
+	r0 := NewReplica()
+	p0 := th.startAgent(0, r0)
+	th.waitAttached(1)
+	th.tick(supervise.LevelFull)
+	th.barrier()
+
+	p0.cancel()
+	<-p0.done
+	deadline := time.Now().Add(5 * time.Second)
+	for th.fo.ConnectedAgents() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("killed agent never detached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Outrun the 4-deep ring while the agent is away.
+	for i := 0; i < 10; i++ {
+		th.tick(supervise.LevelFull)
+	}
+
+	th.startAgent(0, r0)
+	th.waitAttached(1)
+	th.barrier()
+	if err := th.fo.VerifyRemotes(); err != nil {
+		t.Fatalf("digest verification after eviction resync failed: %v", err)
+	}
+	gen, digest := r0.Cursor()
+	if gen != 11 {
+		t.Errorf("replica cursor = %d, want 11", gen)
+	}
+	if want := th.fo.ShardStats()[0].Digest; digest != want {
+		t.Errorf("replica digest %016x != coordinator %016x", digest, want)
+	}
+	if _, _, _, _, snaps := r0.Counts(); snaps < 2 {
+		t.Errorf("replica snapshots = %d, want ≥ 2 (initial + eviction resync)", snaps)
+	}
+}

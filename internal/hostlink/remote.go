@@ -1,0 +1,451 @@
+package hostlink
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// remote is one attached agent connection's bookkeeping. Everything here
+// is wall-clock state: it feeds the /agents status document and the
+// end-of-run barrier, never the simulation or the run report.
+type remote struct {
+	agent int
+	conn  net.Conn
+	addr  string
+
+	// done is closed when the connection is torn down (reader error,
+	// replacement, Close).
+	done chan struct{}
+
+	// acked/ackDigest are the agent's last reported cursor; sent is the
+	// writer's cursor.
+	acked     uint64
+	ackDigest uint64
+	sent      uint64
+	lastSeen  time.Time
+
+	snapshots      int
+	replays        int
+	collapsed      int
+	digestMismatch int
+	forceSnap      bool
+	gone           bool
+	ladder         *remoteLadder
+}
+
+// remoteLadder tracks a remote follower's backlog rung — the wall-clock
+// twin of the loopback shard's supervise.Follower. When a remote falls
+// past the coalesce rung the writer collapses its backlog into a single
+// snapshot instead of replaying every retained generation.
+type remoteLadder struct {
+	coalesceLag int
+}
+
+// RemoteStatus describes one attached agent connection for the /agents
+// document.
+type RemoteStatus struct {
+	Connected      bool   `json:"connected"`
+	Addr           string `json:"addr,omitempty"`
+	Acked          uint64 `json:"acked"`
+	AckDigest      string `json:"ack_digest,omitempty"`
+	Sent           uint64 `json:"sent"`
+	Snapshots      int    `json:"snapshots"`
+	Replays        int    `json:"replays"`
+	Collapsed      int    `json:"collapsed"`
+	DigestMismatch int    `json:"digest_mismatches"`
+	LastSeenUnixMs int64  `json:"last_seen_unix_ms,omitempty"`
+}
+
+// Serve accepts agent connections on ln until the listener is closed.
+// Each accepted connection is handshaken and then served by a writer
+// goroutine (frames out) and a reader goroutine (acks/heartbeats in).
+func (fo *Fanout) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go fo.serveConn(conn)
+	}
+}
+
+// serveConn handshakes one agent connection and runs its writer loop.
+func (fo *Fanout) serveConn(conn net.Conn) {
+	defer conn.Close()
+	hb := fo.cfg.Heartbeat
+	_ = conn.SetReadDeadline(time.Now().Add(3 * hb))
+	f, buf, err := ReadFrame(conn, nil)
+	if err != nil {
+		return
+	}
+	hello, ok := f.(*Hello)
+	if !ok {
+		return
+	}
+	if hello.Version != ProtocolVersion {
+		_, _ = WriteFrame(conn, buf, &Bye{Reason: fmt.Sprintf("protocol version %d, want %d", hello.Version, ProtocolVersion)})
+		return
+	}
+	agent := int(hello.Agent)
+	if agent < 0 || agent >= fo.cfg.Shards {
+		_, _ = WriteFrame(conn, buf, &Bye{Reason: fmt.Sprintf("agent %d out of range [0, %d)", agent, fo.cfg.Shards)})
+		return
+	}
+
+	r := &remote{
+		agent:    agent,
+		conn:     conn,
+		addr:     conn.RemoteAddr().String(),
+		done:     make(chan struct{}),
+		lastSeen: time.Now(),
+		ladder:   &remoteLadder{coalesceLag: fo.cfg.Ladder.CoalesceLag},
+	}
+	if r.ladder.coalesceLag <= 0 {
+		r.ladder.coalesceLag = 4
+	}
+
+	fo.mu.Lock()
+	if fo.closed {
+		fo.mu.Unlock()
+		_, _ = WriteFrame(conn, buf, &Bye{Reason: "shutting down"})
+		return
+	}
+	if prev := fo.remotes[agent]; prev != nil {
+		// Latest connection wins; the replaced one unblocks and exits.
+		prev.detachLocked()
+	}
+	fo.remotes[agent] = r
+	head := fo.head
+	fo.mu.Unlock()
+	fo.wakeAcks()
+
+	buf, err = WriteFrame(conn, buf, &Welcome{
+		Version:    ProtocolVersion,
+		Agent:      int32(agent),
+		Shards:     int32(fo.cfg.Shards),
+		Generation: head,
+	})
+	if err != nil {
+		fo.detach(r)
+		return
+	}
+
+	go fo.readLoop(r)
+	fo.writeLoop(r, hello, buf)
+	fo.detach(r)
+}
+
+// detachLocked marks a remote replaced/gone under fo.mu.
+func (r *remote) detachLocked() {
+	if !r.gone {
+		r.gone = true
+		close(r.done)
+		r.conn.Close()
+	}
+}
+
+// detach removes a remote from the attach table (if it is still the
+// current one) and wakes the barrier.
+func (fo *Fanout) detach(r *remote) {
+	fo.mu.Lock()
+	r.detachLocked()
+	if fo.remotes[r.agent] == r {
+		delete(fo.remotes, r.agent)
+	}
+	fo.mu.Unlock()
+	fo.wakeAcks()
+}
+
+// readLoop consumes acks and heartbeats until the connection dies. A
+// silent agent is disconnected after three missed heartbeat intervals —
+// the deadline-based loss detection the wire contract promises.
+func (fo *Fanout) readLoop(r *remote) {
+	defer fo.detach(r)
+	var buf []byte
+	for {
+		_ = r.conn.SetReadDeadline(time.Now().Add(3 * fo.cfg.Heartbeat))
+		f, b, err := ReadFrame(r.conn, buf)
+		buf = b
+		if err != nil {
+			return
+		}
+		switch f := f.(type) {
+		case *Ack:
+			fo.noteAck(r, f)
+		case *Heartbeat:
+			fo.mu.Lock()
+			r.lastSeen = time.Now()
+			fo.mu.Unlock()
+		case *Bye:
+			return
+		}
+	}
+}
+
+// noteAck records an agent's applied cursor and verifies its digest chain
+// against the coordinator's. A mismatch forces a snapshot resync on the
+// next writer pass — divergence is healed, not accumulated.
+func (fo *Fanout) noteAck(r *remote, a *Ack) {
+	fo.mu.Lock()
+	r.lastSeen = time.Now()
+	r.acked = a.Generation
+	r.ackDigest = a.Digest
+	e := fo.digests[r.agent][a.Generation%uint64(fo.retention)]
+	if e.gen == a.Generation && e.digest != a.Digest {
+		r.digestMismatch++
+		r.forceSnap = true
+	}
+	fo.mu.Unlock()
+	fo.wakeAcks()
+}
+
+// writeLoop streams the shard's frames to one agent: resume-or-snapshot
+// from the Hello cursor, then ring replay as generations land, heartbeats
+// when idle, and snapshot collapse when the agent falls too far behind.
+func (fo *Fanout) writeLoop(r *remote, hello *Hello, buf []byte) {
+	cursor := hello.Cursor
+	chain := hello.Digest
+	// A fresh replica (cursor 0) or one whose cursor/digest no longer
+	// matches the retained chain starts from a snapshot.
+	if d, ok := fo.digestAt(r.agent, cursor); cursor == 0 || !ok || d != chain {
+		cursor = 0
+	}
+	var frame DiffFrame
+	var err error
+	for {
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		fo.mu.Lock()
+		head := fo.head
+		force := r.forceSnap
+		r.forceSnap = false
+		fo.mu.Unlock()
+
+		lag := head - cursor
+		collapse := cursor > 0 && lag > uint64(4*r.ladder.coalesceLag)
+		if collapse {
+			fo.mu.Lock()
+			r.collapsed++
+			fo.mu.Unlock()
+		}
+		if cursor == 0 || force || collapse {
+			if head == 0 {
+				// Nothing produced yet; wait below.
+				cursor, chain = 0, ChainSeed
+			} else {
+				cursor, chain, buf, err = fo.sendSnapshot(r, buf)
+				if err != nil {
+					return
+				}
+			}
+		}
+
+		if cursor > 0 && cursor < head {
+			recs, ok := fo.cfg.Replay(cursor)
+			if !ok {
+				// The ring evicted the cursor while we slept: forced
+				// full resync.
+				fo.mu.Lock()
+				r.forceSnap = true
+				fo.mu.Unlock()
+				continue
+			}
+			for i := range recs {
+				fo.buildFrameInto(&frame, r.agent, &recs[i])
+				chain = FoldDiff(chain, &frame)
+				_ = r.conn.SetWriteDeadline(time.Now().Add(fo.cfg.WriteTimeout))
+				if buf, err = WriteFrame(r.conn, buf, &frame); err != nil {
+					return
+				}
+				cursor = recs[i].Generation
+			}
+			fo.mu.Lock()
+			r.sent = cursor
+			r.replays++
+			fo.mu.Unlock()
+			continue
+		}
+
+		// Caught up (or nothing produced yet): wait for the next
+		// generation, heartbeating so the agent knows we are alive.
+		ch := fo.cfg.Updated()
+		if fo.cfg.Head() > cursor {
+			continue
+		}
+		select {
+		case <-r.done:
+			return
+		case <-ch:
+		case <-time.After(fo.cfg.Heartbeat):
+			_ = r.conn.SetWriteDeadline(time.Now().Add(fo.cfg.WriteTimeout))
+			if buf, err = WriteFrame(r.conn, buf, &Heartbeat{Generation: cursor}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// sendSnapshot ships a full shard snapshot at head and returns the new
+// cursor and chain.
+func (fo *Fanout) sendSnapshot(r *remote, buf []byte) (uint64, uint64, []byte, error) {
+	snap, err := fo.cfg.Snapshot(r.agent)
+	if err != nil {
+		return 0, 0, buf, err
+	}
+	d, ok := fo.digestAt(r.agent, snap.Generation)
+	if !ok {
+		// The digest ring has not caught up with this generation yet (or
+		// already evicted it); retry after the next update.
+		select {
+		case <-r.done:
+			return 0, 0, buf, errors.New("hostlink: detached")
+		case <-fo.cfg.Updated():
+		case <-time.After(fo.cfg.Heartbeat):
+		}
+		return 0, ChainSeed, buf, nil
+	}
+	snap.Digest = d
+	_ = r.conn.SetWriteDeadline(time.Now().Add(fo.cfg.WriteTimeout))
+	buf, err = WriteFrame(r.conn, buf, snap)
+	if err != nil {
+		return 0, 0, buf, err
+	}
+	fo.mu.Lock()
+	r.snapshots++
+	r.sent = snap.Generation
+	fo.mu.Unlock()
+	return snap.Generation, d, buf, nil
+}
+
+// wakeAcks wakes WaitRemotes waiters.
+func (fo *Fanout) wakeAcks() {
+	fo.mu.Lock()
+	close(fo.ackNotify)
+	fo.ackNotify = make(chan struct{})
+	fo.mu.Unlock()
+}
+
+// ConnectedAgents returns how many agents are currently attached.
+func (fo *Fanout) ConnectedAgents() int {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	return len(fo.remotes)
+}
+
+// WaitRemotes blocks until every attached agent has acked the current
+// head generation, or the timeout elapses. Detached agents do not count —
+// a killed agent must not stall the run; it resyncs from the ring when it
+// returns. Reports whether all attached agents were caught up on return.
+func (fo *Fanout) WaitRemotes(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		fo.mu.Lock()
+		caughtUp := true
+		for _, r := range fo.remotes {
+			if !r.gone && r.acked < fo.head {
+				caughtUp = false
+				break
+			}
+		}
+		ch := fo.ackNotify
+		fo.mu.Unlock()
+		if caughtUp {
+			return true
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return false
+		}
+		select {
+		case <-ch:
+		case <-time.After(wait):
+			return false
+		}
+	}
+}
+
+// VerifyRemotes checks every attached agent's final ack against the
+// coordinator-side digest chain: cursor at head, chain digest identical.
+// It is the distributed run's proof of equivalence with the loopback
+// path.
+func (fo *Fanout) VerifyRemotes() error {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	var errs []error
+	for agent, r := range fo.remotes {
+		if r.gone {
+			continue
+		}
+		if r.acked != fo.head {
+			errs = append(errs, fmt.Errorf("hostlink: agent %d acked generation %d, head is %d", agent, r.acked, fo.head))
+			continue
+		}
+		e := fo.digests[agent][fo.head%uint64(fo.retention)]
+		if e.gen == fo.head && e.digest != r.ackDigest {
+			errs = append(errs, fmt.Errorf("hostlink: agent %d digest %016x diverged from coordinator %016x at generation %d",
+				agent, r.ackDigest, e.digest, fo.head))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close says goodbye to every attached agent and refuses new ones.
+func (fo *Fanout) Close() {
+	fo.mu.Lock()
+	fo.closed = true
+	remotes := make([]*remote, 0, len(fo.remotes))
+	for _, r := range fo.remotes {
+		remotes = append(remotes, r)
+	}
+	fo.mu.Unlock()
+	for _, r := range remotes {
+		_ = r.conn.SetWriteDeadline(time.Now().Add(fo.cfg.WriteTimeout))
+		_, _ = WriteFrame(r.conn, nil, &Bye{Reason: "run complete"})
+		fo.detach(r)
+	}
+}
+
+// AgentStatus is one shard's status document entry: the deterministic
+// loopback counters plus, when a remote agent is attached, its wall-clock
+// connection state.
+type AgentStatus struct {
+	ShardStats
+	Remote *RemoteStatus `json:"remote,omitempty"`
+}
+
+// AgentsStatus returns the per-shard status documents for the /agents
+// endpoint. The ShardStats half is the per-tick snapshot published by
+// Distribute (the simulation owns the live counters); the Remote half
+// exists only here.
+func (fo *Fanout) AgentsStatus() []AgentStatus {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	stats := fo.statsSnap
+	out := make([]AgentStatus, len(stats))
+	for i, st := range stats {
+		out[i] = AgentStatus{ShardStats: st}
+		if r, ok := fo.remotes[i]; ok && !r.gone {
+			out[i].Remote = &RemoteStatus{
+				Connected:      true,
+				Addr:           r.addr,
+				Acked:          r.acked,
+				AckDigest:      fmt.Sprintf("%016x", r.ackDigest),
+				Sent:           r.sent,
+				Snapshots:      r.snapshots,
+				Replays:        r.replays,
+				Collapsed:      r.collapsed,
+				DigestMismatch: r.digestMismatch,
+				LastSeenUnixMs: r.lastSeen.UnixMilli(),
+			}
+		}
+	}
+	return out
+}

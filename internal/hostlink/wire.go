@@ -1,0 +1,500 @@
+// Package hostlink is the coordinator↔host-agent fan-out tier: the piece
+// of the paper's architecture (Fig. 2) that carries each tick's
+// constellation diff and activity overlay from the one coordinator to the
+// N emulation hosts. It has two halves sharing one code path:
+//
+//   - a loopback side, where every shard's frames are applied in-process
+//     on the simulation goroutine under seeded fault injection (frame
+//     drop/dup/delay, scripted agent kill/rejoin, dead-agent detection in
+//     virtual time) — fully deterministic and reflected in the run report;
+//
+//   - a remote side, where standalone agent processes (cmd/celestial-agent)
+//     follow the same frame stream over TCP as digest-verified replicas.
+//     Remote delivery is wall-clock territory: acks, heartbeats, reconnect
+//     resyncs and barriers never touch simulation state, so a distributed
+//     run's report stays byte-identical to the single-process run's.
+//
+// This file is the wire protocol: length-prefixed frames over a byte
+// stream, versioned via the Hello/Welcome handshake. Every frame is
+//
+//	uint32 payload length (little-endian) | uint8 frame type | payload
+//
+// and payloads are fixed-layout little-endian fields — no reflection, no
+// allocation beyond the payload buffer, and a hard size cap against
+// corrupt prefixes.
+package hostlink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ProtocolVersion is the wire protocol revision, carried in the handshake
+// only. Agents and coordinators must match exactly.
+const ProtocolVersion = 1
+
+// MaxFramePayload caps a frame payload; a length prefix above it is
+// treated as stream corruption rather than honored with a huge allocation.
+// A full Starlink Gen2 snapshot (~84k links) is ~1 MiB, far under the cap.
+const MaxFramePayload = 64 << 20
+
+// FrameType discriminates the frame payloads.
+type FrameType uint8
+
+const (
+	// FrameHello is the agent's opening frame: protocol version, shard
+	// identity, and the replica cursor (generation + chain digest) it
+	// wants to resume from.
+	FrameHello FrameType = 1 + iota
+	// FrameWelcome is the coordinator's handshake reply.
+	FrameWelcome
+	// FrameSnapshot is a full shard state: the resync path when the
+	// retention ring has evicted the agent's cursor (or its digest chain
+	// diverged).
+	FrameSnapshot
+	// FrameDiff is one generation's shard-scoped delta.
+	FrameDiff
+	// FrameAck reports the agent's applied cursor and chain digest.
+	FrameAck
+	// FrameHeartbeat keeps an idle connection warm in both directions.
+	FrameHeartbeat
+	// FrameBye is a clean shutdown notice.
+	FrameBye
+)
+
+// String names the frame type for diagnostics.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameWelcome:
+		return "welcome"
+	case FrameSnapshot:
+		return "snapshot"
+	case FrameDiff:
+		return "diff"
+	case FrameAck:
+		return "ack"
+	case FrameHeartbeat:
+		return "heartbeat"
+	case FrameBye:
+		return "bye"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(t))
+	}
+}
+
+// DiffFrame flag bits. Content flags describe what the producing tick
+// changed; policy flags carry the loopback applier's per-shard degradation
+// decisions and are never set on frames built for the wire.
+const (
+	// FlagFull marks a diff with no usable base (the run's first
+	// generation): a replica receiving it must resync from a snapshot.
+	FlagFull uint8 = 1 << iota
+	// FlagChanged is set when the producing tick's diff was non-empty
+	// anywhere in the constellation — the signal that cached paths (and
+	// therefore shaper programs) may be stale for every shard.
+	FlagChanged
+	// FlagActivity is set when this shard owns at least one node whose
+	// activity flipped this generation.
+	FlagActivity
+	// FlagInvalidate (policy) tells the loopback applier to mark the
+	// shard's cached paths stale.
+	FlagInvalidate
+	// FlagSweep (policy) tells the loopback applier to run the shard's
+	// machine-activity sweep, including any debt carried from coalesced
+	// frames.
+	FlagSweep
+	// FlagNote (policy) tells the loopback applier to record a host
+	// update spike without sweeping (a links-only generation).
+	FlagNote
+)
+
+// Hello opens an agent connection.
+type Hello struct {
+	Version uint8
+	Agent   int32
+	// Cursor and Digest are the replica's applied generation and chain
+	// digest; the coordinator replays from there when the retention ring
+	// still covers it and the digest matches, else it sends a Snapshot.
+	Cursor uint64
+	Digest uint64
+}
+
+// Welcome acknowledges a Hello.
+type Welcome struct {
+	Version uint8
+	Agent   int32
+	// Shards is the fan-out width, so an agent can detect a shard layout
+	// mismatch; Generation is the coordinator's head at handshake time.
+	Shards     int32
+	Generation uint64
+}
+
+// LinkState is one link as a replica tracks it: endpoints in
+// constellation-wide node IDs and the one-way delay in netem.DelayQuantum
+// units.
+type LinkState struct {
+	A, B   int32
+	DelayQ int32
+}
+
+// Snapshot is a full shard state at one generation. Digest is the shard's
+// chain digest at that generation; a replica adopts it and folds
+// subsequent DiffFrames on top.
+type Snapshot struct {
+	Generation uint64
+	Digest     uint64
+	T          float64
+	Active     []int32
+	Inactive   []int32
+	Links      []LinkState
+}
+
+// DiffFrame is one generation's delta scoped to a shard: link deltas
+// touching the shard's nodes and the shard's activity flips. Degraded is
+// the producing tick's supervision level, as on the /diff feed.
+type DiffFrame struct {
+	Generation uint64
+	T          float64
+	Flags      uint8
+	Degraded   uint8
+	// Added and Changed carry the new delay quantum; Removed entries'
+	// DelayQ is -1.
+	Added, Removed, Changed []LinkState
+	Activated, Deactivated  []int32
+}
+
+// Ack reports an agent's applied cursor.
+type Ack struct {
+	Agent      int32
+	Generation uint64
+	Digest     uint64
+}
+
+// Heartbeat keeps the connection warm; Generation is the sender's current
+// head (coordinator→agent) or applied cursor (agent→coordinator).
+type Heartbeat struct {
+	Generation uint64
+}
+
+// Bye announces a clean shutdown.
+type Bye struct {
+	Reason string
+}
+
+var (
+	errShortFrame = errors.New("hostlink: truncated frame payload")
+	// ErrFrameTooLarge reports a length prefix above MaxFramePayload.
+	ErrFrameTooLarge = errors.New("hostlink: frame exceeds size cap")
+)
+
+// appendU16 .. appendF64 are the little-endian field writers.
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendI32(b []byte, v int32) []byte  { return appendU32(b, uint32(v)) }
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+// reader walks a payload with sticky truncation errors, so decoders can
+// read every field and check once.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.err = errShortFrame
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.err = errShortFrame
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.err = errShortFrame
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i32() int32   { return int32(r.u32()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("hostlink: %d trailing payload bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// count reads a u32 element count and bounds it against the bytes left,
+// so a corrupt count cannot force a huge allocation.
+func (r *reader) count(elemBytes int) int {
+	n := int(r.u32())
+	if r.err == nil && n*elemBytes > len(r.b)-r.off {
+		r.err = errShortFrame
+		return 0
+	}
+	return n
+}
+
+func appendIDs(b []byte, ids []int32) []byte {
+	b = appendU32(b, uint32(len(ids)))
+	for _, id := range ids {
+		b = appendI32(b, id)
+	}
+	return b
+}
+
+func (r *reader) ids(dst []int32) []int32 {
+	n := r.count(4)
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.i32())
+	}
+	return dst
+}
+
+func appendLinks(b []byte, ls []LinkState) []byte {
+	b = appendU32(b, uint32(len(ls)))
+	for _, l := range ls {
+		b = appendI32(b, l.A)
+		b = appendI32(b, l.B)
+		b = appendI32(b, l.DelayQ)
+	}
+	return b
+}
+
+func (r *reader) links(dst []LinkState) []LinkState {
+	n := r.count(12)
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, LinkState{A: r.i32(), B: r.i32(), DelayQ: r.i32()})
+	}
+	return dst
+}
+
+// appendFrame serializes one frame (envelope + payload) into buf.
+func appendFrame(buf []byte, f any) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length prefix, patched below
+	var t FrameType
+	switch f := f.(type) {
+	case *Hello:
+		t = FrameHello
+		buf = append(buf, byte(t), f.Version)
+		buf = appendI32(buf, f.Agent)
+		buf = appendU64(buf, f.Cursor)
+		buf = appendU64(buf, f.Digest)
+	case *Welcome:
+		t = FrameWelcome
+		buf = append(buf, byte(t), f.Version)
+		buf = appendI32(buf, f.Agent)
+		buf = appendI32(buf, f.Shards)
+		buf = appendU64(buf, f.Generation)
+	case *Snapshot:
+		t = FrameSnapshot
+		buf = append(buf, byte(t))
+		buf = appendU64(buf, f.Generation)
+		buf = appendU64(buf, f.Digest)
+		buf = appendF64(buf, f.T)
+		buf = appendIDs(buf, f.Active)
+		buf = appendIDs(buf, f.Inactive)
+		buf = appendLinks(buf, f.Links)
+	case *DiffFrame:
+		t = FrameDiff
+		buf = append(buf, byte(t))
+		buf = appendU64(buf, f.Generation)
+		buf = appendF64(buf, f.T)
+		buf = append(buf, f.Flags, f.Degraded)
+		buf = appendLinks(buf, f.Added)
+		buf = appendLinks(buf, f.Removed)
+		buf = appendLinks(buf, f.Changed)
+		buf = appendIDs(buf, f.Activated)
+		buf = appendIDs(buf, f.Deactivated)
+	case *Ack:
+		t = FrameAck
+		buf = append(buf, byte(t))
+		buf = appendI32(buf, f.Agent)
+		buf = appendU64(buf, f.Generation)
+		buf = appendU64(buf, f.Digest)
+	case *Heartbeat:
+		t = FrameHeartbeat
+		buf = append(buf, byte(t))
+		buf = appendU64(buf, f.Generation)
+	case *Bye:
+		t = FrameBye
+		buf = append(buf, byte(t))
+		buf = append(buf, f.Reason...)
+	default:
+		return buf[:start], fmt.Errorf("hostlink: cannot encode %T", f)
+	}
+	payload := len(buf) - start - 5 // sans prefix and type byte
+	if payload > MaxFramePayload {
+		return buf[:start], ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payload+1)) // +1: type byte
+	return buf, nil
+}
+
+// WriteFrame serializes f into buf (reusing its capacity) and writes the
+// whole frame to w in one Write call. It returns the (possibly grown)
+// buffer for reuse.
+func WriteFrame(w io.Writer, buf []byte, f any) ([]byte, error) {
+	buf, err := appendFrame(buf[:0], f)
+	if err != nil {
+		return buf, err
+	}
+	_, err = w.Write(buf)
+	return buf, err
+}
+
+// ReadFrame reads one frame from r, reusing buf for the payload, and
+// decodes it into a freshly allocated frame value. It returns the decoded
+// frame, the (possibly grown) buffer, and the first error encountered.
+func ReadFrame(r io.Reader, buf []byte) (any, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < 1 {
+		return nil, buf, errShortFrame
+	}
+	if n-1 > MaxFramePayload {
+		return nil, buf, ErrFrameTooLarge
+	}
+	payload := int(n) - 1
+	if cap(buf) < payload {
+		buf = make([]byte, payload)
+	}
+	buf = buf[:payload]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, buf, err
+	}
+	f, err := decodeFrame(FrameType(hdr[4]), buf)
+	return f, buf, err
+}
+
+// decodeFrame decodes a payload of a known type.
+func decodeFrame(t FrameType, payload []byte) (any, error) {
+	rd := &reader{b: payload}
+	switch t {
+	case FrameHello:
+		f := &Hello{Version: rd.u8(), Agent: rd.i32(), Cursor: rd.u64(), Digest: rd.u64()}
+		return f, rd.done()
+	case FrameWelcome:
+		f := &Welcome{Version: rd.u8(), Agent: rd.i32(), Shards: rd.i32(), Generation: rd.u64()}
+		return f, rd.done()
+	case FrameSnapshot:
+		f := &Snapshot{Generation: rd.u64(), Digest: rd.u64(), T: rd.f64()}
+		f.Active = rd.ids(nil)
+		f.Inactive = rd.ids(nil)
+		f.Links = rd.links(nil)
+		return f, rd.done()
+	case FrameDiff:
+		f := &DiffFrame{Generation: rd.u64(), T: rd.f64(), Flags: rd.u8(), Degraded: rd.u8()}
+		f.Added = rd.links(nil)
+		f.Removed = rd.links(nil)
+		f.Changed = rd.links(nil)
+		f.Activated = rd.ids(nil)
+		f.Deactivated = rd.ids(nil)
+		return f, rd.done()
+	case FrameAck:
+		f := &Ack{Agent: rd.i32(), Generation: rd.u64(), Digest: rd.u64()}
+		return f, rd.done()
+	case FrameHeartbeat:
+		f := &Heartbeat{Generation: rd.u64()}
+		return f, rd.done()
+	case FrameBye:
+		return &Bye{Reason: string(payload)}, nil
+	default:
+		return nil, fmt.Errorf("hostlink: unknown frame type %d", uint8(t))
+	}
+}
+
+// FNV-1a, folded 64 bits at a time: the digest chain primitive.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fold64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// ChainSeed is the digest chain's starting value (before any generation
+// has been folded).
+const ChainSeed uint64 = fnvOffset
+
+// FoldDiff folds one generation's shard-scoped content into a running
+// chain digest. Only content is folded — the policy flag bits and the
+// FlagChanged/FlagActivity summaries are derivable, and loopback delivery
+// decisions must not perturb the chain — so a replica folding the frames
+// it receives lands on exactly the digest the coordinator computed for
+// that shard. Section tags separate the variable-length field groups.
+func FoldDiff(chain uint64, f *DiffFrame) uint64 {
+	h := fold64(chain, f.Generation)
+	h = fold64(h, math.Float64bits(f.T))
+	full := uint64(0)
+	if f.Flags&FlagFull != 0 {
+		full = 1
+	}
+	h = fold64(h, full)
+	h = fold64(h, uint64(f.Degraded))
+	h = fold64(h, 0xA1)
+	for _, l := range f.Added {
+		h = foldLink(h, l)
+	}
+	h = fold64(h, 0xA2)
+	for _, l := range f.Removed {
+		h = foldLink(h, l)
+	}
+	h = fold64(h, 0xA3)
+	for _, l := range f.Changed {
+		h = foldLink(h, l)
+	}
+	h = fold64(h, 0xA4)
+	for _, id := range f.Activated {
+		h = fold64(h, uint64(uint32(id)))
+	}
+	h = fold64(h, 0xA5)
+	for _, id := range f.Deactivated {
+		h = fold64(h, uint64(uint32(id)))
+	}
+	return fold64(h, 0xAF)
+}
+
+func foldLink(h uint64, l LinkState) uint64 {
+	h = fold64(h, uint64(uint32(l.A)))
+	h = fold64(h, uint64(uint32(l.B)))
+	return fold64(h, uint64(uint32(l.DelayQ)))
+}

@@ -1,0 +1,35 @@
+package httpapi
+
+import (
+	"net/http"
+
+	"celestial/internal/coordinator"
+	"celestial/internal/hostlink"
+)
+
+// AgentsResponse is the GET /agents response: the host fan-out tier's
+// per-shard delivery state plus the diff retention ring that feeds agent
+// resyncs. Unlike the topology endpoints this is operational telemetry —
+// it changes with every tick and with remote connection churn — so it is
+// deliberately never cached.
+type AgentsResponse struct {
+	// Generation is the coordinator's head generation at serve time; a
+	// shard whose applied cursor trails it is behind.
+	Generation uint64 `json:"generation"`
+	// Ring is the diff retention ring: its capacity bounds how long a
+	// disconnected agent can be away and still resync by replay rather
+	// than snapshot.
+	Ring coordinator.RingStats `json:"ring"`
+	// Agents is one entry per shard; the remote half is present only
+	// while a TCP agent is attached (loopback shards omit it).
+	Agents []hostlink.AgentStatus `json:"agents"`
+}
+
+// handleAgents serves GET /agents, the fan-out tier's status document.
+func (s *Server) handleAgents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, AgentsResponse{
+		Generation: s.coord.Generation(),
+		Ring:       s.coord.RingStats(),
+		Agents:     s.coord.Fanout().AgentsStatus(),
+	})
+}

@@ -18,20 +18,13 @@ import (
 // intermediaries from reaping idle connections mid-poll.
 const maxDiffWait = 60 * time.Second
 
-// sseKeepAlive is how often an idle /diff event stream emits a comment
-// frame, for the same reason maxDiffWait exists: a quiet topology (or a
-// finished scenario run served via -http) would otherwise write zero
-// bytes indefinitely and get reaped by proxy idle timeouts. A variable
-// only so tests can shrink it.
-var sseKeepAlive = 15 * time.Second
-
-// sseWriteTimeout bounds each write on a /diff event stream. A subscriber
-// that stops reading fills its connection's buffers; without a deadline the
-// handler goroutine would block in Write forever, pinned along with its
-// coordinator resources. A stalled write evicts the subscriber instead
-// (EventSource clients reconnect and resume via Last-Event-ID). A variable
-// only so tests can shrink it.
-var sseWriteTimeout = 10 * time.Second
+// The stream timing knobs — how often an idle /diff event stream emits a
+// keepalive comment and how long a single frame write may stall before the
+// subscriber is evicted — live on the Server (see SetStreamTiming). Their
+// defaults are shared with the host fan-out tier's agent heartbeat and
+// write deadline: both subsystems face the same problem (quiet topology +
+// proxy idle reaping, and a reader that stopped draining), so one pair of
+// deployment knobs tunes both.
 
 // DiffResponse is the GET /diff?since=<gen> response: every retained
 // topology delta after the client's cursor, oldest first. Clients advance
@@ -215,9 +208,9 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 // serveDiffSSE streams diffs as server-sent events: one "diff" event per
 // update (its id is the generation, so EventSource reconnects resume via
 // Last-Event-ID), and a "resync" event when the client's cursor fell off
-// the retention ring. Every write runs under sseWriteTimeout; a subscriber
-// whose connection stalls past it is evicted rather than blocking the
-// handler goroutine indefinitely.
+// the retention ring. Every write runs under the server's stream write
+// timeout; a subscriber whose connection stalls past it is evicted rather
+// than blocking the handler goroutine indefinitely.
 func (s *Server) serveDiffSSE(w http.ResponseWriter, r *http.Request, since uint64) {
 	rc := http.NewResponseController(w)
 	if v := r.Header.Get("Last-Event-ID"); v != "" {
@@ -235,7 +228,7 @@ func (s *Server) serveDiffSSE(w http.ResponseWriter, r *http.Request, since uint
 	// (httptest recorders, exotic wrappers) report http.ErrNotSupported
 	// and keep streaming unbounded rather than failing.
 	write := func(frame string) bool {
-		if err := rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+		if err := rc.SetWriteDeadline(time.Now().Add(s.sseWriteTimeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
 			return false
 		}
 		if _, err := io.WriteString(w, frame); err != nil {
@@ -249,7 +242,7 @@ func (s *Server) serveDiffSSE(w http.ResponseWriter, r *http.Request, since uint
 	if !write("") {
 		return
 	}
-	keepAlive := time.NewTicker(sseKeepAlive)
+	keepAlive := time.NewTicker(s.sseKeepAlive)
 	defer keepAlive.Stop()
 	for {
 		entries, ok := s.coord.DiffsSince(since)

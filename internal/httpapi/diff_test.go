@@ -276,11 +276,8 @@ func TestDiffSSEFutureCursorResyncs(t *testing.T) {
 // at the head of a quiet topology must receive periodic comment frames so
 // proxy idle timeouts do not reap the connection.
 func TestDiffSSEKeepAlive(t *testing.T) {
-	old := sseKeepAlive
-	sseKeepAlive = 20 * time.Millisecond
-	defer func() { sseKeepAlive = old }()
-
 	s, c := testServer(t)
+	s.SetStreamTiming(20*time.Millisecond, 0)
 	srv := httptest.NewServer(s)
 	defer srv.Close()
 

@@ -36,10 +36,12 @@ import (
 	"math"
 	"net/http"
 	"sync"
+	"time"
 
 	"celestial/internal/constellation"
 	"celestial/internal/coordinator"
 	"celestial/internal/geom"
+	"celestial/internal/hostlink"
 	"celestial/internal/netem"
 	"celestial/internal/vnet"
 )
@@ -51,6 +53,11 @@ type Server struct {
 
 	// caching gates the serialized-response caches (see SetCaching).
 	caching bool
+
+	// sseKeepAlive and sseWriteTimeout are the /diff event stream's idle
+	// keepalive period and per-frame write deadline (see SetStreamTiming).
+	sseKeepAlive    time.Duration
+	sseWriteTimeout time.Duration
 
 	// shellOnce builds shellDocs, the per-shell documents — pure
 	// configuration, immutable for the lifetime of the run.
@@ -72,14 +79,36 @@ type Server struct {
 // New creates the API server for a coordinator, with response caching
 // enabled.
 func New(c *coordinator.Coordinator) *Server {
-	s := &Server{coord: c, mux: http.NewServeMux(), caching: true}
+	s := &Server{
+		coord: c, mux: http.NewServeMux(), caching: true,
+		// The stream timing defaults are shared with the host fan-out
+		// tier: an SSE subscriber and a remote host agent are the same
+		// kind of follower, so one pair of deployment knobs tunes both.
+		sseKeepAlive:    hostlink.DefaultHeartbeat,
+		sseWriteTimeout: hostlink.DefaultWriteTimeout,
+	}
 	s.mux.HandleFunc("GET /info", s.handleInfo)
 	s.mux.HandleFunc("GET /shell/{shell}", s.handleShell)
 	s.mux.HandleFunc("GET /shell/{shell}/{sat}", s.handleSat)
 	s.mux.HandleFunc("GET /gst/{name}", s.handleGST)
 	s.mux.HandleFunc("GET /path/{source}/{target}", s.handlePath)
 	s.mux.HandleFunc("GET /diff", s.handleDiff)
+	s.mux.HandleFunc("GET /agents", s.handleAgents)
 	return s
+}
+
+// SetStreamTiming overrides the /diff event stream's idle keepalive period
+// and per-frame write deadline. Zero keeps the current value. Like
+// SetCaching it must not be called while requests are in flight; deploy
+// configurations set it once at startup, alongside the matching fan-out
+// heartbeat.
+func (s *Server) SetStreamTiming(keepAlive, writeTimeout time.Duration) {
+	if keepAlive > 0 {
+		s.sseKeepAlive = keepAlive
+	}
+	if writeTimeout > 0 {
+		s.sseWriteTimeout = writeTimeout
+	}
 }
 
 // SetCaching disables (on=false) or re-enables the serialized-response

@@ -13,8 +13,8 @@ import (
 
 // CheckpointVersion is the on-disk checkpoint format version. Load rejects
 // any other value: a checkpoint written by a different format must never be
-// silently reinterpreted.
-const CheckpointVersion = 1
+// silently reinterpreted. Version 2 added the per-agent fan-out state.
+const CheckpointVersion = 2
 
 // Checkpoint is the crash-safe record of a run's state at one tick
 // boundary. It deliberately does not try to serialize the simulation event
@@ -55,6 +55,11 @@ type Checkpoint struct {
 	// and shaper programming), so a resume under a different fault or
 	// retry configuration cannot pass verification.
 	Retries RetryCheckpoint `json:"retries"`
+	// Agents pins the fan-out tier's per-shard delivery state — cursor,
+	// chain digest, liveness — so a resume under a different [hosts]
+	// configuration (agent count, frame fault rates, kill/rejoin
+	// schedule) cannot pass verification.
+	Agents []AgentCheckpoint `json:"agents"`
 	// Digest is FNV-1a over the checkpoint's JSON encoding with this
 	// field zeroed; Load rejects files whose digest does not match
 	// (truncated or torn writes, manual edits).
@@ -83,6 +88,18 @@ type FlowCheckpoint struct {
 	// their bit patterns in record order.
 	LatencyCount  int    `json:"latency_count"`
 	LatencyDigest uint64 `json:"latency_digest"`
+}
+
+// AgentCheckpoint pins one fan-out shard's delivery state.
+type AgentCheckpoint struct {
+	Agent           int    `json:"agent"`
+	Applied         uint64 `json:"applied"`
+	Digest          uint64 `json:"digest"`
+	Down            bool   `json:"down"`
+	Dead            bool   `json:"dead"`
+	Frames          int    `json:"frames"`
+	Resyncs         int    `json:"resyncs"`
+	SnapshotResyncs int    `json:"snapshot_resyncs"`
 }
 
 // RetryCheckpoint pins the retry middleware's aggregate counters.
@@ -125,6 +142,19 @@ func (r *Runner) capture(tick int) *Checkpoint {
 		ShaperOps:      rb.ShaperRetries.Ops,
 		ShaperAttempts: rb.ShaperRetries.Attempts,
 		ApplyErrors:    int64(rb.ApplyErrors),
+	}
+	cp.Agents = make([]AgentCheckpoint, 0, r.coord.Fanout().Shards())
+	for _, st := range r.coord.Fanout().ShardStats() {
+		cp.Agents = append(cp.Agents, AgentCheckpoint{
+			Agent:           st.Agent,
+			Applied:         st.Applied,
+			Digest:          st.Digest,
+			Down:            st.Down,
+			Dead:            st.Dead,
+			Frames:          st.Frames,
+			Resyncs:         st.Resyncs,
+			SnapshotResyncs: st.SnapshotResyncs,
+		})
 	}
 	cp.Digest = cp.computeDigest()
 	return cp

@@ -26,6 +26,7 @@ type Report struct {
 	Ticks      TickReport       `json:"ticks"`
 	Network    NetworkReport    `json:"network"`
 	Robustness RobustnessReport `json:"robustness"`
+	Fanout     FanoutReport     `json:"fanout"`
 }
 
 // FlowReport summarizes one workload flow.
@@ -138,6 +139,47 @@ type WatchdogReport struct {
 	Escalations    int `json:"escalations"`
 	Recoveries     int `json:"recoveries"`
 	Overruns       int `json:"overruns"`
+}
+
+// FanoutReport summarizes the host fan-out tier: the diff retention ring
+// feeding agent resyncs, the wire-send retry middleware, and one entry
+// per shard. Loopback agents run on virtual time with seeded faults, so
+// every field is a pure function of the scenario and stays inside the
+// determinism gate (remote TCP agent counters are deliberately excluded —
+// they live on the /agents endpoint).
+type FanoutReport struct {
+	Agents        int           `json:"agents"`
+	RingCapacity  int           `json:"ring_capacity"`
+	RingEvictions uint64        `json:"ring_evictions"`
+	WireRetries   RetryReport   `json:"wire_retries"`
+	Shards        []ShardReport `json:"shards"`
+}
+
+// ShardReport mirrors hostlink.ShardStats on the wire. Digest is the
+// shard's chain digest at its newest generation, rendered as 16 hex
+// digits — the value a fully caught-up replica must ack, and the anchor
+// the multi-host differential tests compare against remote replicas.
+type ShardReport struct {
+	Agent           int    `json:"agent"`
+	Machines        int    `json:"machines"`
+	Frames          int    `json:"frames"`
+	Applied         uint64 `json:"applied"`
+	Digest          string `json:"digest"`
+	Coalesced       int    `json:"coalesced"`
+	ActivityOnly    int    `json:"activity_only"`
+	Dropped         int    `json:"dropped"`
+	Duplicated      int    `json:"duplicated"`
+	Delayed         int    `json:"delayed"`
+	Buffered        int    `json:"buffered"`
+	Replayed        int    `json:"replayed"`
+	Resyncs         int    `json:"resyncs"`
+	SnapshotResyncs int    `json:"snapshot_resyncs"`
+	Killed          int    `json:"killed"`
+	Rejoined        int    `json:"rejoined"`
+	Dead            bool   `json:"dead"`
+	Escalations     int    `json:"escalations"`
+	Recoveries      int    `json:"recoveries"`
+	ApplyErrors     int    `json:"apply_errors"`
 }
 
 // NetworkReport are the virtual network's global delivery counters.

@@ -103,6 +103,34 @@ func NewRunner(sc *Scenario) (*Runner, error) {
 		}
 	}
 
+	// Host fan-out tier: retention, shard layout and seeded frame faults
+	// (the [hosts] table). The fan-out seed lives in its own index range
+	// (1<<25) so frame faults never alias another random process.
+	if h := sc.Hosts; h.Enabled() {
+		if h.DiffRing > 0 {
+			if err := coord.SetDiffRetention(h.DiffRing); err != nil {
+				return nil, err
+			}
+		}
+		if err := coord.ConfigureFanout(coordinator.FanoutOptions{
+			Agents: h.Agents,
+			Ladder: supervise.FollowerConfig{
+				CoalesceLag:     h.CoalesceLag,
+				ActivityOnlyLag: h.ActivityOnlyLag,
+				RecoverAfter:    h.RecoverAfter,
+			},
+			Retry:          sc.Supervision.Retry,
+			Seed:           flowSeed(sc.Seed, 1<<25),
+			FrameDropRate:  h.FrameDropRate,
+			FrameDupRate:   h.FrameDupRate,
+			FrameDelayRate: h.FrameDelayRate,
+			FrameDelay:     h.FrameDelay,
+			DeadAfter:      h.DeadAfter,
+		}); err != nil {
+			return nil, fmt.Errorf("scenario: hosts: %w", err)
+		}
+	}
+
 	handled := map[int]bool{}
 	for i := range sc.Flows {
 		f := &sc.Flows[i]
@@ -134,6 +162,13 @@ func NewRunner(sc *Scenario) (*Runner, error) {
 		if n := sc.Events[i].Node; n != "" {
 			if _, err := r.resolveNode(n); err != nil {
 				return nil, fmt.Errorf("scenario: event %d (%s): %w", i, sc.Events[i].Action, err)
+			}
+		}
+		switch sc.Events[i].Action {
+		case ActionAgentKill, ActionAgentRejoin:
+			if a, shards := sc.Events[i].Agent, coord.Fanout().Shards(); a >= shards {
+				return nil, fmt.Errorf("scenario: event %d (%s): agent %d out of range [0, %d)",
+					i, sc.Events[i].Action, a, shards)
 			}
 		}
 	}
@@ -270,6 +305,9 @@ func (f *flowState) fire(at time.Time) {
 func (r *Runner) runEvent(i int) {
 	ev := r.sc.Events[i]
 	rep := EventReport{AtS: ev.At.Seconds(), Action: ev.Action, Node: ev.Node}
+	if ev.Action == ActionAgentKill || ev.Action == ActionAgentRejoin {
+		rep.Node = fmt.Sprintf("agent-%d", ev.Agent)
+	}
 	err := func() error {
 		switch ev.Action {
 		case ActionFaultBurst:
@@ -302,6 +340,10 @@ func (r *Runner) runEvent(i int) {
 				return err
 			}
 			return h.StartMachine(node)
+		case ActionAgentKill:
+			return r.coord.Fanout().Kill(ev.Agent)
+		case ActionAgentRejoin:
+			return r.coord.Fanout().Rejoin(ev.Agent)
 		}
 		return fmt.Errorf("scenario: unknown action %q", ev.Action)
 	}()
@@ -445,6 +487,10 @@ func (r *Runner) RunWith(opts RunOptions) (*Report, error) {
 	if err := r.sim.RunUntil(horizon); err != nil {
 		return nil, err
 	}
+	// Settle the fan-out tier: a frame fault on the final generation has
+	// no successor tick to heal the gap, so force every live shard to its
+	// head before reading the report counters.
+	r.coord.Fanout().Converge()
 	return r.report(), nil
 }
 
@@ -468,6 +514,7 @@ func (r *Runner) report() *Report {
 	delivered, dropped := r.net.Stats()
 	rep.Network = NetworkReport{Delivered: delivered, Dropped: dropped}
 	rep.Robustness = r.robustness()
+	rep.Fanout = r.fanout()
 	for _, f := range r.flows {
 		rep.Flows = append(rep.Flows, FlowReport{
 			Name:       f.cfg.Name,
@@ -510,6 +557,46 @@ func (r *Runner) robustness() RobustnessReport {
 	}
 	if rb.LastApplyErr != nil {
 		rep.LastApplyErr = rb.LastApplyErr.Error()
+	}
+	return rep
+}
+
+// fanout converts the fan-out tier's per-shard counters to their report
+// form. Ring forced-resync counts are excluded: they depend on remote
+// client behavior, not the scenario.
+func (r *Runner) fanout() FanoutReport {
+	fo := r.coord.Fanout()
+	ring := r.coord.RingStats()
+	rep := FanoutReport{
+		Agents:        fo.Shards(),
+		RingCapacity:  ring.Capacity,
+		RingEvictions: ring.Evictions,
+		WireRetries:   retryReport(r.coord.Robustness().WireRetries),
+		Shards:        []ShardReport{},
+	}
+	for _, st := range fo.ShardStats() {
+		rep.Shards = append(rep.Shards, ShardReport{
+			Agent:           st.Agent,
+			Machines:        st.Machines,
+			Frames:          st.Frames,
+			Applied:         st.Applied,
+			Digest:          fmt.Sprintf("%016x", st.Digest),
+			Coalesced:       st.Coalesced,
+			ActivityOnly:    st.ActivityOnly,
+			Dropped:         st.Dropped,
+			Duplicated:      st.Duplicated,
+			Delayed:         st.Delayed,
+			Buffered:        st.Buffered,
+			Replayed:        st.Replayed,
+			Resyncs:         st.Resyncs,
+			SnapshotResyncs: st.SnapshotResyncs,
+			Killed:          st.Killed,
+			Rejoined:        st.Rejoined,
+			Dead:            st.Dead,
+			Escalations:     st.Escalations,
+			Recoveries:      st.Recoveries,
+			ApplyErrors:     st.ApplyErrors,
+		})
 	}
 	return rep
 }

@@ -65,6 +65,14 @@ const (
 	ActionNodeDown = "node-down"
 	// ActionNodeUp reboots a node's machine.
 	ActionNodeUp = "node-up"
+	// ActionAgentKill marks a host agent down: its shard's frames buffer
+	// against the coordinator's diff retention ring until it rejoins (or
+	// is declared dead after the [hosts] dead_after window).
+	ActionAgentKill = "agent-kill"
+	// ActionAgentRejoin brings a killed host agent back; it resyncs from
+	// the retention ring, or from a full snapshot when the ring has
+	// moved past its cursor.
+	ActionAgentRejoin = "agent-rejoin"
 )
 
 // Flow is one seeded traffic workload between two nodes.
@@ -108,7 +116,43 @@ type Event struct {
 	BandwidthKbps float64
 	// Node references the machine of ActionNodeDown / ActionNodeUp.
 	Node string
+	// Agent is the host agent of ActionAgentKill / ActionAgentRejoin;
+	// -1 when absent.
+	Agent int
 }
+
+// Hosts configures the host fan-out tier (the [hosts] table): how many
+// agents share the machines, the diff retention backing their resyncs,
+// the per-shard degradation ladder, and seeded frame-fault injection on
+// the coordinator-to-agent wire. Like [supervision] fault injection, all
+// frame faults are deterministic scenario events — a scenario with frame
+// faults is still byte-identical across runs.
+type Hosts struct {
+	// Agents is the fan-out width; zero means one agent per host.
+	Agents int
+	// DiffRing overrides the coordinator's diff retention ring capacity
+	// (how far behind an agent may fall and still catch up by replay).
+	DiffRing int
+	// DeadAfter declares a killed agent permanently dead after this much
+	// virtual time, failing its machines; zero disables the dead path.
+	DeadAfter time.Duration
+	// CoalesceLag and ActivityOnlyLag are the per-shard follower ladder
+	// rungs (in generations behind); RecoverAfter the healthy-tick streak
+	// required to step back down. Zeros adopt the supervise defaults.
+	CoalesceLag     int
+	ActivityOnlyLag int
+	RecoverAfter    int
+	// FrameDropRate, FrameDupRate and FrameDelayRate inject frame loss,
+	// duplication and delay (by FrameDelay) into wire sends.
+	FrameDropRate  float64
+	FrameDupRate   float64
+	FrameDelayRate float64
+	FrameDelay     time.Duration
+}
+
+// Enabled reports whether the table configures anything beyond the
+// defaults.
+func (h Hosts) Enabled() bool { return h != (Hosts{}) }
 
 // Supervision configures the run's robustness middleware (the [supervision]
 // table): deterministic transient-fault injection into machine lifecycle
@@ -156,6 +200,8 @@ type Scenario struct {
 
 	// Supervision is the run's robustness middleware configuration.
 	Supervision Supervision
+	// Hosts is the host fan-out tier configuration.
+	Hosts Hosts
 
 	Flows  []Flow
 	Events []Event
@@ -266,6 +312,16 @@ func parse(text, baseDir string, allowRef bool) (*Scenario, error) {
 		}
 	}
 
+	hosts, err := toml.GetTable(doc, "hosts")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if hosts != nil {
+		if sc.Hosts, err = hostsFromTable(hosts); err != nil {
+			return nil, fmt.Errorf("scenario: hosts: %w", err)
+		}
+	}
+
 	if err := sc.finalize(); err != nil {
 		return nil, err
 	}
@@ -309,6 +365,53 @@ func supervisionFromTable(tbl map[string]any) (Supervision, error) {
 		return s, err
 	}
 	return s, nil
+}
+
+// hostsFromTable decodes the [hosts] table.
+func hostsFromTable(tbl map[string]any) (Hosts, error) {
+	h := Hosts{}
+	var err error
+	if v, _, err := toml.GetInt(tbl, "agents"); err != nil {
+		return h, err
+	} else {
+		h.Agents = int(v)
+	}
+	if v, _, err := toml.GetInt(tbl, "diff_ring"); err != nil {
+		return h, err
+	} else {
+		h.DiffRing = int(v)
+	}
+	if h.DeadAfter, _, err = seconds(tbl, "dead_after"); err != nil {
+		return h, err
+	}
+	if v, _, err := toml.GetInt(tbl, "lag_coalesce"); err != nil {
+		return h, err
+	} else {
+		h.CoalesceLag = int(v)
+	}
+	if v, _, err := toml.GetInt(tbl, "lag_activity_only"); err != nil {
+		return h, err
+	} else {
+		h.ActivityOnlyLag = int(v)
+	}
+	if v, _, err := toml.GetInt(tbl, "recover_after"); err != nil {
+		return h, err
+	} else {
+		h.RecoverAfter = int(v)
+	}
+	if h.FrameDropRate, _, err = toml.GetFloat(tbl, "frame_drop_rate"); err != nil {
+		return h, err
+	}
+	if h.FrameDupRate, _, err = toml.GetFloat(tbl, "frame_dup_rate"); err != nil {
+		return h, err
+	}
+	if h.FrameDelayRate, _, err = toml.GetFloat(tbl, "frame_delay_rate"); err != nil {
+		return h, err
+	}
+	if h.FrameDelay, _, err = milliseconds(tbl, "frame_delay_ms"); err != nil {
+		return h, err
+	}
+	return h, nil
 }
 
 // seconds reads a float seconds key as a duration.
@@ -419,6 +522,12 @@ func eventFromTable(tbl map[string]any) (Event, error) {
 	}
 	if ev.Node, _, err = toml.GetString(tbl, "node"); err != nil {
 		return ev, err
+	}
+	ev.Agent = -1
+	if v, ok, err := toml.GetInt(tbl, "agent"); err != nil {
+		return ev, err
+	} else if ok {
+		ev.Agent = int(v)
 	}
 	return ev, nil
 }
@@ -546,6 +655,35 @@ func (sc *Scenario) finalize() error {
 		return fmt.Errorf("scenario: supervision: %w", err)
 	}
 
+	hcfg := &sc.Hosts
+	if hcfg.Agents < 0 {
+		return fmt.Errorf("scenario: hosts: negative agent count %d", hcfg.Agents)
+	}
+	if hcfg.DiffRing < 0 {
+		return fmt.Errorf("scenario: hosts: negative diff ring %d", hcfg.DiffRing)
+	}
+	if hcfg.DeadAfter < 0 {
+		return fmt.Errorf("scenario: hosts: negative dead_after %v", hcfg.DeadAfter)
+	}
+	if hcfg.CoalesceLag < 0 || hcfg.ActivityOnlyLag < 0 || hcfg.RecoverAfter < 0 {
+		return fmt.Errorf("scenario: hosts: negative ladder rung")
+	}
+	for _, rate := range []struct {
+		name string
+		v    float64
+	}{
+		{"frame_drop_rate", hcfg.FrameDropRate},
+		{"frame_dup_rate", hcfg.FrameDupRate},
+		{"frame_delay_rate", hcfg.FrameDelayRate},
+	} {
+		if rate.v < 0 || rate.v > 1 {
+			return fmt.Errorf("scenario: hosts: %s %v outside [0, 1]", rate.name, rate.v)
+		}
+	}
+	if hcfg.FrameDelay < 0 {
+		return fmt.Errorf("scenario: hosts: negative frame delay %v", hcfg.FrameDelay)
+	}
+
 	for i := range sc.Events {
 		ev := &sc.Events[i]
 		if ev.At < 0 || ev.At > sc.Horizon {
@@ -576,6 +714,10 @@ func (sc *Scenario) finalize() error {
 		case ActionNodeDown, ActionNodeUp:
 			if ev.Node == "" {
 				return fmt.Errorf("scenario: event %d: %s needs a node", i, ev.Action)
+			}
+		case ActionAgentKill, ActionAgentRejoin:
+			if ev.Agent < 0 {
+				return fmt.Errorf("scenario: event %d: %s needs an agent", i, ev.Action)
 			}
 		case "":
 			return fmt.Errorf("scenario: event %d: missing action", i)

@@ -1,0 +1,83 @@
+package supervise
+
+import "testing"
+
+func TestFollowerEscalatesToLagTarget(t *testing.T) {
+	f := NewFollower(FollowerConfig{CoalesceLag: 4, ActivityOnlyLag: 16, RecoverAfter: 3})
+	if got := f.Observe(0); got != LevelFull {
+		t.Fatalf("Observe(0) = %v, want LevelFull", got)
+	}
+	if got := f.Observe(4); got != LevelCoalesce {
+		t.Fatalf("Observe(4) = %v, want LevelCoalesce", got)
+	}
+	// Escalation jumps straight to the rung the lag calls for.
+	if got := f.Observe(40); got != LevelActivityOnly {
+		t.Fatalf("Observe(40) = %v, want LevelActivityOnly", got)
+	}
+	st := f.Stats()
+	if st.Escalations != 2 {
+		t.Errorf("Escalations = %d, want 2 (Full→Coalesce, Coalesce→ActivityOnly)", st.Escalations)
+	}
+	if st.Degraded != 2 || st.Observations != 3 {
+		t.Errorf("Degraded/Observations = %d/%d, want 2/3", st.Degraded, st.Observations)
+	}
+}
+
+func TestFollowerJumpCountsEveryRung(t *testing.T) {
+	f := NewFollower(FollowerConfig{})
+	f.Observe(1000) // straight to activity-only
+	if got := f.Stats().Escalations; got != 2 {
+		t.Errorf("Escalations after Full→ActivityOnly jump = %d, want 2", got)
+	}
+}
+
+func TestFollowerRecoversOneRungAtATime(t *testing.T) {
+	f := NewFollower(FollowerConfig{CoalesceLag: 4, ActivityOnlyLag: 8, RecoverAfter: 2})
+	f.Observe(8)
+	if f.Level() != LevelActivityOnly {
+		t.Fatalf("level = %v, want LevelActivityOnly", f.Level())
+	}
+	// One healthy observation is not enough.
+	if got := f.Observe(0); got != LevelActivityOnly {
+		t.Fatalf("after 1 healthy observation level = %v, want LevelActivityOnly", got)
+	}
+	// The second steps down exactly one rung, to Coalesce, not to Full.
+	if got := f.Observe(0); got != LevelCoalesce {
+		t.Fatalf("after 2 healthy observations level = %v, want LevelCoalesce", got)
+	}
+	f.Observe(0)
+	if got := f.Observe(0); got != LevelFull {
+		t.Fatalf("after 2 more healthy observations level = %v, want LevelFull", got)
+	}
+	if st := f.Stats(); st.Recoveries != 2 {
+		t.Errorf("Recoveries = %d, want 2", st.Recoveries)
+	}
+}
+
+func TestFollowerRelapseResetsHealthyStreak(t *testing.T) {
+	f := NewFollower(FollowerConfig{CoalesceLag: 4, ActivityOnlyLag: 8, RecoverAfter: 2})
+	f.Observe(5) // Coalesce
+	f.Observe(0) // healthy 1/2
+	f.Observe(5) // relapse: streak resets
+	if got := f.Observe(0); got != LevelCoalesce {
+		t.Fatalf("after relapse + 1 healthy level = %v, want LevelCoalesce", got)
+	}
+	if got := f.Observe(0); got != LevelFull {
+		t.Fatalf("after relapse + 2 healthy level = %v, want LevelFull", got)
+	}
+}
+
+func TestFollowerConfigDefaults(t *testing.T) {
+	c := FollowerConfig{}.normalized()
+	if c.CoalesceLag != 4 || c.ActivityOnlyLag != 16 || c.RecoverAfter != 3 {
+		t.Errorf("normalized zero config = %+v, want {4 16 3}", c)
+	}
+	// An inverted ladder is repaired, not accepted.
+	c = FollowerConfig{CoalesceLag: 10, ActivityOnlyLag: 5}.normalized()
+	if c.ActivityOnlyLag != 11 {
+		t.Errorf("ActivityOnlyLag = %d, want 11 (forced above CoalesceLag)", c.ActivityOnlyLag)
+	}
+	if NewFollower(FollowerConfig{}).Level() != LevelFull {
+		t.Error("new follower must start at LevelFull")
+	}
+}

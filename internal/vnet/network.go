@@ -144,6 +144,21 @@ func (n *Network) SetTopology(t Topology) {
 // non-empty, and skips it otherwise.
 func (n *Network) InvalidatePaths() { n.version++ }
 
+// InvalidatePairsIf marks only the cached pairs matching pred stale, by
+// resetting their pair version (the epoch counter starts at 1, so 0 is
+// never current). Unlike InvalidatePaths it does not start a new topology
+// epoch: pairs outside pred keep their state, including any staleness
+// from earlier scoped invalidations. The fan-out tier uses it to refresh
+// one host shard's shapers without forcing every other shard's pairs to
+// re-read the topology.
+func (n *Network) InvalidatePairsIf(pred func(from, to int) bool) {
+	for key, ps := range n.pairs {
+		if pred(key[0], key[1]) {
+			ps.version = 0
+		}
+	}
+}
+
 // SetImpairments configures additional netem impairments (loss,
 // duplication, corruption, reordering, jitter) applied to every message on
 // top of the topology's delay and bandwidth.

@@ -460,6 +460,13 @@ func TestParseSatRef(t *testing.T) {
 		"-1.0", "0.-1", "+1.0", "1.+0", " 1.0", "1. 0", "1,0",
 		"007.2", "1.00", "00.0", // leading zeros: one spelling per index
 		"99999999999999999999.0", // overflows int
+		"0.99999999999999999999", // overflow on the shell side too
+		"1.0 ", "\t1.0", "1.0\n", // surrounding whitespace in any position
+		"1..0", "1.0.", ".1.0", // stray separators
+		"0x10.0", "1.0x2", // hex spellings are not indices
+		"１.0", "1.０", // full-width digits (non-ASCII)
+		"1e2.0", "1.2e1", // scientific notation
+		"\x001.0", "1.0\x00", // embedded NULs
 	}
 	for _, ref := range bad {
 		if _, _, ok := ParseSatRef(ref); ok {
