@@ -8,6 +8,7 @@
 //
 //	celestial -config testbed.toml [-progress 30s] [-dns :5353] [-http :8080] [-wall]
 //	celestial -scenario run.toml [-horizon 10s] [-report out.json] [-http :8080]
+//	celestial ... -http :8080 [-http-auth token] [-http-rate rps[:burst]] [-http-log]
 //	celestial -scenario run.toml -checkpoint run.ckpt [-checkpoint-every 5] [-resume]
 //	celestial -scenario run.toml -agents-listen :7700 -agents 4 [-agents-barrier 2s]
 //
@@ -15,6 +16,12 @@
 // finishes in seconds); with -wall it advances in real time so external
 // clients can interact with the DNS and HTTP endpoints while satellites
 // move.
+//
+// The HTTP information API serves its routes under /v1 (with unversioned
+// aliases) and can be wrapped in deployment middleware: -http-auth
+// requires a bearer token, -http-rate applies a per-client token-bucket
+// rate limit, and -http-log emits access logs. Scale the read path with
+// cmd/celestial-read replicas following this process's /v1/diff stream.
 //
 // With -scenario, a declarative scenario file (see internal/scenario) is
 // executed instead: the testbed, seeded traffic workloads and scripted
@@ -56,8 +63,27 @@ import (
 	"celestial"
 	"celestial/internal/bbox"
 	"celestial/internal/httpapi"
+	"celestial/internal/httpapi/middleware"
 	"celestial/internal/scenario"
 )
+
+// apiChain composes the deployment's HTTP policy middleware around the
+// information API: panic recovery always, then (innermost-first as
+// configured) access logging, bearer-token auth and per-client rate
+// limiting. The same chain wraps the coordinator here and the read
+// replicas in celestial-read.
+func apiChain(h http.Handler, auth, rateSpec string, accessLog bool) http.Handler {
+	rate, burst, err := middleware.ParseRate(rateSpec)
+	if err != nil {
+		log.Fatalf("celestial: -http-rate: %v", err)
+	}
+	mw := []middleware.Middleware{middleware.Recover(log.Printf)}
+	if accessLog {
+		mw = append(mw, middleware.AccessLog(log.Printf))
+	}
+	mw = append(mw, middleware.TokenAuth(auth), middleware.RateLimit(rate, burst))
+	return middleware.Chain(h, mw...)
+}
 
 func main() {
 	configPath := flag.String("config", "", "path to the TOML testbed configuration")
@@ -71,6 +97,9 @@ func main() {
 	progress := flag.Duration("progress", 30*time.Second, "virtual-time interval between progress reports")
 	dnsAddr := flag.String("dns", "", "UDP address to serve testbed DNS on (e.g. :5353)")
 	httpAddr := flag.String("http", "", "TCP address to serve the HTTP info API on (e.g. :8080)")
+	httpAuth := flag.String("http-auth", "", "bearer token required on info API requests (empty disables auth)")
+	httpRate := flag.String("http-rate", "", "per-client info API rate limit, \"<rps>\" or \"<rps>:<burst>\" (empty disables)")
+	httpLog := flag.Bool("http-log", false, "log one line per info API request")
 	agentsListen := flag.String("agents-listen", "", "TCP address to serve the host-agent wire protocol on (e.g. :7700; scenario mode only)")
 	agentsWait := flag.Int("agents", 0, "wait for this many celestial-agent connections before starting the run (requires -agents-listen)")
 	agentsBarrier := flag.Duration("agents-barrier", 2*time.Second, "per-tick wall-clock budget for attached agents to ack the new generation")
@@ -83,6 +112,9 @@ func main() {
 			horizon:         *horizon,
 			reportPath:      *reportPath,
 			httpAddr:        *httpAddr,
+			httpAuth:        *httpAuth,
+			httpRate:        *httpRate,
+			httpLog:         *httpLog,
 			checkpointPath:  *checkpointPath,
 			checkpointEvery: *checkpointEvery,
 			resume:          *resume,
@@ -129,12 +161,13 @@ func main() {
 			log.Fatalf("celestial: http listener: %v", err)
 		}
 		defer ln.Close()
+		h := apiChain(tb.API(), *httpAuth, *httpRate, *httpLog)
 		go func() {
-			if err := http.Serve(ln, tb.API()); err != nil {
+			if err := http.Serve(ln, h); err != nil {
 				log.Printf("celestial: http server: %v", err)
 			}
 		}()
-		log.Printf("serving info API on http://%s/info", ln.Addr())
+		log.Printf("serving info API on http://%s/v1/info", ln.Addr())
 	}
 
 	if err := tb.Start(); err != nil {
@@ -196,6 +229,9 @@ type scenarioOpts struct {
 	horizon         time.Duration
 	reportPath      string
 	httpAddr        string
+	httpAuth        string
+	httpRate        string
+	httpLog         bool
 	checkpointPath  string
 	checkpointEvery int
 	resume          bool
@@ -229,12 +265,13 @@ func runScenario(o scenarioOpts) {
 			log.Fatalf("celestial: http listener: %v", err)
 		}
 		defer ln.Close()
+		h := apiChain(httpapi.New(r.Coordinator()), o.httpAuth, o.httpRate, o.httpLog)
 		go func() {
-			if err := http.Serve(ln, httpapi.New(r.Coordinator())); err != nil {
+			if err := http.Serve(ln, h); err != nil {
 				log.Printf("celestial: http server: %v", err)
 			}
 		}()
-		log.Printf("serving info API on http://%s/info (diff stream: /diff?since=0)", ln.Addr())
+		log.Printf("serving info API on http://%s/v1/info (diff stream: /v1/diff?since=0)", ln.Addr())
 	}
 	// Multi-host mode: serve the host-agent wire protocol, optionally wait
 	// for a fleet of celestial-agent processes to attach, and hold each

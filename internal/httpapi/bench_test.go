@@ -3,6 +3,7 @@ package httpapi
 import (
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 	"time"
 
@@ -138,6 +139,19 @@ func BenchmarkAPI(b *testing.B) {
 	b.Run("path-uncached", func(b *testing.B) {
 		s, _ := benchServer(b, false)
 		hammer(b, s, pathEndpoints...)
+	})
+	b.Run("diff-replay", func(b *testing.B) {
+		// Pins the shared-frame economy on /diff: replaying the retained
+		// window re-serves prebuilt per-generation frames, so allocs/op
+		// must not scale back up to per-request re-serialization of every
+		// diff document (the regression the frame cache removed).
+		s, c := benchServer(b, true)
+		for i := 0; i < 8; i++ {
+			if err := c.Run(time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hammer(b, s, "/diff?since="+strconv.FormatUint(c.Generation()-8, 10))
 	})
 	b.Run("mixed-ticking", func(b *testing.B) {
 		s, c := benchServer(b, true)

@@ -58,3 +58,15 @@ func (c *respCache) put(ver uint64, key string, doc []byte) {
 	}
 	c.docs[key] = doc
 }
+
+// reset drops every stored document and the version cursor itself, so the
+// next put — at any version, including one lower than before — starts a
+// fresh cache. Read replicas use it after an upstream whose generation
+// counters regressed (a coordinator restart): monotonic version keys
+// would otherwise pin pre-restart documents as current forever.
+func (c *respCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ver = 0
+	clear(c.docs)
+}

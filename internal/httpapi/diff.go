@@ -1,16 +1,14 @@
 package httpapi
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
-	"celestial/internal/coordinator"
+	"celestial/internal/constellation"
 	"celestial/internal/netem"
 )
 
@@ -98,27 +96,31 @@ func quantaMs(q int32) float64 {
 	return float64(q) * netem.DelayQuantumSeconds * 1000
 }
 
-// diffDoc converts a retained coordinator diff to its wire form.
-func diffDoc(e coordinator.DiffEntry) DiffDoc {
+// diffDoc converts one generation's diff record to its wire form. Both
+// the coordinator's frame cache and a replica re-encoding the binary
+// stream go through this one conversion, which is what makes their JSON
+// documents byte-identical: the wire carries delay quanta, and the
+// millisecond floats are derived here on both sides.
+func diffDoc(gen uint64, rec *constellation.DiffRecord) DiffDoc {
 	d := DiffDoc{
-		Generation:      e.Generation,
-		T:               e.Diff.T,
-		Full:            e.Diff.Full,
-		Empty:           e.Diff.Empty(),
-		CarriedPaths:    e.Diff.CarriedPaths,
-		RepairedPaths:   e.Diff.RepairedPaths,
-		RepairFallbacks: e.Diff.RepairFallbacks,
-		Degraded:        e.Diff.Degraded,
-		Activated:       e.Diff.Activated,
-		Deactivated:     e.Diff.Deactivated,
+		Generation:      gen,
+		T:               rec.T,
+		Full:            rec.Full,
+		Empty:           rec.Empty(),
+		CarriedPaths:    rec.CarriedPaths,
+		RepairedPaths:   rec.RepairedPaths,
+		RepairFallbacks: rec.RepairFallbacks,
+		Degraded:        rec.Degraded,
+		Activated:       rec.Activated,
+		Deactivated:     rec.Deactivated,
 	}
-	for _, l := range e.Diff.Added {
+	for _, l := range rec.Added {
 		d.Added = append(d.Added, LinkChange{A: l.A, B: l.B, OldMs: quantaMs(l.OldQ), NewMs: quantaMs(l.NewQ)})
 	}
-	for _, l := range e.Diff.Removed {
+	for _, l := range rec.Removed {
 		d.Removed = append(d.Removed, LinkChange{A: l.A, B: l.B, OldMs: quantaMs(l.OldQ), NewMs: quantaMs(l.NewQ)})
 	}
-	for _, l := range e.Diff.DelayChanged {
+	for _, l := range rec.DelayChanged {
 		d.DelayChanged = append(d.DelayChanged, LinkChange{A: l.A, B: l.B, OldMs: quantaMs(l.OldQ), NewMs: quantaMs(l.NewQ)})
 	}
 	return d
@@ -130,7 +132,9 @@ func diffDoc(e coordinator.DiffEntry) DiffDoc {
 // the request long-polls — it blocks until an update advances past since
 // or the wait elapses. With "Accept: text/event-stream" the response is a
 // server-sent event stream instead, pushing one diff event per update
-// until the client disconnects.
+// until the client disconnects; with the binary media type (Accept:
+// application/x-celestial-diff) it is the equivalent binary frame stream.
+// All three forms serve each generation from the same shared frame.
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	var since uint64
@@ -142,8 +146,13 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		}
 		since = n
 	}
-	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
-		s.serveDiffSSE(w, r, since)
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, DiffContentType) {
+		s.serveDiffStream(w, r, since, true)
+		return
+	}
+	if strings.Contains(accept, "text/event-stream") {
+		s.serveDiffStream(w, r, since, false)
 		return
 	}
 	var wait time.Duration
@@ -158,7 +167,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	// Long-poll only when the cursor sits exactly at the head: behind it
 	// there are diffs to return now, ahead of it (a stale or corrupted
 	// cursor) the client needs the resync answer now.
-	if wait > 0 && s.coord.Generation() == since {
+	if wait > 0 && s.src.Generation() == since {
 		timer := time.NewTimer(wait)
 		defer timer.Stop()
 	poll:
@@ -167,8 +176,8 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			// coordinator closes the channel under the same lock that
 			// advances the generation, so an update between the two
 			// reads cannot be missed.
-			ch := s.coord.UpdateChan()
-			if s.coord.Generation() > since {
+			ch := s.src.UpdateChan()
+			if s.src.Generation() > since {
 				break
 			}
 			select {
@@ -180,38 +189,48 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	entries, ok := s.coord.DiffsSince(since)
+	frames, ok := s.src.Frames(since)
 	// The next cursor covers exactly what this response replayed — the
-	// last replayed entry, or the unchanged since when nothing was. Never
-	// a fresh Generation() read: an update racing in after DiffsSince
-	// must not be skipped. On resync the cursor is advisory; the client
+	// last replayed frame, or the unchanged since when nothing was. Never
+	// a fresh Generation() read: an update racing in after Frames must
+	// not be skipped. On resync the cursor is advisory; the client
 	// refetches full state and resumes from the generation it observes
 	// there.
 	resp := DiffResponse{
 		Generation:      since,
-		TopologyVersion: s.coord.TopologyVersion(),
+		TopologyVersion: s.src.TopologyVersion(),
 		Resync:          !ok,
-		Diffs:           make([]DiffDoc, 0, len(entries)),
+		Diffs:           make([]DiffDoc, 0, len(frames)),
 	}
 	if !ok {
-		resp.Generation = s.coord.Generation()
+		resp.Generation = s.src.Generation()
 	}
-	if len(entries) > 0 {
-		resp.Generation = entries[len(entries)-1].Generation
+	if len(frames) > 0 {
+		resp.Generation = frames[len(frames)-1].Generation
 	}
-	for _, e := range entries {
-		resp.Diffs = append(resp.Diffs, diffDoc(e))
+	for _, f := range frames {
+		resp.Diffs = append(resp.Diffs, f.Doc)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// serveDiffSSE streams diffs as server-sent events: one "diff" event per
-// update (its id is the generation, so EventSource reconnects resume via
-// Last-Event-ID), and a "resync" event when the client's cursor fell off
-// the retention ring. Every write runs under the server's stream write
-// timeout; a subscriber whose connection stalls past it is evicted rather
-// than blocking the handler goroutine indefinitely.
-func (s *Server) serveDiffSSE(w http.ResponseWriter, r *http.Request, since uint64) {
+// serveDiffStream streams diffs to one subscriber, in one of two framings
+// over the same shared per-generation buffers:
+//
+//   - SSE (binary=false): one "diff" event per update (its id is the
+//     generation, so EventSource reconnects resume via Last-Event-ID),
+//     a "resync" event when the cursor fell off the retention ring, and
+//     comment frames as idle keepalives;
+//
+//   - binary (binary=true): the same sequence as length-prefixed frames —
+//     StreamFrameDiff, StreamFrameResync, StreamFrameKeepalive — with the
+//     resync frame additionally carrying the head topology version, so a
+//     replica can re-anchor without a JSON round trip.
+//
+// Every write runs under the server's stream write timeout; a subscriber
+// whose connection stalls past it is evicted rather than blocking the
+// handler goroutine indefinitely.
+func (s *Server) serveDiffStream(w http.ResponseWriter, r *http.Request, since uint64, binary bool) {
 	rc := http.NewResponseController(w)
 	if v := r.Header.Get("Last-Event-ID"); v != "" {
 		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
@@ -219,7 +238,11 @@ func (s *Server) serveDiffSSE(w http.ResponseWriter, r *http.Request, since uint
 		}
 	}
 	h := w.Header()
-	h.Set("Content-Type", "text/event-stream")
+	if binary {
+		h.Set("Content-Type", DiffContentType)
+	} else {
+		h.Set("Content-Type", "text/event-stream")
+	}
 	h.Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	// write sends one frame under the per-write deadline and flushes it.
@@ -227,11 +250,11 @@ func (s *Server) serveDiffSSE(w http.ResponseWriter, r *http.Request, since uint
 	// which evicts it. Writers that cannot set deadlines or flush
 	// (httptest recorders, exotic wrappers) report http.ErrNotSupported
 	// and keep streaming unbounded rather than failing.
-	write := func(frame string) bool {
+	write := func(frame []byte) bool {
 		if err := rc.SetWriteDeadline(time.Now().Add(s.sseWriteTimeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
 			return false
 		}
-		if _, err := io.WriteString(w, frame); err != nil {
+		if _, err := w.Write(frame); err != nil {
 			return false
 		}
 		if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
@@ -239,41 +262,52 @@ func (s *Server) serveDiffSSE(w http.ResponseWriter, r *http.Request, since uint
 		}
 		return true
 	}
-	if !write("") {
+	if !write(nil) {
 		return
 	}
 	keepAlive := time.NewTicker(s.sseKeepAlive)
 	defer keepAlive.Stop()
 	for {
-		entries, ok := s.coord.DiffsSince(since)
+		frames, ok := s.src.Frames(since)
 		if !ok {
-			gen := s.coord.Generation()
-			if !write(fmt.Sprintf("event: resync\ndata: {\"generation\":%d}\n\n", gen)) {
+			gen, tv := s.src.Generation(), s.src.TopologyVersion()
+			var frame []byte
+			if binary {
+				frame = AppendResyncStreamFrame(nil, gen, tv)
+			} else {
+				frame = []byte(fmt.Sprintf("event: resync\ndata: {\"generation\":%d}\n\n", gen))
+			}
+			if !write(frame) {
 				return
 			}
 			since = gen
 			continue
 		}
-		for _, e := range entries {
-			data, err := json.Marshal(diffDoc(e))
-			if err != nil {
-				return // unreachable: wire structs always encode
+		for _, f := range frames {
+			frame := f.SSE
+			if binary {
+				frame = f.Bin
 			}
-			if !write(fmt.Sprintf("event: diff\nid: %d\ndata: %s\n\n", e.Generation, data)) {
+			if !write(frame) {
 				return
 			}
-			since = e.Generation
+			since = f.Generation
 		}
-		ch := s.coord.UpdateChan()
-		if s.coord.Generation() > since {
+		ch := s.src.UpdateChan()
+		if s.src.Generation() > since {
 			continue
 		}
 		select {
 		case <-ch:
 		case <-keepAlive.C:
-			// A comment frame: ignored by SSE clients, but keeps the
-			// connection visibly alive through intermediaries.
-			if !write(": keepalive\n\n") {
+			// A keepalive frame: a comment line SSE clients ignore, or
+			// the empty binary keepalive — either way the connection
+			// stays visibly alive through intermediaries.
+			frame := []byte(": keepalive\n\n")
+			if binary {
+				frame = keepaliveStreamFrame
+			}
+			if !write(frame) {
 				return
 			}
 		case <-r.Context().Done():

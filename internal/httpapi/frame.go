@@ -1,0 +1,149 @@
+package httpapi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"celestial/internal/constellation"
+	"celestial/internal/hostlink"
+)
+
+// DiffContentType is the media type a /diff client puts in its Accept
+// header to negotiate the compact binary frame stream instead of JSON:
+// length-prefixed frames in the hostlink envelope convention
+// (u32 little-endian length | u8 frame type | payload), carrying one
+// constellation.DiffRecord wire payload per generation. Read replicas
+// follow this stream; its frames are encoded once per generation and the
+// same buffer is written to every subscriber.
+const DiffContentType = "application/x-celestial-diff"
+
+// StreamFrameType discriminates the binary /diff stream frames.
+type StreamFrameType uint8
+
+const (
+	// StreamFrameDiff carries one generation's DiffRecord wire payload.
+	StreamFrameDiff StreamFrameType = 1 + iota
+	// StreamFrameResync tells the subscriber its cursor fell off the
+	// retention ring: refetch full state, then resume from the carried
+	// generation/topology-version pair.
+	StreamFrameResync
+	// StreamFrameKeepalive keeps an idle stream warm through
+	// intermediaries; it carries no payload.
+	StreamFrameKeepalive
+)
+
+// Frame is one retained generation's diff, serialized once in every
+// representation a subscriber can ask for: the decoded document (JSON
+// long-poll responses embed it), the complete SSE event text, and the
+// complete binary stream frame. All subscribers of a generation share
+// these buffers — nothing is re-marshaled per subscriber — so they must
+// be treated as immutable.
+type Frame struct {
+	Generation uint64
+	Doc        DiffDoc
+	SSE        []byte
+	Bin        []byte
+}
+
+// BuildFrame serializes one generation's diff record into its shared
+// frame. The record is deep-copied into the frame's document; callers may
+// reuse rec afterwards.
+func BuildFrame(gen uint64, rec *constellation.DiffRecord) *Frame {
+	f := &Frame{Generation: gen, Doc: diffDoc(gen, rec)}
+	data := marshalDoc(f.Doc)
+	data = data[:len(data)-1] // SSE data lines carry no trailing newline
+	f.SSE = []byte(fmt.Sprintf("event: diff\nid: %d\ndata: %s\n\n", gen, data))
+	f.Bin = appendStreamEnvelope(nil, StreamFrameDiff, func(buf []byte) []byte {
+		return constellation.AppendRecordWire(buf, gen, rec)
+	})
+	return f
+}
+
+// appendStreamEnvelope appends one framed payload: the length prefix is
+// patched after the payload writer runs, exactly like hostlink frames
+// (length counts the type byte plus the payload).
+func appendStreamEnvelope(buf []byte, t StreamFrameType, payload func([]byte) []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, byte(t))
+	if payload != nil {
+		buf = payload(buf)
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// AppendResyncStreamFrame appends a resync frame: the head generation to
+// resume from and the topology version at that head.
+func AppendResyncStreamFrame(buf []byte, gen, topoVer uint64) []byte {
+	return appendStreamEnvelope(buf, StreamFrameResync, func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint64(b, gen)
+		return binary.LittleEndian.AppendUint64(b, topoVer)
+	})
+}
+
+// keepaliveStreamFrame is the static keepalive frame; it never changes, so
+// one buffer serves every stream.
+var keepaliveStreamFrame = appendStreamEnvelope(nil, StreamFrameKeepalive, nil)
+
+// StreamFrame is one decoded frame of the binary /diff stream.
+type StreamFrame struct {
+	Type StreamFrameType
+	// Generation is the frame's generation (diff and resync frames).
+	Generation uint64
+	// TopologyVersion is the head topology version (resync frames only).
+	TopologyVersion uint64
+	// Record is the decoded diff (diff frames only).
+	Record constellation.DiffRecord
+}
+
+var errShortStreamFrame = errors.New("httpapi: truncated diff stream frame")
+
+// ReadStreamFrame reads and decodes one frame from the binary /diff
+// stream, reusing buf for the payload. It returns the decoded frame, the
+// (possibly grown) buffer, and the first error encountered; the hostlink
+// payload size cap guards against corrupt length prefixes.
+func ReadStreamFrame(r io.Reader, buf []byte) (StreamFrame, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return StreamFrame{}, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < 1 {
+		return StreamFrame{}, buf, errShortStreamFrame
+	}
+	if n-1 > hostlink.MaxFramePayload {
+		return StreamFrame{}, buf, hostlink.ErrFrameTooLarge
+	}
+	payload := int(n) - 1
+	if cap(buf) < payload {
+		buf = make([]byte, payload)
+	}
+	buf = buf[:payload]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return StreamFrame{}, buf, err
+	}
+	f := StreamFrame{Type: StreamFrameType(hdr[4])}
+	switch f.Type {
+	case StreamFrameDiff:
+		gen, rec, err := constellation.DecodeRecordWire(buf)
+		if err != nil {
+			return StreamFrame{}, buf, err
+		}
+		f.Generation, f.Record = gen, rec
+	case StreamFrameResync:
+		if payload != 16 {
+			return StreamFrame{}, buf, errShortStreamFrame
+		}
+		f.Generation = binary.LittleEndian.Uint64(buf)
+		f.TopologyVersion = binary.LittleEndian.Uint64(buf[8:])
+	case StreamFrameKeepalive:
+		if payload != 0 {
+			return StreamFrame{}, buf, errShortStreamFrame
+		}
+	default:
+		return StreamFrame{}, buf, fmt.Errorf("httpapi: unknown diff stream frame type %d", hdr[4])
+	}
+	return f, buf, nil
+}

@@ -25,31 +25,38 @@
 // produced by the same builder functions as uncached responses, so the two
 // are byte-identical for the same snapshot (locked in by the differential
 // tests). Clients that want to follow topology changes without polling
-// full state subscribe to GET /diff?since=<generation> (long-poll or SSE,
-// see diff.go).
+// full state subscribe to GET /diff?since=<generation> (long-poll, SSE, or
+// the binary frame stream — see diff.go and frame.go).
+//
+// The route table is served from a narrow Source interface rather than the
+// coordinator directly, and is mounted twice: under the versioned /v1/
+// prefix (the canonical paths) and at the legacy unversioned paths, kept
+// as aliases for one release. Read replicas (internal/readpath) implement
+// the same Source by following the coordinator's /diff stream, so a
+// replica's route table — and its bytes — are exactly the coordinator's.
 package httpapi
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
-	"sync"
 	"time"
 
-	"celestial/internal/constellation"
 	"celestial/internal/coordinator"
-	"celestial/internal/geom"
 	"celestial/internal/hostlink"
-	"celestial/internal/netem"
-	"celestial/internal/vnet"
 )
 
-// Server wraps a coordinator in the HTTP API.
+// Server is the information service's handler: the route table, the
+// serialized-response caches, and the stream timing knobs, all serving
+// from a Source.
 type Server struct {
+	src Source
+	mux *http.ServeMux
+
+	// coord is set only on coordinator-backed servers and enables the
+	// /agents endpoint (fan-out telemetry a replica does not have).
 	coord *coordinator.Coordinator
-	mux   *http.ServeMux
 
 	// caching gates the serialized-response caches (see SetCaching).
 	caching bool
@@ -59,43 +66,67 @@ type Server struct {
 	sseKeepAlive    time.Duration
 	sseWriteTimeout time.Duration
 
-	// shellOnce builds shellDocs, the per-shell documents — pure
-	// configuration, immutable for the lifetime of the run.
-	shellOnce sync.Once
-	shellDocs [][]byte
-
 	// info is the /info document, keyed by snapshot generation (it
 	// carries the generation and snapshot offset, so it is rebuilt once
-	// per tick). nodes and paths hold the per-node documents and /path
-	// responses, keyed by topology version: everything the emulated
-	// network observes in them is exact while ticks produce empty diffs,
-	// and their position-derived fields may lag by the sub-quantum
-	// motion such a tick represents (see the package comment).
-	info  respCache
-	nodes respCache
-	paths respCache
+	// per tick). shells holds the per-shell documents — pure
+	// configuration, keyed by the constant version 1. nodes and paths
+	// hold the per-node documents and /path responses, keyed by topology
+	// version: everything the emulated network observes in them is exact
+	// while ticks produce empty diffs, and their position-derived fields
+	// may lag by the sub-quantum motion such a tick represents (see the
+	// package comment).
+	info   respCache
+	shells respCache
+	nodes  respCache
+	paths  respCache
 }
 
 // New creates the API server for a coordinator, with response caching
-// enabled.
+// enabled. The coordinator-backed server additionally serves /agents.
 func New(c *coordinator.Coordinator) *Server {
+	mux := http.NewServeMux()
+	s := RegisterRoutes(mux, NewCoordinatorSource(c))
+	s.coord = c
+	mux.HandleFunc("GET /agents", s.handleAgents)
+	mux.HandleFunc("GET /v1/agents", s.handleAgents)
+	return s
+}
+
+// RegisterRoutes mounts the information-service route table on mux,
+// serving from src: every endpoint under its canonical /v1/ path and at
+// its legacy unversioned alias (kept for one release). The coordinator's
+// server and every read replica go through this one entry point, so the
+// two cannot drift. It returns the Server bound to the routes; its knobs
+// (SetCaching, SetStreamTiming) apply to the registered handlers.
+func RegisterRoutes(mux *http.ServeMux, src Source) *Server {
 	s := &Server{
-		coord: c, mux: http.NewServeMux(), caching: true,
+		src: src, mux: mux, caching: true,
 		// The stream timing defaults are shared with the host fan-out
 		// tier: an SSE subscriber and a remote host agent are the same
 		// kind of follower, so one pair of deployment knobs tunes both.
 		sseKeepAlive:    hostlink.DefaultHeartbeat,
 		sseWriteTimeout: hostlink.DefaultWriteTimeout,
 	}
-	s.mux.HandleFunc("GET /info", s.handleInfo)
-	s.mux.HandleFunc("GET /shell/{shell}", s.handleShell)
-	s.mux.HandleFunc("GET /shell/{shell}/{sat}", s.handleSat)
-	s.mux.HandleFunc("GET /gst/{name}", s.handleGST)
-	s.mux.HandleFunc("GET /path/{source}/{target}", s.handlePath)
-	s.mux.HandleFunc("GET /diff", s.handleDiff)
-	s.mux.HandleFunc("GET /agents", s.handleAgents)
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"/info", s.handleInfo},
+		{"/shell/{shell}", s.handleShell},
+		{"/shell/{shell}/{sat}", s.handleSat},
+		{"/gst/{name}", s.handleGST},
+		{"/path/{source}/{target}", s.handlePath},
+		{"/diff", s.handleDiff},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc("GET /v1"+rt.pattern, rt.h)
+		mux.HandleFunc("GET "+rt.pattern, rt.h)
+	}
 	return s
 }
+
+// Source returns the source the server serves from.
+func (s *Server) Source() Source { return s.src }
 
 // SetStreamTiming overrides the /diff event stream's idle keepalive period
 // and per-frame write deadline. Zero keeps the current value. Like
@@ -117,6 +148,16 @@ func (s *Server) SetStreamTiming(keepAlive, writeTimeout time.Duration) {
 // differential tests and the cached-vs-uncached benchmarks. It must not be
 // toggled while requests are in flight.
 func (s *Server) SetCaching(on bool) { s.caching = on }
+
+// ResetCaches drops every cached document. Read replicas call it after a
+// forced resync against an upstream whose generation counter regressed (a
+// coordinator restart): the version keys would otherwise compare stale
+// cached documents as current.
+func (s *Server) ResetCaches() {
+	for _, c := range []*respCache{&s.info, &s.shells, &s.nodes, &s.paths} {
+		c.reset()
+	}
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -248,291 +289,67 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// state leases the current snapshot or reports 503 (before the first
-// update). Handlers run concurrently with the simulation's update loop,
-// which recycles snapshot buffers — the lease pins the state until the
-// returned release function is called (it is a safe no-op when the state
-// is nil).
-func (s *Server) state(w http.ResponseWriter) (*constellation.State, func()) {
-	st, release := s.coord.LeaseState()
-	if st == nil {
-		release()
-		writeError(w, http.StatusServiceUnavailable, "no constellation state yet")
-		return nil, release
-	}
-	return st, release
-}
-
-// buildInfo assembles the /info document for a leased snapshot.
-func (s *Server) buildInfo(st *constellation.State, gen uint64) Info {
-	cons := s.coord.Constellation()
-	info := Info{
-		T:          st.T,
-		Generation: gen,
-		Nodes:      cons.NodeCount(),
-	}
-	for i := range cons.Shells() {
-		info.Shells = append(info.Shells, s.buildShell(i))
-	}
-	for _, g := range cons.GroundStations() {
-		info.GroundStations = append(info.GroundStations, g.Name)
-	}
-	return info
-}
-
-// buildShell assembles one shell's document from the (immutable)
-// configuration. The index must be valid.
-func (s *Server) buildShell(idx int) ShellInfo {
-	cfg := s.coord.Constellation().Shells()[idx].Config()
-	return ShellInfo{
-		ID: idx, Name: cfg.Name, Planes: cfg.Planes,
-		SatsPerPlane: cfg.SatsPerPlane, Satellites: cfg.Size(),
-		AltitudeKm: cfg.AltitudeKm, InclinationDeg: cfg.InclinationDeg,
-		ArcDeg: cfg.ArcDeg,
-	}
-}
-
-// serveCached answers a request from cache c, or builds the document and
-// publishes it for the rest of the version's lifetime. build either
-// returns the serialized 200 document, or writes its own error response
-// and returns false (errors are never cached). Concurrent misses of the
-// same key build redundantly rather than singleflighting — fills are
-// cheap and idempotent (see the package comment). Callers must read ver
-// BEFORE leasing any state inside build: a tick between the version read
+// serve answers a request from cache c, or asks the source to build the
+// document and publishes a 200 for the rest of the version's lifetime
+// (errors are never cached). Concurrent misses of the same key build
+// redundantly rather than singleflighting — fills are cheap and
+// idempotent (see the package comment). Handlers read ver BEFORE the
+// source leases any state inside build: a tick between the version read
 // and the build can then only make the cached document fresher than its
 // key, never staler.
-func (s *Server) serveCached(w http.ResponseWriter, c *respCache, ver uint64, key string, build func() ([]byte, bool)) {
+func (s *Server) serve(w http.ResponseWriter, c *respCache, ver uint64, key string, build func() ([]byte, int)) {
 	if s.caching {
 		if doc, ok := c.get(ver, key); ok {
 			writeDoc(w, http.StatusOK, doc)
 			return
 		}
 	}
-	doc, ok := build()
-	if !ok {
-		return
-	}
-	if s.caching {
+	doc, status := build()
+	if status == http.StatusOK && s.caching {
 		c.put(ver, key, doc)
 	}
-	writeDoc(w, http.StatusOK, doc)
+	writeDoc(w, status, doc)
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	gen := s.coord.Generation()
-	s.serveCached(w, &s.info, gen, "", func() ([]byte, bool) {
-		// Lease the state and its generation atomically: the document
-		// embeds the generation, so its label and content must come
-		// from the same snapshot even when an update races the lease
-		// (the document may then be fresher than its cache key — safe —
-		// but never self-inconsistent).
-		st, stGen, release := s.coord.LeaseStateGen()
-		defer release()
-		if st == nil {
-			writeError(w, http.StatusServiceUnavailable, "no constellation state yet")
-			return nil, false
-		}
-		return marshalDoc(s.buildInfo(st, stGen)), true
-	})
+	gen := s.src.Generation()
+	s.serve(w, &s.info, gen, "", s.src.InfoDoc)
 }
 
 func (s *Server) handleShell(w http.ResponseWriter, r *http.Request) {
-	idx, ok := vnet.ParseIndex(r.PathValue("shell"))
-	if !ok {
-		writeError(w, http.StatusBadRequest, "bad shell index %q", r.PathValue("shell"))
-		return
-	}
-	shells := s.coord.Constellation().Shells()
-	if idx < 0 || idx >= len(shells) {
-		writeError(w, http.StatusNotFound, "shell %d does not exist", idx)
-		return
-	}
-	if s.caching {
-		s.shellOnce.Do(func() {
-			s.shellDocs = make([][]byte, len(shells))
-			for i := range shells {
-				s.shellDocs[i] = marshalDoc(s.buildShell(i))
-			}
-		})
-		writeDoc(w, http.StatusOK, s.shellDocs[idx])
-		return
-	}
-	writeJSON(w, http.StatusOK, s.buildShell(idx))
+	shell := r.PathValue("shell")
+	s.serve(w, &s.shells, 1, shell, func() ([]byte, int) {
+		return s.src.ShellDoc(shell)
+	})
 }
 
 func (s *Server) handleSat(w http.ResponseWriter, r *http.Request) {
-	// The same strict index parsing as /path node references: the two
-	// endpoint families must agree on what a valid reference is (and lax
-	// alias spellings like "+5" must not multiply cache keys).
-	shell, ok1 := vnet.ParseIndex(r.PathValue("shell"))
-	sat, ok2 := vnet.ParseIndex(r.PathValue("sat"))
-	if !ok1 || !ok2 {
-		writeError(w, http.StatusBadRequest, "bad satellite path %q/%q",
-			r.PathValue("shell"), r.PathValue("sat"))
-		return
-	}
-	cons := s.coord.Constellation()
-	id, err := cons.SatNode(shell, sat)
-	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	tv := s.coord.TopologyVersion()
-	s.serveCached(w, &s.nodes, tv, r.URL.Path, func() ([]byte, bool) {
-		st, release := s.state(w)
-		defer release()
-		if st == nil {
-			return nil, false
-		}
-		ip, err := vnet.SatIP(shell, sat)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return nil, false
-		}
-		pos := st.Positions[id]
-		ll := geom.ToGeodetic(pos)
-		return marshalDoc(SatInfo{
-			Shell: shell, Sat: sat, Name: vnet.SatName(shell, sat), IP: ip.String(),
-			Position: Position{X: pos.X, Y: pos.Y, Z: pos.Z},
-			LatDeg:   ll.LatDeg, LonDeg: ll.LonDeg, AltKm: ll.AltKm,
-			Active: st.Active[id],
-		}), true
+	shell, sat := r.PathValue("shell"), r.PathValue("sat")
+	tv := s.src.TopologyVersion()
+	// Cache keys are the canonical legacy path form, shared between the
+	// /v1 mount and its alias: one document per node, not per spelling.
+	s.serve(w, &s.nodes, tv, "/shell/"+shell+"/"+sat, func() ([]byte, int) {
+		return s.src.SatDoc(shell, sat)
 	})
 }
 
 func (s *Server) handleGST(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	cons := s.coord.Constellation()
-	id, err := cons.GSTNodeByName(name)
-	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	tv := s.coord.TopologyVersion()
-	s.serveCached(w, &s.nodes, tv, r.URL.Path, func() ([]byte, bool) {
-		st, release := s.state(w)
-		defer release()
-		if st == nil {
-			return nil, false
-		}
-		node, err := cons.Node(id)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return nil, false
-		}
-		ip, err := vnet.GSTIP(node.Sat)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return nil, false
-		}
-		pos := st.Positions[id]
-		ll := geom.ToGeodetic(pos)
-		resp := GSTInfo{
-			Name: name, IP: ip.String(),
-			Position: Position{X: pos.X, Y: pos.Y, Z: pos.Z},
-			LatDeg:   ll.LatDeg, LonDeg: ll.LonDeg,
-		}
-		for si := range cons.Shells() {
-			ups, err := st.Uplinks(node.Sat, si)
-			if err != nil || len(ups) == 0 {
-				continue
-			}
-			up := ups[0]
-			resp.Uplinks = append(resp.Uplinks, UplinkInfo{
-				Shell: si, Sat: up.Sat, DistanceKm: up.DistanceKm,
-				ElevationDeg: up.ElevationDeg,
-				// Quantized like every realized link delay, so this
-				// agrees with the first /path segment over the same
-				// uplink.
-				LatencyMs: netem.QuantizeLatency(geom.PropagationDelay(up.DistanceKm)) * 1000,
-			})
-		}
-		return marshalDoc(resp), true
+	tv := s.src.TopologyVersion()
+	s.serve(w, &s.nodes, tv, "/gst/"+name, func() ([]byte, int) {
+		return s.src.GSTDoc(name)
 	})
 }
 
-// resolveNode turns a path parameter — "<sat>.<shell>" like "878.0" for
-// satellites, or a ground station name — into a node ID. Satellite
-// references go through the shared strict parser (vnet.ParseSatRef), so
-// "3.2junk" or "-1.0" do not resolve (fmt.Sscanf's "%d.%d" used to accept
-// both).
-func (s *Server) resolveNode(param string) (int, error) {
-	cons := s.coord.Constellation()
-	if id, err := cons.GSTNodeByName(param); err == nil {
-		return id, nil
-	}
-	if sat, shell, ok := vnet.ParseSatRef(param); ok {
-		return cons.SatNode(shell, sat)
-	}
-	return 0, fmt.Errorf("unknown node %q (want \"<sat>.<shell>\" or a ground station name)", param)
-}
-
 func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
-	src, err := s.resolveNode(r.PathValue("source"))
-	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	dst, err := s.resolveNode(r.PathValue("target"))
-	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	tv := s.coord.TopologyVersion()
+	source, target := r.PathValue("source"), r.PathValue("target")
+	tv := s.src.TopologyVersion()
 	// Key by the raw parameters (the response echoes source and target
 	// verbatim). Safe because references are canonical: ParseSatRef
 	// rejects signs and leading zeros, and station names are exact, so a
 	// node pair has exactly one spelling — no alias can mint extra keys.
-	key := r.PathValue("source") + "\x00" + r.PathValue("target")
-	s.serveCached(w, &s.paths, tv, key, func() ([]byte, bool) {
-		st, release := s.state(w)
-		defer release()
-		if st == nil {
-			return nil, false
-		}
-		// Latency, path and bandwidth all come off the state's repaired
-		// shortest-path cache: the tick pipeline transplants or
-		// incrementally repairs cached trees across updates, so
-		// steady-state queries never pay a full Dijkstra recompute here.
-		lat, err := st.Latency(src, dst)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return nil, false
-		}
-		if math.IsInf(lat, 1) {
-			writeError(w, http.StatusNotFound, "no path between %s and %s",
-				r.PathValue("source"), r.PathValue("target"))
-			return nil, false
-		}
-		path, err := st.Path(src, dst)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return nil, false
-		}
-		bw, _ := st.PathBandwidth(src, dst)
-		cons := s.coord.Constellation()
-		resp := PathResponse{
-			Source: r.PathValue("source"), Target: r.PathValue("target"),
-			LatencyMs: lat * 1000, BandwidthKbps: bw,
-		}
-		for i := 0; i+1 < len(path); i++ {
-			a, errA := cons.Node(path[i])
-			b, errB := cons.Node(path[i+1])
-			if errA != nil || errB != nil {
-				writeError(w, http.StatusInternalServerError, "resolving path nodes")
-				return nil, false
-			}
-			// Per-segment latency as the emulation realizes it: link
-			// delays are quantized to the netem granularity, so
-			// quantized segments sum exactly to the reported end-to-end
-			// latency.
-			d := st.Positions[path[i]].Distance(st.Positions[path[i+1]])
-			resp.Segments = append(resp.Segments, PathSegment{
-				From: a.Name, To: b.Name, DistanceKm: d,
-				LatencyMs: netem.QuantizeLatency(geom.PropagationDelay(d)) * 1000,
-			})
-		}
-		return marshalDoc(resp), true
+	s.serve(w, &s.paths, tv, source+"\x00"+target, func() ([]byte, int) {
+		return s.src.PathDoc(source, target)
 	})
 }
 

@@ -1,0 +1,380 @@
+package httpapi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"celestial/internal/constellation"
+	"celestial/internal/coordinator"
+	"celestial/internal/geom"
+	"celestial/internal/netem"
+	"celestial/internal/vnet"
+)
+
+// Source is the narrow read model the information-service route table is
+// built against: what the coordinator provides in-process, and what a read
+// replica (internal/readpath) reconstructs by following the coordinator's
+// /diff stream. Serving through this interface instead of
+// *coordinator.Coordinator is what lets replicas and the coordinator share
+// one RegisterRoutes entry point — and one set of handler semantics.
+//
+// Document builders return the complete serialized JSON document (error
+// envelope included) plus its HTTP status; only 200 documents are cached
+// by the server. Path parameters are passed through raw: parsing and
+// validation are the source's job, so a replica can proxy them verbatim
+// and serve the upstream's exact bytes.
+type Source interface {
+	// Generation is the monotonic snapshot generation, the /diff cursor.
+	Generation() uint64
+	// TopologyVersion is the generation of the last non-empty diff — the
+	// cache version for node- and path-derived documents.
+	TopologyVersion() uint64
+	// UpdateChan returns a channel closed on the next update, waking
+	// long-polls and streams.
+	UpdateChan() <-chan struct{}
+
+	InfoDoc() ([]byte, int)
+	ShellDoc(shell string) ([]byte, int)
+	SatDoc(shell, sat string) ([]byte, int)
+	GSTDoc(name string) ([]byte, int)
+	PathDoc(source, target string) ([]byte, int)
+
+	// Frames returns the shared per-generation frames for every retained
+	// generation in (since, Generation()], oldest first. ok=false means
+	// the cursor fell off the retention window (or sits in the future)
+	// and the client must resync from full state.
+	Frames(since uint64) ([]*Frame, bool)
+}
+
+// errDoc builds a serialized error document, mirroring writeError.
+func errDoc(status int, format string, args ...any) ([]byte, int) {
+	return marshalDoc(apiError{Error: fmt.Sprintf(format, args...)}), status
+}
+
+// CoordinatorSource adapts a coordinator to the Source interface: the
+// document builders that used to live in the HTTP handlers, plus the
+// frame cache that serializes each retained diff once for all of its
+// subscribers.
+type CoordinatorSource struct {
+	c  *coordinator.Coordinator
+	fc frameCache
+}
+
+// NewCoordinatorSource wraps a coordinator as a route-table Source.
+func NewCoordinatorSource(c *coordinator.Coordinator) *CoordinatorSource {
+	cs := &CoordinatorSource{c: c}
+	cs.fc.init(c.RingStats().Capacity)
+	return cs
+}
+
+// Coordinator returns the wrapped coordinator.
+func (cs *CoordinatorSource) Coordinator() *coordinator.Coordinator { return cs.c }
+
+func (cs *CoordinatorSource) Generation() uint64          { return cs.c.Generation() }
+func (cs *CoordinatorSource) TopologyVersion() uint64     { return cs.c.TopologyVersion() }
+func (cs *CoordinatorSource) UpdateChan() <-chan struct{} { return cs.c.UpdateChan() }
+
+func (cs *CoordinatorSource) InfoDoc() ([]byte, int) {
+	// Lease the state and its generation atomically: the document embeds
+	// the generation, so its label and content must come from the same
+	// snapshot even when an update races the lease (the document may then
+	// be fresher than its cache key — safe — but never self-inconsistent).
+	st, stGen, release := cs.c.LeaseStateGen()
+	defer release()
+	if st == nil {
+		return errDoc(503, "no constellation state yet")
+	}
+	cons := cs.c.Constellation()
+	info := Info{
+		T:          st.T,
+		Generation: stGen,
+		Nodes:      cons.NodeCount(),
+	}
+	for i := range cons.Shells() {
+		info.Shells = append(info.Shells, cs.buildShell(i))
+	}
+	for _, g := range cons.GroundStations() {
+		info.GroundStations = append(info.GroundStations, g.Name)
+	}
+	return marshalDoc(info), 200
+}
+
+// buildShell assembles one shell's document from the (immutable)
+// configuration. The index must be valid.
+func (cs *CoordinatorSource) buildShell(idx int) ShellInfo {
+	cfg := cs.c.Constellation().Shells()[idx].Config()
+	return ShellInfo{
+		ID: idx, Name: cfg.Name, Planes: cfg.Planes,
+		SatsPerPlane: cfg.SatsPerPlane, Satellites: cfg.Size(),
+		AltitudeKm: cfg.AltitudeKm, InclinationDeg: cfg.InclinationDeg,
+		ArcDeg: cfg.ArcDeg,
+	}
+}
+
+func (cs *CoordinatorSource) ShellDoc(shell string) ([]byte, int) {
+	idx, ok := vnet.ParseIndex(shell)
+	if !ok {
+		return errDoc(400, "bad shell index %q", shell)
+	}
+	if idx < 0 || idx >= len(cs.c.Constellation().Shells()) {
+		return errDoc(404, "shell %d does not exist", idx)
+	}
+	return marshalDoc(cs.buildShell(idx)), 200
+}
+
+// state leases the current snapshot; nil means no update ran yet (503).
+func (cs *CoordinatorSource) state() (*constellation.State, func()) {
+	return cs.c.LeaseState()
+}
+
+func (cs *CoordinatorSource) SatDoc(shellParam, satParam string) ([]byte, int) {
+	// The same strict index parsing as /path node references: the two
+	// endpoint families must agree on what a valid reference is (and lax
+	// alias spellings like "+5" must not multiply cache keys).
+	shell, ok1 := vnet.ParseIndex(shellParam)
+	sat, ok2 := vnet.ParseIndex(satParam)
+	if !ok1 || !ok2 {
+		return errDoc(400, "bad satellite path %q/%q", shellParam, satParam)
+	}
+	cons := cs.c.Constellation()
+	id, err := cons.SatNode(shell, sat)
+	if err != nil {
+		return errDoc(404, "%v", err)
+	}
+	st, release := cs.state()
+	defer release()
+	if st == nil {
+		return errDoc(503, "no constellation state yet")
+	}
+	ip, err := vnet.SatIP(shell, sat)
+	if err != nil {
+		return errDoc(500, "%v", err)
+	}
+	pos := st.Positions[id]
+	ll := geom.ToGeodetic(pos)
+	return marshalDoc(SatInfo{
+		Shell: shell, Sat: sat, Name: vnet.SatName(shell, sat), IP: ip.String(),
+		Position: Position{X: pos.X, Y: pos.Y, Z: pos.Z},
+		LatDeg:   ll.LatDeg, LonDeg: ll.LonDeg, AltKm: ll.AltKm,
+		Active: st.Active[id],
+	}), 200
+}
+
+func (cs *CoordinatorSource) GSTDoc(name string) ([]byte, int) {
+	cons := cs.c.Constellation()
+	id, err := cons.GSTNodeByName(name)
+	if err != nil {
+		return errDoc(404, "%v", err)
+	}
+	st, release := cs.state()
+	defer release()
+	if st == nil {
+		return errDoc(503, "no constellation state yet")
+	}
+	node, err := cons.Node(id)
+	if err != nil {
+		return errDoc(500, "%v", err)
+	}
+	ip, err := vnet.GSTIP(node.Sat)
+	if err != nil {
+		return errDoc(500, "%v", err)
+	}
+	pos := st.Positions[id]
+	ll := geom.ToGeodetic(pos)
+	resp := GSTInfo{
+		Name: name, IP: ip.String(),
+		Position: Position{X: pos.X, Y: pos.Y, Z: pos.Z},
+		LatDeg:   ll.LatDeg, LonDeg: ll.LonDeg,
+	}
+	for si := range cons.Shells() {
+		ups, err := st.Uplinks(node.Sat, si)
+		if err != nil || len(ups) == 0 {
+			continue
+		}
+		up := ups[0]
+		resp.Uplinks = append(resp.Uplinks, UplinkInfo{
+			Shell: si, Sat: up.Sat, DistanceKm: up.DistanceKm,
+			ElevationDeg: up.ElevationDeg,
+			// Quantized like every realized link delay, so this agrees
+			// with the first /path segment over the same uplink.
+			LatencyMs: netem.QuantizeLatency(geom.PropagationDelay(up.DistanceKm)) * 1000,
+		})
+	}
+	return marshalDoc(resp), 200
+}
+
+// resolveNode turns a path parameter — "<sat>.<shell>" like "878.0" for
+// satellites, or a ground station name — into a node ID. Satellite
+// references go through the shared strict parser (vnet.ParseSatRef), so
+// "3.2junk" or "-1.0" do not resolve (fmt.Sscanf's "%d.%d" used to accept
+// both).
+func (cs *CoordinatorSource) resolveNode(param string) (int, error) {
+	cons := cs.c.Constellation()
+	if id, err := cons.GSTNodeByName(param); err == nil {
+		return id, nil
+	}
+	if sat, shell, ok := vnet.ParseSatRef(param); ok {
+		return cons.SatNode(shell, sat)
+	}
+	return 0, fmt.Errorf("unknown node %q (want \"<sat>.<shell>\" or a ground station name)", param)
+}
+
+func (cs *CoordinatorSource) PathDoc(source, target string) ([]byte, int) {
+	src, err := cs.resolveNode(source)
+	if err != nil {
+		return errDoc(404, "%v", err)
+	}
+	dst, err := cs.resolveNode(target)
+	if err != nil {
+		return errDoc(404, "%v", err)
+	}
+	st, release := cs.state()
+	defer release()
+	if st == nil {
+		return errDoc(503, "no constellation state yet")
+	}
+	// Latency, path and bandwidth all come off the state's repaired
+	// shortest-path cache: the tick pipeline transplants or incrementally
+	// repairs cached trees across updates, so steady-state queries never
+	// pay a full Dijkstra recompute here.
+	lat, err := st.Latency(src, dst)
+	if err != nil {
+		return errDoc(500, "%v", err)
+	}
+	if math.IsInf(lat, 1) {
+		return errDoc(404, "no path between %s and %s", source, target)
+	}
+	path, err := st.Path(src, dst)
+	if err != nil {
+		return errDoc(500, "%v", err)
+	}
+	bw, _ := st.PathBandwidth(src, dst)
+	cons := cs.c.Constellation()
+	resp := PathResponse{
+		Source: source, Target: target,
+		LatencyMs: lat * 1000, BandwidthKbps: bw,
+	}
+	for i := 0; i+1 < len(path); i++ {
+		a, errA := cons.Node(path[i])
+		b, errB := cons.Node(path[i+1])
+		if errA != nil || errB != nil {
+			return errDoc(500, "resolving path nodes")
+		}
+		// Per-segment latency as the emulation realizes it: link delays
+		// are quantized to the netem granularity, so quantized segments
+		// sum exactly to the reported end-to-end latency.
+		d := st.Positions[path[i]].Distance(st.Positions[path[i+1]])
+		resp.Segments = append(resp.Segments, PathSegment{
+			From: a.Name, To: b.Name, DistanceKm: d,
+			LatencyMs: netem.QuantizeLatency(geom.PropagationDelay(d)) * 1000,
+		})
+	}
+	return marshalDoc(resp), 200
+}
+
+// Frames returns the shared frames after since, advancing the frame cache
+// to the coordinator's head first. This is where the per-subscriber
+// serialization used to happen: now each retained generation is converted
+// and serialized exactly once, and every long-poll, SSE and binary-stream
+// subscriber shares the same buffers.
+func (cs *CoordinatorSource) Frames(since uint64) ([]*Frame, bool) {
+	fc := &cs.fc
+	if cs.c.Generation() > fc.built.Load() {
+		cs.advanceFrames()
+	}
+	fc.mu.RLock()
+	defer fc.mu.RUnlock()
+	head := fc.built.Load()
+	switch {
+	case since > head:
+		// Count the forced resync on the coordinator's ring stats, as a
+		// direct DiffsSince miss would.
+		cs.c.DiffsSince(since)
+		return nil, false
+	case since == head:
+		return nil, true
+	case since+1 < fc.oldest:
+		cs.c.DiffsSince(since)
+		return nil, false
+	}
+	out := make([]*Frame, 0, head-since)
+	for g := since + 1; g <= head; g++ {
+		f, ok := fc.frames[g]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, f)
+	}
+	return out, true
+}
+
+// advanceFrames builds the frames of every generation the coordinator has
+// retained past the cache's cursor. When the cursor itself fell off the
+// retention ring (no /diff consumer for longer than the ring retains) the
+// cache rebases onto the ring's current window instead of failing — a
+// quiet spell with no subscribers must not force later clients to resync.
+func (cs *CoordinatorSource) advanceFrames() {
+	fc := &cs.fc
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	for tries := 0; tries < 8 && cs.c.Generation() > fc.built.Load(); tries++ {
+		built := fc.built.Load()
+		entries, ok := cs.c.DiffsSince(built)
+		if !ok {
+			// Rebase onto the oldest generation the ring still replays.
+			head := cs.c.Generation()
+			st := cs.c.RingStats()
+			if uint64(st.Length) > head {
+				return
+			}
+			rebase := head - uint64(st.Length)
+			if rebase <= built {
+				// A tick raced between the reads; retry.
+				continue
+			}
+			clear(fc.frames)
+			fc.built.Store(rebase)
+			fc.oldest = rebase + 1
+			continue
+		}
+		for i := range entries {
+			e := &entries[i]
+			if e.Generation <= fc.built.Load() {
+				continue
+			}
+			if len(fc.frames) == 0 {
+				fc.oldest = e.Generation
+			}
+			fc.frames[e.Generation] = BuildFrame(e.Generation, &e.Diff)
+			fc.built.Store(e.Generation)
+			for fc.built.Load()-fc.oldest+1 > uint64(fc.cap) {
+				delete(fc.frames, fc.oldest)
+				fc.oldest++
+			}
+		}
+	}
+}
+
+// frameCache retains the shared serialized frames of recent generations,
+// mirroring the coordinator's diff retention ring: same capacity, same
+// replay window, advanced lazily on the first Frames call after a tick.
+// built is atomic so the read path can skip the advance without taking
+// the write lock.
+type frameCache struct {
+	mu     sync.RWMutex
+	built  atomic.Uint64
+	oldest uint64
+	cap    int
+	frames map[uint64]*Frame
+}
+
+func (fc *frameCache) init(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	fc.cap = capacity
+	fc.oldest = 1
+	fc.frames = make(map[uint64]*Frame, capacity)
+}
