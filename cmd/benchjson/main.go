@@ -2,9 +2,10 @@
 // report, so CI can archive one machine-readable benchmark artifact per
 // commit and the performance trajectory stays comparable across PRs.
 //
-// Usage:
+// Usage (mirroring CI's bench smoke / bench json / bench compare steps):
 //
-//	go test -run XXX -bench . -benchtime 1x ./... | benchjson -o BENCH_<sha>.json
+//	go test -run 'XXX' -bench . -benchtime 1x ./... | tee bench.txt
+//	benchjson -o BENCH_<sha>.json < bench.txt
 //	benchjson -compare [-max-alloc-ratio 2] [-require Prefix,...] BENCH_baseline.json BENCH_<sha>.json
 //
 // The compare mode prints a per-benchmark delta table (ns/op, allocs/op)

@@ -10,21 +10,42 @@
 // Usage:
 //
 //	celestial-agent -coordinator host:port -agent N [-heartbeat 15s]
+//	celestial-agent ... -apply [-token T] [-tls-ca ca.pem | -tls-insecure]
+//	celestial-agent ... -http :8081
+//
+// With -apply the agent requests authoritative remote apply: the
+// coordinator sends a Propose frame per generation, the agent executes
+// it through the same apply engine the coordinator's loopback path uses
+// (internal/applyengine, seeded from the Welcome frame), and answers
+// with the result digest so the coordinator can verify the remote apply
+// before committing the generation. -token presents a bearer token in
+// the Hello frame; -tls-ca (or -tls-insecure, for tests) dials the
+// coordinator over TLS. -http serves the /v1 information API from the
+// agent's replica state through the same route table the coordinator
+// uses — machines on this host can read generation, activity counts and
+// the shard's diff stream without a round-trip to the coordinator.
 //
 // The process exits 0 when the coordinator ends the run with a clean
-// Bye, and non-zero on a refused handshake (bad shard id, version skew).
+// Bye, and non-zero on a refused handshake (bad shard id, version skew,
+// bad token).
 package main
 
 import (
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"celestial/internal/applyengine"
 	"celestial/internal/hostlink"
+	"celestial/internal/httpapi"
 )
 
 func main() {
@@ -33,6 +54,11 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", hostlink.DefaultHeartbeat, "heartbeat interval; must match the coordinator's")
 	reconnect := flag.Duration("reconnect", 500*time.Millisecond, "wait between redial attempts")
 	crashAfter := flag.Uint64("crash-after-gens", 0, "exit hard (status 3, no Bye) once the replica has applied this generation — agent-loss testing; a restarted agent resyncs and rejoins")
+	apply := flag.Bool("apply", false, "request authoritative remote apply: answer the coordinator's Propose frames through the shared apply engine")
+	token := flag.String("token", "", "bearer token presented in the Hello frame (required when the coordinator runs with -agents-token)")
+	tlsCA := flag.String("tls-ca", "", "dial the coordinator over TLS, trusting the PEM roots in this file")
+	tlsInsecure := flag.Bool("tls-insecure", false, "dial the coordinator over TLS without verifying its certificate (tests only)")
+	httpAddr := flag.String("http", "", "TCP address to serve the /v1 information API from the replica on (e.g. :8081)")
 	flag.Parse()
 
 	if *coordinator == "" || *agent < 0 {
@@ -49,8 +75,57 @@ func main() {
 		Replica:       hostlink.NewReplica(),
 		Heartbeat:     *heartbeat,
 		ReconnectWait: *reconnect,
+		Token:         *token,
 		Logf:          log.Printf,
 	}
+	if *apply {
+		// The engine construction is the same one the coordinator's
+		// loopback path uses — only the Backend differs — so both
+		// executions of a generation produce the same commit digest.
+		a.Apply = true
+		a.NewApplier = func(shard int, seed int64) hostlink.ResultApplier {
+			return applyengine.New(applyengine.Config{
+				Shard:   shard,
+				Backend: &applyengine.ReplicaBackend{},
+				Seed:    seed,
+			})
+		}
+	}
+	switch {
+	case *tlsCA != "":
+		pem, err := os.ReadFile(*tlsCA)
+		if err != nil {
+			log.Fatalf("celestial-agent %d: -tls-ca: %v", *agent, err)
+		}
+		roots := x509.NewCertPool()
+		if !roots.AppendCertsFromPEM(pem) {
+			log.Fatalf("celestial-agent %d: -tls-ca: no certificates in %s", *agent, *tlsCA)
+		}
+		host, _, err := net.SplitHostPort(*coordinator)
+		if err != nil {
+			host = *coordinator
+		}
+		a.TLS = &tls.Config{RootCAs: roots, ServerName: host}
+	case *tlsInsecure:
+		a.TLS = &tls.Config{InsecureSkipVerify: true}
+	}
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("celestial-agent %d: http listener: %v", *agent, err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		httpapi.RegisterRoutes(mux, httpapi.NewReplicaSource(*agent, a.Replica))
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				log.Printf("celestial-agent %d: http server: %v", *agent, err)
+			}
+		}()
+		log.Printf("celestial-agent %d: serving replica info API on http://%s/v1/info", *agent, ln.Addr())
+	}
+
 	if *crashAfter > 0 {
 		// The kill is keyed on applied generations, not wall clock, so the
 		// CI kill/rejoin leg lands at the same run point every time.
@@ -73,6 +148,8 @@ func main() {
 	}
 	active, inactive, links, frames, snapshots := a.Replica.Counts()
 	gen, digest := a.Replica.Cursor()
-	log.Printf("celestial-agent %d: run complete at generation %d (digest %016x): %d active, %d inactive, %d links via %d frames + %d snapshots",
-		*agent, gen, digest, active, inactive, links, frames, snapshots)
+	st := a.Stats()
+	log.Printf("celestial-agent %d: run complete at generation %d (digest %016x): %d active, %d inactive, %d links via %d frames + %d snapshots; %d applies (%d errors), %d commits (%d mismatches), %d reassigns",
+		*agent, gen, digest, active, inactive, links, frames, snapshots,
+		st.Applies, st.ApplyErrors, st.Commits, st.CommitMismatches, st.Reassigns)
 }

@@ -11,6 +11,7 @@
 //	celestial ... -http :8080 [-http-auth token] [-http-rate rps[:burst]] [-http-log]
 //	celestial -scenario run.toml -checkpoint run.ckpt [-checkpoint-every 5] [-resume]
 //	celestial -scenario run.toml -agents-listen :7700 -agents 4 [-agents-barrier 2s]
+//	celestial ... -agents-listen :7700 [-agents-token T] [-agents-cert crt.pem -agents-key key.pem]
 //
 // Without -wall the emulation runs in virtual time (a 10-minute experiment
 // finishes in seconds); with -wall it advances in real time so external
@@ -37,11 +38,18 @@
 // internal/hostlink and cmd/celestial-agent): remote agent processes
 // attach as digest-verified replica followers of their shard's topology
 // feed, with -agents holding the start until a fleet has attached and
-// -agents-barrier bounding how long each tick waits for acks. Remote
-// agents never touch virtual state, so the run report stays
-// byte-identical to a single-process run; at the end of the run every
-// attached agent's final ack is verified against the coordinator's digest
-// chain and any divergence fails the process.
+// -agents-barrier bounding how long each tick waits for acks. Agents
+// that attach with -apply additionally run the authoritative commit
+// protocol: the coordinator proposes each generation's apply, the agent
+// executes it through the shared apply engine, and the result digests
+// are compared before the generation is committed. Remote agents never
+// touch virtual state, so the run report stays byte-identical to a
+// single-process run; at the end of the run every attached agent's final
+// ack is verified against the coordinator's digest chain and any
+// divergence fails the process. -agents-token demands a bearer token in
+// every agent's Hello frame and -agents-cert/-agents-key serve the
+// listener over TLS; both default off so loopback and CI runs stay
+// plaintext.
 //
 // -checkpoint persists a crash-safe snapshot of the run state at tick
 // boundaries (atomic write: temp file, fsync, rename). After a crash — or
@@ -52,6 +60,7 @@
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"log"
@@ -103,6 +112,9 @@ func main() {
 	agentsListen := flag.String("agents-listen", "", "TCP address to serve the host-agent wire protocol on (e.g. :7700; scenario mode only)")
 	agentsWait := flag.Int("agents", 0, "wait for this many celestial-agent connections before starting the run (requires -agents-listen)")
 	agentsBarrier := flag.Duration("agents-barrier", 2*time.Second, "per-tick wall-clock budget for attached agents to ack the new generation")
+	agentsCert := flag.String("agents-cert", "", "serve the agent listener over TLS with this certificate (requires -agents-key)")
+	agentsKey := flag.String("agents-key", "", "private key for -agents-cert")
+	agentsToken := flag.String("agents-token", "", "bearer token agents must present in their Hello frame (empty disables auth; plaintext loopback runs stay allowed)")
 	wall := flag.Bool("wall", false, "advance in wall-clock time instead of virtual time")
 	flag.Parse()
 
@@ -122,6 +134,9 @@ func main() {
 			agentsListen:    *agentsListen,
 			agentsWait:      *agentsWait,
 			agentsBarrier:   *agentsBarrier,
+			agentsCert:      *agentsCert,
+			agentsKey:       *agentsKey,
+			agentsToken:     *agentsToken,
 		})
 		return
 	}
@@ -239,6 +254,9 @@ type scenarioOpts struct {
 	agentsListen    string
 	agentsWait      int
 	agentsBarrier   time.Duration
+	agentsCert      string
+	agentsKey       string
+	agentsToken     string
 }
 
 // runScenario executes a declarative scenario file and writes its run
@@ -279,6 +297,16 @@ func runScenario(o scenarioOpts) {
 	// state — remote agents are digest-verified followers — so the run
 	// report stays byte-identical to a single-process run.
 	var barrierHook func(tick int) error
+	if o.agentsToken != "" {
+		// The token is a deployment secret, not a scenario property:
+		// layer it over the scenario's hosts configuration by rebuilding
+		// the fan-out tier before Start.
+		opts := r.Coordinator().FanoutOptions()
+		opts.Token = o.agentsToken
+		if err := r.Coordinator().ConfigureFanout(opts); err != nil {
+			log.Fatalf("celestial: %v", err)
+		}
+	}
 	fo := r.Coordinator().Fanout()
 	if o.agentsListen != "" {
 		ln, err := net.Listen("tcp", o.agentsListen)
@@ -286,6 +314,14 @@ func runScenario(o scenarioOpts) {
 			log.Fatalf("celestial: agent listener: %v", err)
 		}
 		defer ln.Close()
+		if o.agentsCert != "" || o.agentsKey != "" {
+			cert, err := tls.LoadX509KeyPair(o.agentsCert, o.agentsKey)
+			if err != nil {
+				log.Fatalf("celestial: -agents-cert/-agents-key: %v", err)
+			}
+			ln = tls.NewListener(ln, &tls.Config{Certificates: []tls.Certificate{cert}})
+			log.Printf("agent listener speaks TLS (cert %s)", o.agentsCert)
+		}
 		go func() {
 			if err := fo.Serve(ln); err != nil {
 				log.Printf("celestial: agent server: %v", err)

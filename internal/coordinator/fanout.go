@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"celestial/internal/applyengine"
 	"celestial/internal/constellation"
 	"celestial/internal/host"
 	"celestial/internal/hostlink"
@@ -34,13 +35,20 @@ type FanoutOptions struct {
 	FrameDelayRate float64
 	FrameDelay     time.Duration
 	// DeadAfter declares a killed agent permanently dead after this much
-	// virtual time, failing its shard's machines through the SEU health
-	// path; zero disables the dead path.
+	// virtual time; its shard is then rebalanced to a surviving agent
+	// (or the coordinator's loopback) instead of failing its machines.
+	// Zero disables the dead path.
 	DeadAfter time.Duration
 	// Heartbeat and WriteTimeout size the remote agent connections; zero
 	// means the hostlink defaults.
 	Heartbeat    time.Duration
 	WriteTimeout time.Duration
+	// Token, when non-empty, is demanded of every remote agent's Hello
+	// frame before it may attach.
+	Token string
+	// ApplyWindow bounds in-flight commit-protocol proposals per shard;
+	// zero adopts the fully serialized default of 1.
+	ApplyWindow int
 }
 
 // ConfigureFanout rebuilds the fan-out tier with the given options. Must
@@ -58,6 +66,12 @@ func (c *Coordinator) ConfigureFanout(o FanoutOptions) error {
 // Fanout returns the host fan-out tier, e.g. to serve remote agents on a
 // listener or script kill/rejoin events.
 func (c *Coordinator) Fanout() *hostlink.Fanout { return c.fo }
+
+// FanoutOptions returns the options the fan-out tier was last built with
+// — the starting point for deployment-level overrides (agent auth token,
+// apply window) layered on top of a scenario's hosts configuration via
+// ConfigureFanout before Start.
+func (c *Coordinator) FanoutOptions() FanoutOptions { return c.foOpts }
 
 // buildFanout constructs the fan-out tier: shard layout, loopback
 // appliers, and the producer callbacks that make agent resyncs work
@@ -92,15 +106,23 @@ func (c *Coordinator) buildFanout(o FanoutOptions) error {
 		c.shardNodes[s] = append(c.shardNodes[s], node)
 	}
 
+	// Every shard applies through the shared engine — the loopback
+	// deployment differs from a remote agent only in its Backend, never
+	// in apply logic, so the two produce identical commit digests.
 	appliers := make([]hostlink.Applier, shards)
 	machines := make([]int, shards)
 	for s := 0; s < shards; s++ {
 		shard := s
-		appliers[s] = &shardApplier{
-			c:      c,
-			shard:  s,
-			member: func(id int) bool { return c.shardOf[id] == shard },
-		}
+		appliers[s] = applyengine.New(applyengine.Config{
+			Shard: s,
+			Backend: &hostBackend{
+				c:      c,
+				shard:  s,
+				member: func(id int) bool { return c.shardOf[id] == shard },
+			},
+			Retry: o.Retry,
+			Seed:  o.Seed,
+		})
 		machines[s] = len(c.shardNodes[s])
 	}
 
@@ -115,7 +137,6 @@ func (c *Coordinator) buildFanout(o FanoutOptions) error {
 		Updated:  c.UpdateChan,
 		Replay:   c.replayRecords,
 		Snapshot: c.shardSnapshot,
-		Fail:     c.failShard,
 		Ladder:   o.Ladder,
 		Retry:    o.Retry,
 		Seed:     o.Seed,
@@ -125,6 +146,8 @@ func (c *Coordinator) buildFanout(o FanoutOptions) error {
 		DeadAfter:    o.DeadAfter,
 		Heartbeat:    o.Heartbeat,
 		WriteTimeout: o.WriteTimeout,
+		Token:        o.Token,
+		ApplyWindow:  o.ApplyWindow,
 	}, c.ringCap)
 	if err != nil {
 		return err
@@ -189,84 +212,4 @@ func (c *Coordinator) shardSnapshot(shard int) (*hostlink.Snapshot, error) {
 		})
 	}
 	return snap, nil
-}
-
-// failShard crashes every machine of a shard whose agent was declared
-// permanently dead — the same health path SEU faults use, so the outage
-// surfaces as activity flips in the next tick's diff.
-func (c *Coordinator) failShard(shard int, reason string) error {
-	now := c.sim.Now()
-	var errs []error
-	for _, node := range c.shardNodes[shard] {
-		m := c.byNode[node]
-		if m == nil || !m.Running() {
-			continue
-		}
-		if err := m.Crash(now, reason); err != nil {
-			errs = append(errs, fmt.Errorf("coordinator: failing node %d: %w", node, err))
-		}
-	}
-	return errors.Join(errs...)
-}
-
-// shardApplier is the loopback Applier for one shard: it translates the
-// fan-out tier's policy flags into the legacy distribute actions — path
-// invalidation, machine-activity sweeps, link-reprogram notes — scoped to
-// the shard's hosts and machines.
-type shardApplier struct {
-	c      *Coordinator
-	shard  int
-	member func(id int) bool
-}
-
-// ApplyDiff implements hostlink.Applier.
-func (a *shardApplier) ApplyDiff(f *hostlink.DiffFrame) error {
-	c := a.c
-	if f.Flags&hostlink.FlagInvalidate != 0 {
-		// Stale shaper parameters: mark the cached pairs whose source
-		// this shard owns; other shards invalidate their own on their
-		// own frames (FlagChanged is global).
-		c.net.InvalidatePairsIf(func(from, to int) bool { return c.shardOf[from] == a.shard })
-	}
-	switch {
-	case f.Flags&hostlink.FlagSweep != 0:
-		st := c.State()
-		if st == nil {
-			return errors.New("coordinator: sweep before the first update")
-		}
-		var errs []error
-		for _, h := range c.shardHosts[a.shard] {
-			if err := h.ApplyActivityScoped(a.member, func(id int) bool { return st.Active[id] }); err != nil {
-				errs = append(errs, err)
-			}
-		}
-		return errors.Join(errs...)
-	case f.Flags&hostlink.FlagNote != 0:
-		// Delta-only frame: the hosts reprogram links (manager CPU
-		// spike) but no machine changes state.
-		for _, h := range c.shardHosts[a.shard] {
-			h.NoteUpdate()
-		}
-	}
-	return nil
-}
-
-// ApplySnapshot implements hostlink.Applier: a full-state resync after
-// ring eviction. The loopback shard's authoritative state is the
-// coordinator's own, so the snapshot reduces to a scoped invalidate plus
-// a full activity sweep against the current state.
-func (a *shardApplier) ApplySnapshot(*hostlink.Snapshot) error {
-	c := a.c
-	c.net.InvalidatePairsIf(func(from, to int) bool { return c.shardOf[from] == a.shard })
-	st := c.State()
-	if st == nil {
-		return errors.New("coordinator: snapshot before the first update")
-	}
-	var errs []error
-	for _, h := range c.shardHosts[a.shard] {
-		if err := h.ApplyActivityScoped(a.member, func(id int) bool { return st.Active[id] }); err != nil {
-			errs = append(errs, err)
-		}
-	}
-	return errors.Join(errs...)
 }

@@ -2,6 +2,7 @@ package hostlink
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -25,10 +26,22 @@ type Replica struct {
 	links  map[[2]int32]int32
 	gen    uint64
 	digest uint64
+	t      float64
+	notify chan struct{}
 
 	frames    int
 	snapshots int
+
+	// history retains recently applied diff frames (oldest first,
+	// contiguous generations ending at gen) for the agent's local /v1
+	// read path; a snapshot is a resync point and clears it.
+	history []*DiffFrame
 }
+
+// replicaHistoryCap bounds the replica's retained diff frames — a small
+// replay window for local /diff followers, independent of the
+// coordinator's retention ring.
+const replicaHistoryCap = 64
 
 // NewReplica returns an empty replica at generation 0.
 func NewReplica() *Replica {
@@ -36,6 +49,7 @@ func NewReplica() *Replica {
 		active: make(map[int32]bool),
 		links:  make(map[[2]int32]int32),
 		digest: ChainSeed,
+		notify: make(chan struct{}),
 	}
 }
 
@@ -64,7 +78,10 @@ func (r *Replica) ApplySnapshot(s *Snapshot) error {
 	}
 	r.gen = s.Generation
 	r.digest = s.Digest
+	r.t = s.T
 	r.snapshots++
+	r.history = r.history[:0]
+	r.wake()
 	return nil
 }
 
@@ -94,8 +111,68 @@ func (r *Replica) ApplyDiff(f *DiffFrame) error {
 	}
 	r.gen = f.Generation
 	r.digest = FoldDiff(r.digest, f)
+	r.t = f.T
 	r.frames++
+	// The frame is retained for local /diff replay; ReadFrame hands the
+	// replica a freshly decoded value, never a reused buffer.
+	r.history = append(r.history, f)
+	if len(r.history) > replicaHistoryCap {
+		r.history = r.history[1:]
+	}
+	r.wake()
 	return nil
+}
+
+// Diffs returns the retained diff frames in (since, gen], oldest first.
+// ok=false means since fell outside the history window (evicted, or
+// before the last snapshot resync, or ahead of the cursor) and the
+// follower must resync from full state. The returned frames are shared
+// and must be treated as immutable.
+func (r *Replica) Diffs(since uint64) ([]*DiffFrame, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if since == r.gen {
+		return nil, true
+	}
+	if since > r.gen || len(r.history) == 0 {
+		return nil, false
+	}
+	oldest := r.history[0].Generation
+	if since+1 < oldest {
+		return nil, false
+	}
+	out := make([]*DiffFrame, 0, r.gen-since)
+	for _, f := range r.history[since+1-oldest:] {
+		out = append(out, f)
+	}
+	return out, true
+}
+
+// wake closes and renews the update channel; callers hold r.mu.
+func (r *Replica) wake() {
+	if r.notify != nil {
+		close(r.notify)
+		r.notify = make(chan struct{})
+	}
+}
+
+// UpdateChan returns a channel closed on the next replica update — the
+// same contract the coordinator's UpdateChan offers SSE streams.
+func (r *Replica) UpdateChan() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.notify == nil {
+		r.notify = make(chan struct{})
+	}
+	return r.notify
+}
+
+// State returns the replica's generation, chain digest and simulation
+// time.
+func (r *Replica) State() (gen, digest uint64, t float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen, r.digest, r.t
 }
 
 // Cursor returns the replica's applied generation and chain digest.
@@ -136,8 +213,76 @@ type Agent struct {
 	Heartbeat time.Duration
 	// ReconnectWait spaces redial attempts; zero means 500ms.
 	ReconnectWait time.Duration
+	// Token is presented in the Hello frame when the coordinator
+	// requires bearer auth; TLS, when set, wraps the connection.
+	Token string
+	TLS   *tls.Config
+	// Apply requests authoritative remote apply: the coordinator sends
+	// Propose frames and this agent answers them through engines built
+	// by NewApplier (one per served shard, seeded from the Welcome
+	// frame). NewApplier is required when Apply is set.
+	Apply      bool
+	NewApplier func(shard int, seed int64) ResultApplier
 	// Logf, when set, receives connection lifecycle notes.
 	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	replicas map[int]*Replica      // adopted shards (ID's lives in Replica)
+	engines  map[int]ResultApplier // per-shard apply engines
+	seed     int64                 // fan-out seed from the Welcome frame
+	stats    AgentStats
+}
+
+// AgentStats counts the agent side of the commit protocol and shard
+// adoption — wall-clock telemetry, never part of the run report.
+type AgentStats struct {
+	Applies          int // Propose frames answered
+	ApplyErrors      int // engine errors (still answered)
+	Commits          int // Commit frames received
+	CommitMismatches int // commits whose chain digest differed at our cursor
+	Reassigns        int // Reassign frames received
+}
+
+// Stats returns a copy of the agent's protocol counters.
+func (a *Agent) Stats() AgentStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// ReplicaFor returns the replica tracking one shard: the agent's own
+// Replica for its shard, a lazily created secondary for adopted shards.
+func (a *Agent) ReplicaFor(shard int) *Replica {
+	if shard == a.ID {
+		return a.Replica
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.replicas == nil {
+		a.replicas = make(map[int]*Replica)
+	}
+	rep := a.replicas[shard]
+	if rep == nil {
+		rep = NewReplica()
+		a.replicas[shard] = rep
+	}
+	return rep
+}
+
+// engineFor returns the shard's apply engine, building it on first use
+// with the negotiated fan-out seed.
+func (a *Agent) engineFor(shard int) ResultApplier {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.engines == nil {
+		a.engines = make(map[int]ResultApplier)
+	}
+	e := a.engines[shard]
+	if e == nil && a.NewApplier != nil {
+		e = a.NewApplier(shard, a.seed)
+		a.engines[shard] = e
+	}
+	return e
 }
 
 // Run follows the coordinator until a clean Bye (returns nil) or the
@@ -185,16 +330,25 @@ func (a *Agent) session(ctx context.Context) (done bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	if a.TLS != nil {
+		conn = tls.Client(conn, a.TLS)
+	}
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
+	var flags uint8
+	if a.Apply {
+		flags |= HelloApply
+	}
 	gen, digest := a.Replica.Cursor()
 	buf, err := WriteFrame(conn, nil, &Hello{
 		Version: ProtocolVersion,
 		Agent:   int32(a.ID),
 		Cursor:  gen,
 		Digest:  digest,
+		Flags:   flags,
+		Token:   a.Token,
 	})
 	if err != nil {
 		return false, err
@@ -204,12 +358,17 @@ func (a *Agent) session(ctx context.Context) (done bool, err error) {
 	if err != nil {
 		return ctx.Err() != nil, err
 	}
+	apply := false
 	switch f := f.(type) {
 	case *Welcome:
 		if f.Version != ProtocolVersion {
-			return true, fmt.Errorf("hostlink: coordinator protocol version %d, want %d", f.Version, ProtocolVersion)
+			return true, &VersionError{Got: f.Version, Want: ProtocolVersion}
 		}
-		a.logf("hostlink agent %d: attached to %s at generation %d", a.ID, a.Addr, f.Generation)
+		apply = a.Apply && f.Flags&HelloApply != 0 && a.NewApplier != nil
+		a.mu.Lock()
+		a.seed = f.Seed
+		a.mu.Unlock()
+		a.logf("hostlink agent %d: attached to %s at generation %d (apply=%v)", a.ID, a.Addr, f.Generation, apply)
 	case *Bye:
 		return true, fmt.Errorf("hostlink: coordinator refused: %s", f.Reason)
 	default:
@@ -224,21 +383,38 @@ func (a *Agent) session(ctx context.Context) (done bool, err error) {
 		}
 		switch f := f.(type) {
 		case *Snapshot:
-			if err := a.Replica.ApplySnapshot(f); err != nil {
+			if err := a.ReplicaFor(int(f.Agent)).ApplySnapshot(f); err != nil {
 				return false, err
 			}
-			if buf, err = a.ack(conn, buf); err != nil {
+			if buf, err = a.ack(conn, buf, int(f.Agent)); err != nil {
 				return false, err
 			}
 		case *DiffFrame:
-			if err := a.Replica.ApplyDiff(f); err != nil {
+			if err := a.ReplicaFor(int(f.Agent)).ApplyDiff(f); err != nil {
 				// A gap: reconnect with the current cursor and let the
 				// coordinator resync us.
 				return false, err
 			}
-			if buf, err = a.ack(conn, buf); err != nil {
+			if buf, err = a.ack(conn, buf, int(f.Agent)); err != nil {
 				return false, err
 			}
+		case *Propose:
+			if !apply {
+				continue
+			}
+			if buf, err = a.applyPropose(conn, buf, f); err != nil {
+				return false, err
+			}
+		case *Commit:
+			a.noteCommit(f)
+		case *Reassign:
+			// The announced shard's snapshot follows; make sure its
+			// replica exists so /v1 reads can find it immediately.
+			_ = a.ReplicaFor(int(f.Shard))
+			a.mu.Lock()
+			a.stats.Reassigns++
+			a.mu.Unlock()
+			a.logf("hostlink agent %d: adopted shard %d (epoch %d)", a.ID, f.Shard, f.Epoch)
 		case *Heartbeat:
 			gen, _ := a.Replica.Cursor()
 			_ = conn.SetWriteDeadline(time.Now().Add(DefaultWriteTimeout))
@@ -252,9 +428,49 @@ func (a *Agent) session(ctx context.Context) (done bool, err error) {
 	}
 }
 
-// ack reports the replica's cursor and digest.
-func (a *Agent) ack(conn net.Conn, buf []byte) ([]byte, error) {
-	gen, digest := a.Replica.Cursor()
+// applyPropose answers one commit-protocol proposal: run the shard's
+// engine over the proposed generation's policy flags and report the
+// result digest plus retry counters. Engine errors are reported in the
+// digest-carrying Applied frame all the same — the coordinator's mirror
+// is authoritative and must hear from us either way.
+func (a *Agent) applyPropose(conn net.Conn, buf []byte, p *Propose) ([]byte, error) {
+	e := a.engineFor(int(p.Agent))
+	if e == nil {
+		return buf, fmt.Errorf("hostlink: no apply engine for shard %d", p.Agent)
+	}
+	err := e.ApplyDiff(&DiffFrame{Agent: p.Agent, Generation: p.Generation, Flags: p.Flags})
+	res := e.LastResult()
+	a.mu.Lock()
+	a.stats.Applies++
+	if err != nil {
+		a.stats.ApplyErrors++
+	}
+	a.mu.Unlock()
 	_ = conn.SetWriteDeadline(time.Now().Add(DefaultWriteTimeout))
-	return WriteFrame(conn, buf, &Ack{Agent: int32(a.ID), Generation: gen, Digest: digest})
+	return WriteFrame(conn, buf, &Applied{
+		Agent:      p.Agent,
+		Generation: res.Generation,
+		Digest:     res.Digest,
+		Attempts:   res.Attempts,
+		Retried:    res.Retried,
+	})
+}
+
+// noteCommit verifies a committed generation against the shard replica
+// when their cursors line up — a cheap continuous audit of the chain.
+func (a *Agent) noteCommit(c *Commit) {
+	gen, digest := a.ReplicaFor(int(c.Agent)).Cursor()
+	a.mu.Lock()
+	a.stats.Commits++
+	if gen == c.Generation && digest != c.Digest {
+		a.stats.CommitMismatches++
+	}
+	a.mu.Unlock()
+}
+
+// ack reports one shard replica's cursor and digest.
+func (a *Agent) ack(conn net.Conn, buf []byte, shard int) ([]byte, error) {
+	gen, digest := a.ReplicaFor(shard).Cursor()
+	_ = conn.SetWriteDeadline(time.Now().Add(DefaultWriteTimeout))
+	return WriteFrame(conn, buf, &Ack{Agent: int32(shard), Generation: gen, Digest: digest})
 }

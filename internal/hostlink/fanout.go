@@ -79,12 +79,17 @@ type Config struct {
 	Replay   func(since uint64) ([]Record, bool)
 	Snapshot func(shard int) (*Snapshot, error)
 
-	// Fail marks a shard's machines failed when its agent is declared
-	// permanently dead — the same health path SEU faults use. Optional.
-	Fail func(shard int, reason string) error
-
 	// Ladder configures the per-shard follower degradation ladder.
 	Ladder supervise.FollowerConfig
+
+	// Token, when non-empty, is the bearer token remote agents must
+	// present in their Hello frame; plaintext loopback runs leave it
+	// empty. Optional.
+	Token string
+
+	// ApplyWindow bounds commit-protocol proposals in flight per shard;
+	// zero adopts 1 (fully serialized, the deterministic default).
+	ApplyWindow int
 
 	// Retry is the wire-send retry policy (virtual backoff); Seed feeds
 	// the per-shard jitter and fault-injection streams. DropRate,
@@ -98,7 +103,9 @@ type Config struct {
 	Delay     time.Duration
 
 	// DeadAfter declares a down agent permanently dead after this much
-	// virtual time; zero disables the dead path.
+	// virtual time; its shard is then rebalanced to a surviving agent
+	// (or the coordinator's loopback) instead of failing its machines.
+	// Zero disables the dead path.
 	DeadAfter time.Duration
 
 	// Heartbeat and WriteTimeout are wall-clock knobs for remote
@@ -144,6 +151,16 @@ type ShardStats struct {
 	Rejoined int  `json:"rejoined"`
 	Down     bool `json:"down"`
 	Dead     bool `json:"dead"`
+	// Owner is the agent currently applying this shard (its own agent
+	// until a rebalance; -1 means the coordinator's loopback); Epoch
+	// counts ownership changes and Rebalances dead-agent reassignments.
+	Owner      int    `json:"owner"`
+	Epoch      uint64 `json:"epoch"`
+	Rebalances int    `json:"rebalances"`
+	// FallbackApplies counts generations the coordinator applied locally
+	// because a remote agent's commit-protocol window timed out or its
+	// result digest mismatched — zero whenever remotes keep up.
+	FallbackApplies int `json:"fallback_applies"`
 	// Escalations/Recoveries are the follower ladder's rung moves.
 	Escalations int `json:"escalations"`
 	Recoveries  int `json:"recoveries"`
@@ -187,6 +204,12 @@ type shard struct {
 	dead      bool
 	downSince time.Time
 
+	// owner is the agent applying this shard on the virtual plane (its
+	// own id until a rebalance, -1 for the coordinator's loopback);
+	// epoch counts ownership changes.
+	owner int
+	epoch uint64
+
 	stats      ShardStats
 	retryStats retry.Stats
 	lastErr    error
@@ -214,14 +237,29 @@ type Fanout struct {
 	// owned by the simulation goroutine and needs no lock.
 	mu sync.Mutex
 	// digests[shard] is a ring of (generation, chain digest) entries
-	// parallel to the coordinator's diff retention ring.
+	// parallel to the coordinator's diff retention ring. results[shard]
+	// is the commit protocol's parallel ring: the loopback engine's
+	// result digest and effective policy flags per generation, the value
+	// a remote agent's Applied frame is verified against.
 	digests   [][]digestEntry
+	results   [][]resultEntry
 	retention int
 	head      uint64
 
 	remotes   map[int]*remote
 	ackNotify chan struct{}
 	closed    bool
+	// remoteOwner[shard] is the agent serving the shard's remote stream
+	// (wall-clock plane, identity while every agent is attached);
+	// remoteEpoch counts reassignments and deadShard marks shards whose
+	// agent died on the virtual plane (never reclaimable). fallback and
+	// applyMismatch are the commit protocol's wall-clock counters,
+	// indexed by shard.
+	remoteOwner   []int
+	remoteEpoch   []uint64
+	deadShard     []bool
+	fallback      []int
+	applyMismatch []int
 	// statsSnap is the per-tick copy of the shard counters published for
 	// concurrent readers (the /agents endpoint); the live counters are
 	// owned by the simulation goroutine.
@@ -231,6 +269,15 @@ type Fanout struct {
 type digestEntry struct {
 	gen    uint64
 	digest uint64
+}
+
+// resultEntry is one generation's loopback apply result: the engine's
+// commit digest and the effective policy flags it executed. flags==0
+// distinguishes "applied with no work" from an empty slot (gen match).
+type resultEntry struct {
+	gen    uint64
+	digest uint64
+	flags  uint8
 }
 
 // splitmix scatters a seed into decorrelated per-shard streams (the same
@@ -266,23 +313,34 @@ func New(cfg Config, retention int) (*Fanout, error) {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = DefaultWriteTimeout
 	}
+	if cfg.ApplyWindow <= 0 {
+		cfg.ApplyWindow = 1
+	}
 	fo := &Fanout{
-		cfg:       cfg,
-		shards:    make([]*shard, cfg.Shards),
-		retention: retention,
-		digests:   make([][]digestEntry, cfg.Shards),
-		remotes:   make(map[int]*remote),
-		ackNotify: make(chan struct{}),
+		cfg:           cfg,
+		shards:        make([]*shard, cfg.Shards),
+		retention:     retention,
+		digests:       make([][]digestEntry, cfg.Shards),
+		results:       make([][]resultEntry, cfg.Shards),
+		remotes:       make(map[int]*remote),
+		ackNotify:     make(chan struct{}),
+		remoteOwner:   make([]int, cfg.Shards),
+		remoteEpoch:   make([]uint64, cfg.Shards),
+		deadShard:     make([]bool, cfg.Shards),
+		fallback:      make([]int, cfg.Shards),
+		applyMismatch: make([]int, cfg.Shards),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
 			id:       i,
+			owner:    i,
 			applier:  cfg.Appliers[i],
 			ladder:   supervise.NewFollower(cfg.Ladder),
 			retryRnd: rng.New(splitmix(cfg.Seed, uint64(i))),
 			faultRnd: rng.New(splitmix(cfg.Seed, uint64(i)+0x10000)),
 			chain:    ChainSeed,
 		}
+		fo.remoteOwner[i] = i
 		s.rndFn = s.retryRnd.Float64
 		drop, rnd := cfg.DropRate, s.faultRnd
 		if drop > 0 {
@@ -299,6 +357,7 @@ func New(cfg Config, retention int) (*Fanout, error) {
 			s.stats.Machines = cfg.Machines[i]
 		}
 		fo.digests[i] = make([]digestEntry, retention)
+		fo.results[i] = make([]resultEntry, retention)
 		fo.shards[i] = s
 	}
 	return fo, nil
@@ -401,9 +460,6 @@ func (fo *Fanout) Distribute(level supervise.Level) error {
 	var errs []error
 	for _, s := range fo.shards {
 		s.stats.Frames++
-		if s.dead {
-			continue
-		}
 		if s.down {
 			s.stats.Buffered++
 			fo.maybeDead(s, now)
@@ -435,6 +491,9 @@ func (fo *Fanout) publishStats() {
 		st.Agent = s.id
 		st.Applied = s.applied
 		st.Digest = s.chain
+		st.Owner = s.owner
+		st.Epoch = s.epoch
+		st.FallbackApplies = fo.fallback[s.id]
 		ls := s.ladder.Stats()
 		st.Escalations = ls.Escalations
 		st.Recoveries = ls.Recoveries
@@ -512,7 +571,7 @@ func (fo *Fanout) drainDue(s *shard) {
 			// do not pin each other.
 			s.queue = nil
 		}
-		if !s.down && !s.dead {
+		if !s.down {
 			fo.deliver(s, qf.f)
 		}
 	}
@@ -566,10 +625,34 @@ func (fo *Fanout) resync(s *shard) {
 		s.lastErr = err
 		return
 	}
+	fo.recordResult(s, snap.Generation, FlagInvalidate|FlagSweep)
 	// A snapshot is authoritative: all carried debt is settled by it.
 	s.applied = snap.Generation
 	s.pendingInvalidate = false
 	s.pendingActivity = false
+}
+
+// recordResult stores one generation's loopback apply result in the
+// commit-protocol ring — the digest a remote agent's Applied frame for
+// that generation must match.
+func (fo *Fanout) recordResult(s *shard, gen uint64, flags uint8) {
+	ra, ok := s.applier.(ResultApplier)
+	if !ok {
+		return
+	}
+	res := ra.LastResult()
+	fo.mu.Lock()
+	fo.results[s.id][gen%uint64(fo.retention)] = resultEntry{gen: gen, digest: res.Digest, flags: flags}
+	fo.mu.Unlock()
+}
+
+// resultAt returns shard's commit-protocol result at gen, if the ring
+// still holds it.
+func (fo *Fanout) resultAt(shard int, gen uint64) (resultEntry, bool) {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	e := fo.results[shard][gen%uint64(fo.retention)]
+	return e, e.gen == gen && gen > 0
 }
 
 // applyFrame runs the per-shard degradation policy — the sharded version
@@ -607,6 +690,7 @@ func (fo *Fanout) applyFrame(s *shard, f *DiffFrame) {
 	if eff.Flags&(FlagInvalidate|FlagSweep|FlagNote) == 0 {
 		return // nothing to do this generation
 	}
+	defer fo.recordResult(s, eff.Generation, eff.Flags&(FlagInvalidate|FlagSweep|FlagNote))
 	if err := s.applier.ApplyDiff(&eff); err != nil {
 		s.stats.ApplyErrors++
 		s.lastErr = err
@@ -625,7 +709,7 @@ func (fo *Fanout) applyFrame(s *shard, f *DiffFrame) {
 func (fo *Fanout) Converge() {
 	head := fo.cfg.Head()
 	for _, s := range fo.shards {
-		if s.dead || s.down {
+		if s.down {
 			continue
 		}
 		for len(s.queue) > 0 {
@@ -642,8 +726,8 @@ func (fo *Fanout) Converge() {
 }
 
 // maybeDead promotes a down shard to permanently dead once DeadAfter
-// virtual time has passed, failing its machines through the same health
-// path SEU faults use.
+// virtual time has passed, then rebalances its shard to a surviving
+// agent (or the coordinator's loopback) instead of failing its machines.
 func (fo *Fanout) maybeDead(s *shard, now time.Time) {
 	if fo.cfg.DeadAfter <= 0 || s.dead || !s.down {
 		return
@@ -654,11 +738,43 @@ func (fo *Fanout) maybeDead(s *shard, now time.Time) {
 	s.dead = true
 	s.stats.Dead = true
 	s.queue = nil
-	if fo.cfg.Fail != nil {
-		if err := fo.cfg.Fail(s.id, fmt.Sprintf("hostlink: agent %d dead after %v", s.id, fo.cfg.DeadAfter)); err != nil {
-			s.lastErr = err
+	fo.rebalance(s)
+}
+
+// rebalance reassigns a dead agent's shard: the shard's machines keep
+// running, applied under a new owner. Deterministic — the new owner is
+// the lowest surviving agent (or -1, the coordinator's loopback), and
+// the catch-up resync replays the ring exactly like a rejoin. Must run
+// on the simulation goroutine.
+func (fo *Fanout) rebalance(s *shard) {
+	s.down = false
+	s.stats.Down = false
+	s.owner = fo.survivorFor(s.id)
+	s.epoch++
+	s.stats.Rebalances++
+	// The wall-clock plane follows: the dead agent's remote stream (if
+	// any) moves to an attached survivor and can never be reclaimed.
+	fo.mu.Lock()
+	fo.deadShard[s.id] = true
+	fo.reassignRemoteLocked(s.id)
+	fo.mu.Unlock()
+	fo.wakeAcks()
+	// Heal the generations buffered while the agent was down, exactly
+	// like a rejoin: ring replay, snapshot past eviction.
+	if s.applied < fo.cfg.Head() {
+		fo.resync(s)
+	}
+}
+
+// survivorFor picks the lowest live agent other than shard, or -1 when
+// none survives (the coordinator's loopback applies the shard itself).
+func (fo *Fanout) survivorFor(shard int) int {
+	for _, c := range fo.shards {
+		if c.id != shard && !c.dead {
+			return c.id
 		}
 	}
+	return -1
 }
 
 // Kill marks an agent down (a scripted agent-kill event): its frames
@@ -718,11 +834,17 @@ func (fo *Fanout) shardByID(agent int) (*shard, error) {
 // quiescent).
 func (fo *Fanout) ShardStats() []ShardStats {
 	out := make([]ShardStats, len(fo.shards))
+	fo.mu.Lock()
+	fallback := append([]int(nil), fo.fallback...)
+	fo.mu.Unlock()
 	for i, s := range fo.shards {
 		st := s.stats
 		st.Agent = s.id
 		st.Applied = s.applied
 		st.Digest = s.chain
+		st.Owner = s.owner
+		st.Epoch = s.epoch
+		st.FallbackApplies = fallback[i]
 		ls := s.ladder.Stats()
 		st.Escalations = ls.Escalations
 		st.Recoveries = ls.Recoveries

@@ -1,7 +1,6 @@
 package hostlink
 
 import (
-	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -137,13 +136,12 @@ func (a *recApplier) ApplyDiff(f *DiffFrame) error {
 const testNodes = 4
 
 type harness struct {
-	fs    *fakeSim
-	src   *memSource
-	fo    *Fanout
-	apps  []*recApplier
-	fails []string
-	res   time.Duration
-	gen   uint64
+	fs   *fakeSim
+	src  *memSource
+	fo   *Fanout
+	apps []*recApplier
+	res  time.Duration
+	gen  uint64
 }
 
 func newHarness(t *testing.T, shards, retention int, mod func(*Config)) *harness {
@@ -160,19 +158,15 @@ func newHarness(t *testing.T, shards, retention int, mod func(*Config)) *harness
 		appliers[i] = a
 	}
 	cfg := Config{
-		Shards:   shards,
-		ShardOf:  func(node int) int { return node % shards },
-		Appliers: appliers,
-		Now:      h.fs.Now,
-		After:    h.fs.After,
-		Head:     h.src.Head,
-		Updated:  h.src.Updated,
-		Replay:   h.src.Replay,
-		Snapshot: h.src.Snapshot,
-		Fail: func(shard int, reason string) error {
-			h.fails = append(h.fails, fmt.Sprintf("agent %d", shard))
-			return nil
-		},
+		Shards:    shards,
+		ShardOf:   func(node int) int { return node % shards },
+		Appliers:  appliers,
+		Now:       h.fs.Now,
+		After:     h.fs.After,
+		Head:      h.src.Head,
+		Updated:   h.src.Updated,
+		Replay:    h.src.Replay,
+		Snapshot:  h.src.Snapshot,
 		Seed:      42,
 		Heartbeat: 100 * time.Millisecond,
 	}
@@ -393,7 +387,7 @@ func TestFanoutRejoinAfterEvictionSnapshots(t *testing.T) {
 	}
 }
 
-func TestFanoutDeadAgentFailsShard(t *testing.T) {
+func TestFanoutDeadAgentRebalances(t *testing.T) {
 	h := newHarness(t, 2, 64, func(c *Config) {
 		c.DeadAfter = 4 * time.Second // two ticks
 	})
@@ -402,27 +396,39 @@ func TestFanoutDeadAgentFailsShard(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.run(1) // down 2s: not dead yet
-	if h.fo.ShardStats()[1].Dead {
-		t.Fatal("shard declared dead before DeadAfter elapsed")
+	if st := h.fo.ShardStats()[1]; st.Dead || st.Rebalances != 0 {
+		t.Fatalf("shard declared dead before DeadAfter elapsed: %+v", st)
 	}
-	h.run(2) // down 6s: dead
+	h.run(2) // down 6s: dead, shard rebalanced to agent 0
 	st := h.fo.ShardStats()[1]
 	if !st.Dead {
 		t.Fatal("shard not declared dead after DeadAfter")
 	}
-	if !reflect.DeepEqual(h.fails, []string{"agent 1"}) {
-		t.Errorf("Fail calls = %v, want one for agent 1", h.fails)
+	if st.Rebalances != 1 || st.Owner != 0 || st.Epoch != 1 {
+		t.Errorf("rebalance state = owner %d epoch %d rebalances %d, want 0/1/1", st.Owner, st.Epoch, st.Rebalances)
 	}
 	if err := h.fo.Rejoin(1); err == nil {
 		t.Error("rejoin of a dead agent must error")
 	}
-	// Dead shards take no more frames, healthy ones are unaffected.
+	// The shard's machines keep running under the new owner: the
+	// buffered generations replayed at rebalance and new frames flow.
 	h.run(1)
-	if got := h.fo.ShardStats()[1].Applied; got != 2 {
-		t.Errorf("dead shard applied moved to %d", got)
+	st = h.fo.ShardStats()[1]
+	if st.Applied != 6 {
+		t.Errorf("rebalanced shard applied = %d, want 6 (machines must not be lost)", st.Applied)
+	}
+	if st.FallbackApplies != 0 {
+		t.Errorf("fallback applies = %d on a loopback run, want 0", st.FallbackApplies)
 	}
 	if got := h.fo.ShardStats()[0].Applied; got != 6 {
 		t.Errorf("healthy shard applied = %d, want 6", got)
+	}
+	// Healthy shards never rebalance.
+	if st0 := h.fo.ShardStats()[0]; st0.Rebalances != 0 || st0.Owner != 0 || st0.Epoch != 0 {
+		t.Errorf("healthy shard ownership perturbed: %+v", st0)
+	}
+	if !reflect.DeepEqual(h.apps[1].gens, []uint64{1, 2, 3, 4, 5, 6}) {
+		t.Errorf("shard 1 applied %v, want all six generations", h.apps[1].gens)
 	}
 }
 

@@ -1,9 +1,12 @@
 package hostlink
 
 import (
+	"crypto/subtle"
 	"errors"
 	"fmt"
 	"net"
+	"sort"
+	"sync"
 	"time"
 )
 
@@ -14,25 +17,58 @@ type remote struct {
 	agent int
 	conn  net.Conn
 	addr  string
+	apply bool
 
 	// done is closed when the connection is torn down (reader error,
 	// replacement, Close).
 	done chan struct{}
 
-	// acked/ackDigest are the agent's last reported cursor; sent is the
-	// writer's cursor.
-	acked     uint64
-	ackDigest uint64
-	sent      uint64
-	lastSeen  time.Time
+	// wmu serializes frame writes: the writer goroutine streams frames,
+	// the reader goroutine answers Applied with Commit, and Close says
+	// goodbye — interleaved writes would corrupt the stream.
+	wmu  sync.Mutex
+	cbuf []byte // commit scratch, guarded by wmu
 
+	// streams[shard] is the delivery state of one shard this connection
+	// serves: its own shard plus any it adopted after a rebalance. The
+	// map and the ack/propose fields are guarded by fo.mu; cursor and
+	// chain belong to the writer goroutine.
+	streams map[int]*stream
+
+	lastSeen  time.Time
+	helloUsed bool
+	gone      bool
+	ladder    *remoteLadder
+}
+
+// stream is one shard's delivery state on one connection.
+type stream struct {
+	shard int
+
+	// Writer-owned: the replay cursor, its digest chain, and whether the
+	// Hello-resumed cursor was validated against the digest ring.
+	cursor    uint64
+	chain     uint64
+	validated bool
+	// announced is the remote-ownership epoch last announced with a
+	// Reassign frame (own-shard streams never announce).
+	announced uint64
+	epoch     uint64
+
+	// Guarded by fo.mu.
+	acked          uint64
+	ackDigest      uint64
+	sent           uint64
+	proposed       uint64
+	resolved       uint64
 	snapshots      int
 	replays        int
 	collapsed      int
 	digestMismatch int
+	applies        int
+	attempts       int
+	retried        int
 	forceSnap      bool
-	gone           bool
-	ladder         *remoteLadder
 }
 
 // remoteLadder tracks a remote follower's backlog rung — the wall-clock
@@ -44,13 +80,21 @@ type remoteLadder struct {
 }
 
 // RemoteStatus describes one attached agent connection for the /agents
-// document.
+// document. The cursor fields are the agent's own shard stream; Owns
+// lists every shard the connection currently serves (its own plus any
+// adopted after a rebalance).
 type RemoteStatus struct {
 	Connected      bool   `json:"connected"`
 	Addr           string `json:"addr,omitempty"`
+	Apply          bool   `json:"apply,omitempty"`
+	Owns           []int  `json:"owns,omitempty"`
 	Acked          uint64 `json:"acked"`
 	AckDigest      string `json:"ack_digest,omitempty"`
 	Sent           uint64 `json:"sent"`
+	Proposed       uint64 `json:"proposed,omitempty"`
+	Resolved       uint64 `json:"resolved,omitempty"`
+	Applies        int    `json:"applies,omitempty"`
+	ApplyRetries   int    `json:"apply_retries,omitempty"`
 	Snapshots      int    `json:"snapshots"`
 	Replays        int    `json:"replays"`
 	Collapsed      int    `json:"collapsed"`
@@ -88,7 +132,11 @@ func (fo *Fanout) serveConn(conn net.Conn) {
 		return
 	}
 	if hello.Version != ProtocolVersion {
-		_, _ = WriteFrame(conn, buf, &Bye{Reason: fmt.Sprintf("protocol version %d, want %d", hello.Version, ProtocolVersion)})
+		_, _ = WriteFrame(conn, buf, &Bye{Reason: (&VersionError{Got: hello.Version, Want: ProtocolVersion}).Error()})
+		return
+	}
+	if fo.cfg.Token != "" && subtle.ConstantTimeCompare([]byte(hello.Token), []byte(fo.cfg.Token)) != 1 {
+		_, _ = WriteFrame(conn, buf, &Bye{Reason: "unauthorized"})
 		return
 	}
 	agent := int(hello.Agent)
@@ -101,7 +149,9 @@ func (fo *Fanout) serveConn(conn net.Conn) {
 		agent:    agent,
 		conn:     conn,
 		addr:     conn.RemoteAddr().String(),
+		apply:    hello.Flags&HelloApply != 0,
 		done:     make(chan struct{}),
+		streams:  make(map[int]*stream),
 		lastSeen: time.Now(),
 		ladder:   &remoteLadder{coalesceLag: fo.cfg.Ladder.CoalesceLag},
 	}
@@ -120,6 +170,13 @@ func (fo *Fanout) serveConn(conn net.Conn) {
 		prev.detachLocked()
 	}
 	fo.remotes[agent] = r
+	// Reclaim the agent's own shard if a survivor adopted it while the
+	// agent was away — unless the shard died on the virtual plane, which
+	// is permanent.
+	if !fo.deadShard[agent] && fo.remoteOwner[agent] != agent {
+		fo.remoteOwner[agent] = agent
+		fo.remoteEpoch[agent]++
+	}
 	head := fo.head
 	fo.mu.Unlock()
 	fo.wakeAcks()
@@ -129,6 +186,8 @@ func (fo *Fanout) serveConn(conn net.Conn) {
 		Agent:      int32(agent),
 		Shards:     int32(fo.cfg.Shards),
 		Generation: head,
+		Flags:      hello.Flags & HelloApply,
+		Seed:       fo.cfg.Seed,
 	})
 	if err != nil {
 		fo.detach(r)
@@ -150,20 +209,51 @@ func (r *remote) detachLocked() {
 }
 
 // detach removes a remote from the attach table (if it is still the
-// current one) and wakes the barrier.
+// current one), hands its shards to a survivor, and wakes the barrier.
 func (fo *Fanout) detach(r *remote) {
 	fo.mu.Lock()
 	r.detachLocked()
 	if fo.remotes[r.agent] == r {
 		delete(fo.remotes, r.agent)
+		if !fo.closed {
+			for s := 0; s < fo.cfg.Shards; s++ {
+				if fo.remoteOwner[s] == r.agent {
+					fo.reassignRemoteLocked(s)
+				}
+			}
+		}
 	}
 	fo.mu.Unlock()
 	fo.wakeAcks()
 }
 
-// readLoop consumes acks and heartbeats until the connection dies. A
-// silent agent is disconnected after three missed heartbeat intervals —
-// the deadline-based loss detection the wire contract promises.
+// reassignRemoteLocked moves a shard's remote stream after its owner
+// detached or died: the lowest attached agent adopts it; with no
+// survivor it reverts to its own agent (resuming if that agent returns)
+// unless the shard is virtually dead, in which case it goes unserved.
+func (fo *Fanout) reassignRemoteLocked(shard int) {
+	best := -1
+	for a, r := range fo.remotes {
+		if r.gone || (fo.deadShard[shard] && a == shard) {
+			continue
+		}
+		if best == -1 || a < best {
+			best = a
+		}
+	}
+	if best == -1 && !fo.deadShard[shard] {
+		best = shard
+	}
+	if fo.remoteOwner[shard] != best {
+		fo.remoteOwner[shard] = best
+		fo.remoteEpoch[shard]++
+	}
+}
+
+// readLoop consumes acks, apply results and heartbeats until the
+// connection dies. A silent agent is disconnected after three missed
+// heartbeat intervals — the deadline-based loss detection the wire
+// contract promises.
 func (fo *Fanout) readLoop(r *remote) {
 	defer fo.detach(r)
 	var buf []byte
@@ -177,6 +267,8 @@ func (fo *Fanout) readLoop(r *remote) {
 		switch f := f.(type) {
 		case *Ack:
 			fo.noteAck(r, f)
+		case *Applied:
+			fo.noteApplied(r, f)
 		case *Heartbeat:
 			fo.mu.Lock()
 			r.lastSeen = time.Now()
@@ -187,35 +279,108 @@ func (fo *Fanout) readLoop(r *remote) {
 	}
 }
 
-// noteAck records an agent's applied cursor and verifies its digest chain
-// against the coordinator's. A mismatch forces a snapshot resync on the
-// next writer pass — divergence is healed, not accumulated.
+// noteAck records a stream's applied cursor and verifies its digest
+// chain against the coordinator's. A mismatch forces a snapshot resync
+// on the next writer pass — divergence is healed, not accumulated.
 func (fo *Fanout) noteAck(r *remote, a *Ack) {
+	shard := int(a.Agent)
+	if shard < 0 || shard >= fo.cfg.Shards {
+		return
+	}
 	fo.mu.Lock()
 	r.lastSeen = time.Now()
-	r.acked = a.Generation
-	r.ackDigest = a.Digest
-	e := fo.digests[r.agent][a.Generation%uint64(fo.retention)]
-	if e.gen == a.Generation && e.digest != a.Digest {
-		r.digestMismatch++
-		r.forceSnap = true
+	if st := r.streams[shard]; st != nil {
+		st.acked = a.Generation
+		st.ackDigest = a.Digest
+		e := fo.digests[shard][a.Generation%uint64(fo.retention)]
+		if e.gen == a.Generation && e.digest != a.Digest {
+			st.digestMismatch++
+			st.forceSnap = true
+		}
 	}
 	fo.mu.Unlock()
 	fo.wakeAcks()
 }
 
-// writeLoop streams the shard's frames to one agent: resume-or-snapshot
-// from the Hello cursor, then ring replay as generations land, heartbeats
-// when idle, and snapshot collapse when the agent falls too far behind.
-func (fo *Fanout) writeLoop(r *remote, hello *Hello, buf []byte) {
-	cursor := hello.Cursor
-	chain := hello.Digest
-	// A fresh replica (cursor 0) or one whose cursor/digest no longer
-	// matches the retained chain starts from a snapshot.
-	if d, ok := fo.digestAt(r.agent, cursor); cursor == 0 || !ok || d != chain {
-		cursor = 0
+// noteApplied resolves one commit-protocol proposal: the agent's result
+// digest is compared against the loopback engine's; a mismatch counts as
+// a fallback apply (the coordinator's mirror is authoritative either
+// way). The generation is then committed back to the agent with the
+// coordinator's chain digest.
+func (fo *Fanout) noteApplied(r *remote, a *Applied) {
+	shard := int(a.Agent)
+	if shard < 0 || shard >= fo.cfg.Shards {
+		return
 	}
-	var frame DiffFrame
+	var commit uint64
+	fo.mu.Lock()
+	r.lastSeen = time.Now()
+	st := r.streams[shard]
+	if st == nil {
+		fo.mu.Unlock()
+		return
+	}
+	e := fo.results[shard][a.Generation%uint64(fo.retention)]
+	if e.gen != a.Generation || e.digest != a.Digest {
+		fo.applyMismatch[shard]++
+		fo.fallback[shard]++
+	}
+	if a.Generation > st.resolved {
+		st.resolved = a.Generation
+	}
+	st.applies++
+	st.attempts += int(a.Attempts)
+	st.retried += int(a.Retried)
+	if d := fo.digests[shard][a.Generation%uint64(fo.retention)]; d.gen == a.Generation {
+		commit = d.digest
+	}
+	fo.mu.Unlock()
+	fo.wakeAcks()
+
+	r.wmu.Lock()
+	_ = r.conn.SetWriteDeadline(time.Now().Add(fo.cfg.WriteTimeout))
+	r.cbuf, _ = WriteFrame(r.conn, r.cbuf, &Commit{Agent: a.Agent, Generation: a.Generation, Digest: commit})
+	r.wmu.Unlock()
+}
+
+// syncStreams reconciles the connection's stream set with the current
+// remote-ownership table: adopted shards appear, reassigned-away shards
+// vanish. Returns the streams to serve, in shard order, plus head.
+func (fo *Fanout) syncStreams(r *remote, hello *Hello) ([]*stream, uint64) {
+	fo.mu.Lock()
+	defer fo.mu.Unlock()
+	for s := 0; s < fo.cfg.Shards; s++ {
+		if fo.remoteOwner[s] != r.agent {
+			delete(r.streams, s)
+			continue
+		}
+		st := r.streams[s]
+		if st == nil {
+			st = &stream{shard: s, chain: ChainSeed, announced: ^uint64(0)}
+			if s == r.agent && !r.helloUsed {
+				// Resume the agent's own replica from its Hello cursor;
+				// validated against the digest ring on the first pass.
+				st.cursor, st.chain = hello.Cursor, hello.Digest
+				r.helloUsed = true
+			}
+			r.streams[s] = st
+		}
+		st.epoch = fo.remoteEpoch[s]
+	}
+	out := make([]*stream, 0, len(r.streams))
+	for _, st := range r.streams {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].shard < out[j].shard })
+	return out, fo.head
+}
+
+// writeLoop streams frames to one agent: per owned shard,
+// resume-or-snapshot from the cursor, ring replay as generations land,
+// commit-protocol proposals in apply mode, Reassign announcements when a
+// shard is adopted, heartbeats when idle, and snapshot collapse when a
+// stream falls too far behind.
+func (fo *Fanout) writeLoop(r *remote, hello *Hello, buf []byte) {
 	var err error
 	for {
 		select {
@@ -223,109 +388,233 @@ func (fo *Fanout) writeLoop(r *remote, hello *Hello, buf []byte) {
 			return
 		default:
 		}
-		fo.mu.Lock()
-		head := fo.head
-		force := r.forceSnap
-		r.forceSnap = false
-		fo.mu.Unlock()
-
-		lag := head - cursor
-		collapse := cursor > 0 && lag > uint64(4*r.ladder.coalesceLag)
-		if collapse {
-			fo.mu.Lock()
-			r.collapsed++
-			fo.mu.Unlock()
+		streams, head := fo.syncStreams(r, hello)
+		progress := false
+		for _, st := range streams {
+			var p bool
+			p, buf, err = fo.serveStream(r, st, head, buf)
+			if err != nil {
+				return
+			}
+			progress = progress || p
 		}
-		if cursor == 0 || force || collapse {
-			if head == 0 {
-				// Nothing produced yet; wait below.
-				cursor, chain = 0, ChainSeed
-			} else {
-				cursor, chain, buf, err = fo.sendSnapshot(r, buf)
-				if err != nil {
-					return
-				}
-			}
-		}
-
-		if cursor > 0 && cursor < head {
-			recs, ok := fo.cfg.Replay(cursor)
-			if !ok {
-				// The ring evicted the cursor while we slept: forced
-				// full resync.
-				fo.mu.Lock()
-				r.forceSnap = true
-				fo.mu.Unlock()
-				continue
-			}
-			for i := range recs {
-				fo.buildFrameInto(&frame, r.agent, &recs[i])
-				chain = FoldDiff(chain, &frame)
-				_ = r.conn.SetWriteDeadline(time.Now().Add(fo.cfg.WriteTimeout))
-				if buf, err = WriteFrame(r.conn, buf, &frame); err != nil {
-					return
-				}
-				cursor = recs[i].Generation
-			}
-			fo.mu.Lock()
-			r.sent = cursor
-			r.replays++
-			fo.mu.Unlock()
+		if progress {
 			continue
 		}
 
 		// Caught up (or nothing produced yet): wait for the next
-		// generation, heartbeating so the agent knows we are alive.
+		// generation or an ownership change, heartbeating so the agent
+		// knows we are alive.
 		ch := fo.cfg.Updated()
-		if fo.cfg.Head() > cursor {
+		fo.mu.Lock()
+		ackCh := fo.ackNotify
+		moved := fo.cfg.Head() > head
+		fo.mu.Unlock()
+		if moved {
 			continue
 		}
 		select {
 		case <-r.done:
 			return
 		case <-ch:
+		case <-ackCh:
 		case <-time.After(fo.cfg.Heartbeat):
+			r.wmu.Lock()
 			_ = r.conn.SetWriteDeadline(time.Now().Add(fo.cfg.WriteTimeout))
-			if buf, err = WriteFrame(r.conn, buf, &Heartbeat{Generation: cursor}); err != nil {
+			buf, err = WriteFrame(r.conn, buf, &Heartbeat{Generation: head})
+			r.wmu.Unlock()
+			if err != nil {
 				return
 			}
 		}
 	}
 }
 
-// sendSnapshot ships a full shard snapshot at head and returns the new
-// cursor and chain.
-func (fo *Fanout) sendSnapshot(r *remote, buf []byte) (uint64, uint64, []byte, error) {
-	snap, err := fo.cfg.Snapshot(r.agent)
-	if err != nil {
-		return 0, 0, buf, err
+// serveStream advances one shard stream as far as it can without
+// blocking on the producer: Reassign announcement, snapshot resync,
+// ring replay with proposals. Reports whether it made progress.
+func (fo *Fanout) serveStream(r *remote, st *stream, head uint64, buf []byte) (bool, []byte, error) {
+	progress := false
+	var err error
+
+	// An adopted shard announces its ownership epoch before any frames:
+	// the agent creates (or resets expectations for) a secondary replica.
+	if st.shard != r.agent && st.announced != st.epoch {
+		r.wmu.Lock()
+		_ = r.conn.SetWriteDeadline(time.Now().Add(fo.cfg.WriteTimeout))
+		buf, err = WriteFrame(r.conn, buf, &Reassign{Shard: int32(st.shard), Epoch: st.epoch, Generation: head})
+		r.wmu.Unlock()
+		if err != nil {
+			return false, buf, err
+		}
+		st.announced = st.epoch
+		st.cursor = 0 // adopted state starts from a snapshot
+		progress = true
 	}
-	d, ok := fo.digestAt(r.agent, snap.Generation)
+	if !st.validated {
+		if d, ok := fo.digestAt(st.shard, st.cursor); st.cursor == 0 || !ok || d != st.chain {
+			st.cursor = 0
+		}
+		st.validated = true
+	}
+
+	fo.mu.Lock()
+	force := st.forceSnap
+	st.forceSnap = false
+	fo.mu.Unlock()
+
+	lag := head - st.cursor
+	collapse := st.cursor > 0 && lag > uint64(4*r.ladder.coalesceLag)
+	if collapse {
+		fo.mu.Lock()
+		st.collapsed++
+		fo.mu.Unlock()
+	}
+	if st.cursor == 0 || force || collapse {
+		if head == 0 {
+			st.cursor, st.chain = 0, ChainSeed
+			return progress, buf, nil
+		}
+		var sent bool
+		sent, buf, err = fo.sendSnapshot(r, st, buf)
+		if err != nil || !sent {
+			return progress, buf, err
+		}
+		progress = true
+	}
+
+	if st.cursor > 0 && st.cursor < head {
+		recs, ok := fo.cfg.Replay(st.cursor)
+		if !ok {
+			// The ring evicted the cursor while we slept: forced full
+			// resync on the next pass.
+			fo.mu.Lock()
+			st.forceSnap = true
+			fo.mu.Unlock()
+			return true, buf, nil
+		}
+		var frame DiffFrame
+		for i := range recs {
+			fo.buildFrameInto(&frame, st.shard, &recs[i])
+			frame.Agent = int32(st.shard)
+			st.chain = FoldDiff(st.chain, &frame)
+			r.wmu.Lock()
+			_ = r.conn.SetWriteDeadline(time.Now().Add(fo.cfg.WriteTimeout))
+			buf, err = WriteFrame(r.conn, buf, &frame)
+			r.wmu.Unlock()
+			if err != nil {
+				return progress, buf, err
+			}
+			st.cursor = recs[i].Generation
+			if buf, err = fo.propose(r, st, recs[i].Generation, buf); err != nil {
+				return progress, buf, err
+			}
+		}
+		fo.mu.Lock()
+		st.sent = st.cursor
+		st.replays++
+		fo.mu.Unlock()
+		progress = true
+	}
+	return progress, buf, nil
+}
+
+// propose runs the commit protocol for one generation in apply mode: if
+// the loopback engine recorded a result for it, wait for the in-flight
+// window, then ship a Propose. A window that never drains within the
+// write timeout is charged as fallback applies — the coordinator's
+// mirror already applied the generations, so the run proceeds, never
+// silently.
+func (fo *Fanout) propose(r *remote, st *stream, gen uint64, buf []byte) ([]byte, error) {
+	if !r.apply {
+		return buf, nil
+	}
+	e, ok := fo.resultAt(st.shard, gen)
+	if !ok || e.flags == 0 {
+		return buf, nil
+	}
+	fo.awaitWindow(r, st)
+	r.wmu.Lock()
+	_ = r.conn.SetWriteDeadline(time.Now().Add(fo.cfg.WriteTimeout))
+	buf, err := WriteFrame(r.conn, buf, &Propose{Agent: int32(st.shard), Generation: gen, Flags: e.flags})
+	r.wmu.Unlock()
+	if err != nil {
+		return buf, err
+	}
+	fo.mu.Lock()
+	st.proposed = gen
+	fo.mu.Unlock()
+	return buf, nil
+}
+
+// awaitWindow blocks until the stream's in-flight proposals fit the
+// apply window, charging unresolved proposals as fallbacks on timeout.
+func (fo *Fanout) awaitWindow(r *remote, st *stream) {
+	deadline := time.Now().Add(fo.cfg.WriteTimeout)
+	for {
+		fo.mu.Lock()
+		pending := st.proposed - st.resolved
+		ch := fo.ackNotify
+		fo.mu.Unlock()
+		if pending < uint64(fo.cfg.ApplyWindow) {
+			return
+		}
+		select {
+		case <-r.done:
+			return
+		case <-ch:
+		case <-time.After(time.Until(deadline)):
+			fo.mu.Lock()
+			if st.proposed > st.resolved {
+				fo.fallback[st.shard] += int(st.proposed - st.resolved)
+				st.resolved = st.proposed
+			}
+			fo.mu.Unlock()
+			fo.wakeAcks()
+			return
+		}
+	}
+}
+
+// sendSnapshot ships a full shard snapshot at head and advances the
+// stream cursor. Returns false (without error) when the digest ring has
+// not caught up yet and the caller should retry after the next update.
+func (fo *Fanout) sendSnapshot(r *remote, st *stream, buf []byte) (bool, []byte, error) {
+	snap, err := fo.cfg.Snapshot(st.shard)
+	if err != nil {
+		return false, buf, err
+	}
+	d, ok := fo.digestAt(st.shard, snap.Generation)
 	if !ok {
 		// The digest ring has not caught up with this generation yet (or
 		// already evicted it); retry after the next update.
 		select {
 		case <-r.done:
-			return 0, 0, buf, errors.New("hostlink: detached")
+			return false, buf, errors.New("hostlink: detached")
 		case <-fo.cfg.Updated():
 		case <-time.After(fo.cfg.Heartbeat):
 		}
-		return 0, ChainSeed, buf, nil
+		st.cursor, st.chain = 0, ChainSeed
+		return false, buf, nil
 	}
+	snap.Agent = int32(st.shard)
 	snap.Digest = d
+	r.wmu.Lock()
 	_ = r.conn.SetWriteDeadline(time.Now().Add(fo.cfg.WriteTimeout))
 	buf, err = WriteFrame(r.conn, buf, snap)
+	r.wmu.Unlock()
 	if err != nil {
-		return 0, 0, buf, err
+		return false, buf, err
 	}
 	fo.mu.Lock()
-	r.snapshots++
-	r.sent = snap.Generation
+	st.snapshots++
+	st.sent = snap.Generation
 	fo.mu.Unlock()
-	return snap.Generation, d, buf, nil
+	st.cursor, st.chain = snap.Generation, d
+	return true, buf, nil
 }
 
-// wakeAcks wakes WaitRemotes waiters.
+// wakeAcks wakes WaitRemotes waiters and idle writers.
 func (fo *Fanout) wakeAcks() {
 	fo.mu.Lock()
 	close(fo.ackNotify)
@@ -340,21 +629,35 @@ func (fo *Fanout) ConnectedAgents() int {
 	return len(fo.remotes)
 }
 
-// WaitRemotes blocks until every attached agent has acked the current
-// head generation, or the timeout elapses. Detached agents do not count —
-// a killed agent must not stall the run; it resyncs from the ring when it
-// returns. Reports whether all attached agents were caught up on return.
+// remoteLagLocked reports whether any served stream is behind: cursor
+// not acked at head, or proposals unresolved. A shard whose remote
+// owner is attached but whose stream has not materialized yet counts as
+// behind — the barrier must not pass between a detach and the
+// survivor's adoption.
+func (fo *Fanout) remoteLagLocked() bool {
+	for s := 0; s < fo.cfg.Shards; s++ {
+		r, ok := fo.remotes[fo.remoteOwner[s]]
+		if !ok || r.gone {
+			continue
+		}
+		st := r.streams[s]
+		if st == nil || st.acked < fo.head || st.resolved < st.proposed {
+			return true
+		}
+	}
+	return false
+}
+
+// WaitRemotes blocks until every served shard stream has acked the
+// current head generation and resolved its proposals, or the timeout
+// elapses. Detached agents do not count — a killed agent must not stall
+// the run; its shard is adopted by a survivor or resyncs when it
+// returns. Reports whether all served streams were caught up on return.
 func (fo *Fanout) WaitRemotes(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
 		fo.mu.Lock()
-		caughtUp := true
-		for _, r := range fo.remotes {
-			if !r.gone && r.acked < fo.head {
-				caughtUp = false
-				break
-			}
-		}
+		caughtUp := !fo.remoteLagLocked()
 		ch := fo.ackNotify
 		fo.mu.Unlock()
 		if caughtUp {
@@ -372,26 +675,36 @@ func (fo *Fanout) WaitRemotes(timeout time.Duration) bool {
 	}
 }
 
-// VerifyRemotes checks every attached agent's final ack against the
-// coordinator-side digest chain: cursor at head, chain digest identical.
-// It is the distributed run's proof of equivalence with the loopback
-// path.
+// VerifyRemotes checks every served shard stream's final state against
+// the coordinator: cursor at head, chain digest identical, proposals
+// resolved. It is the distributed run's proof of equivalence with the
+// loopback path.
 func (fo *Fanout) VerifyRemotes() error {
 	fo.mu.Lock()
 	defer fo.mu.Unlock()
 	var errs []error
-	for agent, r := range fo.remotes {
-		if r.gone {
+	for s := 0; s < fo.cfg.Shards; s++ {
+		owner := fo.remoteOwner[s]
+		r, ok := fo.remotes[owner]
+		if !ok || r.gone {
 			continue
 		}
-		if r.acked != fo.head {
-			errs = append(errs, fmt.Errorf("hostlink: agent %d acked generation %d, head is %d", agent, r.acked, fo.head))
+		st := r.streams[s]
+		if st == nil {
+			errs = append(errs, fmt.Errorf("hostlink: shard %d has no stream on agent %d", s, owner))
 			continue
 		}
-		e := fo.digests[agent][fo.head%uint64(fo.retention)]
-		if e.gen == fo.head && e.digest != r.ackDigest {
-			errs = append(errs, fmt.Errorf("hostlink: agent %d digest %016x diverged from coordinator %016x at generation %d",
-				agent, r.ackDigest, e.digest, fo.head))
+		if st.acked != fo.head {
+			errs = append(errs, fmt.Errorf("hostlink: shard %d on agent %d acked generation %d, head is %d", s, owner, st.acked, fo.head))
+			continue
+		}
+		e := fo.digests[s][fo.head%uint64(fo.retention)]
+		if e.gen == fo.head && e.digest != st.ackDigest {
+			errs = append(errs, fmt.Errorf("hostlink: shard %d digest %016x diverged from coordinator %016x at generation %d",
+				s, st.ackDigest, e.digest, fo.head))
+		}
+		if st.resolved < st.proposed {
+			errs = append(errs, fmt.Errorf("hostlink: shard %d on agent %d resolved generation %d behind proposal %d", s, owner, st.resolved, st.proposed))
 		}
 	}
 	return errors.Join(errs...)
@@ -407,8 +720,10 @@ func (fo *Fanout) Close() {
 	}
 	fo.mu.Unlock()
 	for _, r := range remotes {
+		r.wmu.Lock()
 		_ = r.conn.SetWriteDeadline(time.Now().Add(fo.cfg.WriteTimeout))
 		_, _ = WriteFrame(r.conn, nil, &Bye{Reason: "run complete"})
+		r.wmu.Unlock()
 		fo.detach(r)
 	}
 }
@@ -433,18 +748,30 @@ func (fo *Fanout) AgentsStatus() []AgentStatus {
 	for i, st := range stats {
 		out[i] = AgentStatus{ShardStats: st}
 		if r, ok := fo.remotes[i]; ok && !r.gone {
-			out[i].Remote = &RemoteStatus{
+			rs := &RemoteStatus{
 				Connected:      true,
 				Addr:           r.addr,
-				Acked:          r.acked,
-				AckDigest:      fmt.Sprintf("%016x", r.ackDigest),
-				Sent:           r.sent,
-				Snapshots:      r.snapshots,
-				Replays:        r.replays,
-				Collapsed:      r.collapsed,
-				DigestMismatch: r.digestMismatch,
+				Apply:          r.apply,
 				LastSeenUnixMs: r.lastSeen.UnixMilli(),
 			}
+			for s, stm := range r.streams {
+				rs.Owns = append(rs.Owns, s)
+				rs.Applies += stm.applies
+				rs.ApplyRetries += stm.retried
+				rs.Snapshots += stm.snapshots
+				rs.Replays += stm.replays
+				rs.Collapsed += stm.collapsed
+				rs.DigestMismatch += stm.digestMismatch
+				if s == r.agent {
+					rs.Acked = stm.acked
+					rs.AckDigest = fmt.Sprintf("%016x", stm.ackDigest)
+					rs.Sent = stm.sent
+					rs.Proposed = stm.proposed
+					rs.Resolved = stm.resolved
+				}
+			}
+			sort.Ints(rs.Owns)
+			out[i].Remote = rs
 		}
 	}
 	return out

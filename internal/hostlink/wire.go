@@ -33,8 +33,20 @@ import (
 )
 
 // ProtocolVersion is the wire protocol revision, carried in the handshake
-// only. Agents and coordinators must match exactly.
-const ProtocolVersion = 1
+// only. Agents and coordinators must match exactly. Version 2 added the
+// commit protocol (Propose/Applied/Commit), shard routing on data frames
+// (Reassign), and handshake auth.
+const ProtocolVersion = 2
+
+// VersionError reports a protocol version skew between the two ends of a
+// handshake, naming both versions.
+type VersionError struct {
+	Got, Want uint8
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("hostlink: protocol version %d, want %d", e.Got, e.Want)
+}
 
 // MaxFramePayload caps a frame payload; a length prefix above it is
 // treated as stream corruption rather than honored with a huge allocation.
@@ -63,6 +75,19 @@ const (
 	FrameHeartbeat
 	// FrameBye is a clean shutdown notice.
 	FrameBye
+	// FramePropose asks an agent that negotiated authoritative apply to
+	// run one generation's policy actions through its apply engine.
+	FramePropose
+	// FrameApplied is the agent's engine result for one proposal: the
+	// deterministic result digest plus the engine's retry counters.
+	FrameApplied
+	// FrameCommit closes one proposal: the coordinator verified the
+	// result digest and folded the generation into the commit chain.
+	FrameCommit
+	// FrameReassign transfers ownership of a shard to the receiving
+	// agent (rebalancing after agent death); a Snapshot for that shard
+	// follows.
+	FrameReassign
 )
 
 // String names the frame type for diagnostics.
@@ -82,6 +107,14 @@ func (t FrameType) String() string {
 		return "heartbeat"
 	case FrameBye:
 		return "bye"
+	case FramePropose:
+		return "propose"
+	case FrameApplied:
+		return "applied"
+	case FrameCommit:
+		return "commit"
+	case FrameReassign:
+		return "reassign"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -113,6 +146,11 @@ const (
 	FlagNote
 )
 
+// HelloApply is the Hello capability bit an agent sets to negotiate
+// authoritative remote apply: the coordinator then sends Propose frames
+// and expects Applied results through the commit protocol.
+const HelloApply uint8 = 1
+
 // Hello opens an agent connection.
 type Hello struct {
 	Version uint8
@@ -122,6 +160,10 @@ type Hello struct {
 	// still covers it and the digest matches, else it sends a Snapshot.
 	Cursor uint64
 	Digest uint64
+	// Flags carries capability bits (HelloApply); Token is the bearer
+	// token when the coordinator's listener requires one.
+	Flags uint8
+	Token string
 }
 
 // Welcome acknowledges a Hello.
@@ -132,6 +174,11 @@ type Welcome struct {
 	// mismatch; Generation is the coordinator's head at handshake time.
 	Shards     int32
 	Generation uint64
+	// Flags echoes the accepted capability bits; Seed is the fan-out
+	// tier's scenario seed, from which both ends derive identical
+	// per-shard apply-engine streams.
+	Flags uint8
+	Seed  int64
 }
 
 // LinkState is one link as a replica tracks it: endpoints in
@@ -144,8 +191,11 @@ type LinkState struct {
 
 // Snapshot is a full shard state at one generation. Digest is the shard's
 // chain digest at that generation; a replica adopts it and folds
-// subsequent DiffFrames on top.
+// subsequent DiffFrames on top. Agent routes the snapshot to the owning
+// shard's replica — an agent may follow more than one shard after a
+// Reassign.
 type Snapshot struct {
+	Agent      int32
 	Generation uint64
 	Digest     uint64
 	T          float64
@@ -156,8 +206,11 @@ type Snapshot struct {
 
 // DiffFrame is one generation's delta scoped to a shard: link deltas
 // touching the shard's nodes and the shard's activity flips. Degraded is
-// the producing tick's supervision level, as on the /diff feed.
+// the producing tick's supervision level, as on the /diff feed. Agent
+// routes the frame to the owning shard's replica; it is not folded into
+// the digest chain (the chain is a function of content alone).
 type DiffFrame struct {
+	Agent      int32
 	Generation uint64
 	T          float64
 	Flags      uint8
@@ -184,6 +237,48 @@ type Heartbeat struct {
 // Bye announces a clean shutdown.
 type Bye struct {
 	Reason string
+}
+
+// Propose asks the shard's authoritative agent to run one generation's
+// policy actions (the FlagInvalidate/FlagSweep/FlagNote bits the loopback
+// mirror applied) through its apply engine. Flags carries exactly those
+// policy bits; the content for the generation traveled in the DiffFrame.
+type Propose struct {
+	Agent      int32
+	Generation uint64
+	Flags      uint8
+}
+
+// Applied is the agent's engine result for one proposal: the
+// deterministic result digest (a function of generation and policy flags,
+// identical on both ends when the proposal was applied faithfully) plus
+// the engine's retry counters for the generation.
+type Applied struct {
+	Agent      int32
+	Generation uint64
+	Digest     uint64
+	Attempts   uint32
+	Retried    uint32
+}
+
+// Commit closes one proposal: the coordinator verified the agent's result
+// digest against its local mirror and folded the generation into the
+// shard's commit chain. Digest is the shard's chain digest at the
+// committed generation.
+type Commit struct {
+	Agent      int32
+	Generation uint64
+	Digest     uint64
+}
+
+// Reassign transfers ownership of Shard to the receiving agent: the shard
+// rebalance path after agent death. Epoch is the shard's new ownership
+// epoch; Generation the head at reassignment time. A Snapshot for the
+// shard follows, then its diff stream.
+type Reassign struct {
+	Shard      int32
+	Epoch      uint64
+	Generation uint64
 }
 
 var (
@@ -261,6 +356,23 @@ func (r *reader) count(elemBytes int) int {
 	return n
 }
 
+// appendStr writes a u32-length-prefixed string.
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// str reads a u32-length-prefixed string, bounded against the bytes left.
+func (r *reader) str() string {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
 func appendIDs(b []byte, ids []int32) []byte {
 	b = appendU32(b, uint32(len(ids)))
 	for _, id := range ids {
@@ -309,15 +421,20 @@ func appendFrame(buf []byte, f any) ([]byte, error) {
 		buf = appendI32(buf, f.Agent)
 		buf = appendU64(buf, f.Cursor)
 		buf = appendU64(buf, f.Digest)
+		buf = append(buf, f.Flags)
+		buf = appendStr(buf, f.Token)
 	case *Welcome:
 		t = FrameWelcome
 		buf = append(buf, byte(t), f.Version)
 		buf = appendI32(buf, f.Agent)
 		buf = appendI32(buf, f.Shards)
 		buf = appendU64(buf, f.Generation)
+		buf = append(buf, f.Flags)
+		buf = appendU64(buf, uint64(f.Seed))
 	case *Snapshot:
 		t = FrameSnapshot
 		buf = append(buf, byte(t))
+		buf = appendI32(buf, f.Agent)
 		buf = appendU64(buf, f.Generation)
 		buf = appendU64(buf, f.Digest)
 		buf = appendF64(buf, f.T)
@@ -327,6 +444,7 @@ func appendFrame(buf []byte, f any) ([]byte, error) {
 	case *DiffFrame:
 		t = FrameDiff
 		buf = append(buf, byte(t))
+		buf = appendI32(buf, f.Agent)
 		buf = appendU64(buf, f.Generation)
 		buf = appendF64(buf, f.T)
 		buf = append(buf, f.Flags, f.Degraded)
@@ -349,6 +467,32 @@ func appendFrame(buf []byte, f any) ([]byte, error) {
 		t = FrameBye
 		buf = append(buf, byte(t))
 		buf = append(buf, f.Reason...)
+	case *Propose:
+		t = FramePropose
+		buf = append(buf, byte(t))
+		buf = appendI32(buf, f.Agent)
+		buf = appendU64(buf, f.Generation)
+		buf = append(buf, f.Flags)
+	case *Applied:
+		t = FrameApplied
+		buf = append(buf, byte(t))
+		buf = appendI32(buf, f.Agent)
+		buf = appendU64(buf, f.Generation)
+		buf = appendU64(buf, f.Digest)
+		buf = appendU32(buf, f.Attempts)
+		buf = appendU32(buf, f.Retried)
+	case *Commit:
+		t = FrameCommit
+		buf = append(buf, byte(t))
+		buf = appendI32(buf, f.Agent)
+		buf = appendU64(buf, f.Generation)
+		buf = appendU64(buf, f.Digest)
+	case *Reassign:
+		t = FrameReassign
+		buf = append(buf, byte(t))
+		buf = appendI32(buf, f.Shard)
+		buf = appendU64(buf, f.Epoch)
+		buf = appendU64(buf, f.Generation)
 	default:
 		return buf[:start], fmt.Errorf("hostlink: cannot encode %T", f)
 	}
@@ -404,19 +548,20 @@ func decodeFrame(t FrameType, payload []byte) (any, error) {
 	rd := &reader{b: payload}
 	switch t {
 	case FrameHello:
-		f := &Hello{Version: rd.u8(), Agent: rd.i32(), Cursor: rd.u64(), Digest: rd.u64()}
+		f := &Hello{Version: rd.u8(), Agent: rd.i32(), Cursor: rd.u64(), Digest: rd.u64(), Flags: rd.u8()}
+		f.Token = rd.str()
 		return f, rd.done()
 	case FrameWelcome:
-		f := &Welcome{Version: rd.u8(), Agent: rd.i32(), Shards: rd.i32(), Generation: rd.u64()}
+		f := &Welcome{Version: rd.u8(), Agent: rd.i32(), Shards: rd.i32(), Generation: rd.u64(), Flags: rd.u8(), Seed: int64(rd.u64())}
 		return f, rd.done()
 	case FrameSnapshot:
-		f := &Snapshot{Generation: rd.u64(), Digest: rd.u64(), T: rd.f64()}
+		f := &Snapshot{Agent: rd.i32(), Generation: rd.u64(), Digest: rd.u64(), T: rd.f64()}
 		f.Active = rd.ids(nil)
 		f.Inactive = rd.ids(nil)
 		f.Links = rd.links(nil)
 		return f, rd.done()
 	case FrameDiff:
-		f := &DiffFrame{Generation: rd.u64(), T: rd.f64(), Flags: rd.u8(), Degraded: rd.u8()}
+		f := &DiffFrame{Agent: rd.i32(), Generation: rd.u64(), T: rd.f64(), Flags: rd.u8(), Degraded: rd.u8()}
 		f.Added = rd.links(nil)
 		f.Removed = rd.links(nil)
 		f.Changed = rd.links(nil)
@@ -431,6 +576,18 @@ func decodeFrame(t FrameType, payload []byte) (any, error) {
 		return f, rd.done()
 	case FrameBye:
 		return &Bye{Reason: string(payload)}, nil
+	case FramePropose:
+		f := &Propose{Agent: rd.i32(), Generation: rd.u64(), Flags: rd.u8()}
+		return f, rd.done()
+	case FrameApplied:
+		f := &Applied{Agent: rd.i32(), Generation: rd.u64(), Digest: rd.u64(), Attempts: rd.u32(), Retried: rd.u32()}
+		return f, rd.done()
+	case FrameCommit:
+		f := &Commit{Agent: rd.i32(), Generation: rd.u64(), Digest: rd.u64()}
+		return f, rd.done()
+	case FrameReassign:
+		f := &Reassign{Shard: rd.i32(), Epoch: rd.u64(), Generation: rd.u64()}
+		return f, rd.done()
 	default:
 		return nil, fmt.Errorf("hostlink: unknown frame type %d", uint8(t))
 	}

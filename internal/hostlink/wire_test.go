@@ -24,16 +24,16 @@ func roundtrip(t *testing.T, f any) any {
 
 func TestWireRoundtrip(t *testing.T) {
 	frames := []any{
-		&Hello{Version: ProtocolVersion, Agent: 3, Cursor: 41, Digest: 0xdeadbeef},
-		&Welcome{Version: ProtocolVersion, Agent: 3, Shards: 4, Generation: 42},
+		&Hello{Version: ProtocolVersion, Agent: 3, Cursor: 41, Digest: 0xdeadbeef, Flags: HelloApply, Token: "s3cret"},
+		&Welcome{Version: ProtocolVersion, Agent: 3, Shards: 4, Generation: 42, Flags: HelloApply, Seed: -77},
 		&Snapshot{
-			Generation: 7, Digest: 99, T: 14.5,
+			Agent: 3, Generation: 7, Digest: 99, T: 14.5,
 			Active:   []int32{1, 2, 5},
 			Inactive: []int32{3},
 			Links:    []LinkState{{A: 1, B: 2, DelayQ: 30}, {A: 2, B: 5, DelayQ: 12}},
 		},
 		&DiffFrame{
-			Generation: 8, T: 16.5, Flags: FlagChanged | FlagActivity, Degraded: 2,
+			Agent: 3, Generation: 8, T: 16.5, Flags: FlagChanged | FlagActivity, Degraded: 2,
 			Added:       []LinkState{{A: 1, B: 3, DelayQ: 9}},
 			Removed:     []LinkState{{A: 1, B: 2, DelayQ: -1}},
 			Changed:     []LinkState{{A: 2, B: 5, DelayQ: 13}},
@@ -43,6 +43,10 @@ func TestWireRoundtrip(t *testing.T) {
 		&Ack{Agent: 3, Generation: 8, Digest: 0xabc},
 		&Heartbeat{Generation: 8},
 		&Bye{Reason: "run complete"},
+		&Propose{Agent: 3, Generation: 8, Flags: FlagInvalidate | FlagSweep},
+		&Applied{Agent: 3, Generation: 8, Digest: 0xfeed, Attempts: 4, Retried: 2},
+		&Commit{Agent: 3, Generation: 8, Digest: 0xfeed},
+		&Reassign{Shard: 2, Epoch: 1, Generation: 8},
 	}
 	for _, f := range frames {
 		got := roundtrip(t, f)
@@ -89,7 +93,8 @@ func TestWireRejectsTruncatedAndOversized(t *testing.T) {
 	// A corrupt element count inside a valid envelope must not allocate
 	// past the payload.
 	var w2 bytes.Buffer
-	payload := binary.LittleEndian.AppendUint64(nil, 9)        // generation
+	payload := binary.LittleEndian.AppendUint32(nil, 0)        // agent
+	payload = binary.LittleEndian.AppendUint64(payload, 9)     // generation
 	payload = binary.LittleEndian.AppendUint64(payload, 0)     // T
 	payload = append(payload, 0, 0)                            // flags, degraded
 	payload = binary.LittleEndian.AppendUint32(payload, 1<<30) // bogus count

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"celestial/internal/applyengine"
 	"celestial/internal/hostlink"
 )
 
@@ -162,11 +163,15 @@ long = 28.0473
 // equivalence gate, in-process: the full unit scenario (flows, impair,
 // fault burst, bandwidth cap, node churn) runs once single-process as the
 // reference, then again with four celestial-agent replicas attached over
-// real TCP — one of which is hard-killed mid-run and rejoins with its
-// retained replica state. The second run's report must be byte-identical
-// to the reference, every attached replica must end digest-verified
-// against the coordinator's chain, and each replica's digest must equal
-// the one the report printed for its shard.
+// real TCP in authoritative remote apply mode — each answers the
+// coordinator's Propose frames through its own applyengine. One agent is
+// hard-killed mid-run and rejoins with its retained replica state;
+// another is killed permanently, so its shard is reassigned to a
+// surviving agent. The second run's report must be byte-identical to the
+// reference (including fallback_applies = 0 — every proposal resolved),
+// every served stream must end digest-verified against the coordinator's
+// chain, and each replica's digest must equal the one the report printed
+// for its shard.
 func TestMultiHostTCPAgentsMatchSingleProcess(t *testing.T) {
 	doc := workloadTOML + multihostTestbedTOML
 	ref, err := run(t, doc).JSON()
@@ -194,10 +199,12 @@ func TestMultiHostTCPAgentsMatchSingleProcess(t *testing.T) {
 	defer ln.Close()
 	go func() { _ = fo.Serve(ln) }()
 
-	// One replica and one agent process (goroutine) per shard. Short
-	// heartbeats and redial waits keep the kill/rejoin cycle fast.
+	// One replica and one agent process (goroutine) per shard, each in
+	// apply mode with the same engine construction cmd/celestial-agent
+	// uses. Short heartbeats and redial waits keep kill cycles fast.
 	var wg sync.WaitGroup
 	replicas := make([]*hostlink.Replica, 4)
+	agents := make([]*hostlink.Agent, 4)
 	cancels := make([]context.CancelFunc, 4)
 	start := func(id int) {
 		ctx, cancel := context.WithCancel(context.Background())
@@ -205,7 +212,16 @@ func TestMultiHostTCPAgentsMatchSingleProcess(t *testing.T) {
 		a := &hostlink.Agent{
 			ID: id, Addr: ln.Addr().String(), Replica: replicas[id],
 			Heartbeat: 100 * time.Millisecond, ReconnectWait: 20 * time.Millisecond,
+			Apply: true,
+			NewApplier: func(shard int, seed int64) hostlink.ResultApplier {
+				return applyengine.New(applyengine.Config{
+					Shard:   shard,
+					Backend: &applyengine.ReplicaBackend{},
+					Seed:    seed,
+				})
+			},
 		}
+		agents[id] = a
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -224,7 +240,7 @@ func TestMultiHostTCPAgentsMatchSingleProcess(t *testing.T) {
 	}()
 	waitAttached := func(n int) {
 		deadline := time.Now().Add(10 * time.Second)
-		for fo.ConnectedAgents() < n {
+		for fo.ConnectedAgents() != n {
 			if time.Now().After(deadline) {
 				t.Fatalf("only %d/%d agents attached", fo.ConnectedAgents(), n)
 			}
@@ -234,10 +250,12 @@ func TestMultiHostTCPAgentsMatchSingleProcess(t *testing.T) {
 	waitAttached(4)
 
 	// The tick barrier the CLI's -agents-barrier flag implements, plus
-	// the scripted agent failure: agent 2 is hard-killed (context cancel,
-	// no Bye) after tick 2 and restarted with its retained replica after
-	// tick 4, forcing a disconnect detection, ring buffering, and a
-	// replay resync — all while the run keeps ticking.
+	// the scripted agent failures: agent 2 is hard-killed (context
+	// cancel, no Bye) after tick 2 and restarted with its retained
+	// replica after tick 4, forcing a disconnect detection, ring
+	// buffering, and a replay resync; agent 3 is killed after tick 5 and
+	// never returns, so the coordinator must reassign its shard stream to
+	// a survivor — all while the run keeps ticking.
 	rep, err := r.RunWith(RunOptions{TickHook: func(tick int) error {
 		switch tick {
 		case 2:
@@ -245,6 +263,8 @@ func TestMultiHostTCPAgentsMatchSingleProcess(t *testing.T) {
 		case 4:
 			start(2)
 			waitAttached(4)
+		case 5:
+			cancels[3]()
 		}
 		if !fo.WaitRemotes(10 * time.Second) {
 			t.Errorf("tick %d: attached agents did not ack in time", tick)
@@ -268,13 +288,49 @@ func TestMultiHostTCPAgentsMatchSingleProcess(t *testing.T) {
 	if !bytes.Equal(ref, got) {
 		t.Fatalf("multi-host report differs from single-process reference:\n--- single\n%s\n--- multi\n%s", ref, got)
 	}
+	head := uint64(rep.Ticks.Ticks)
 	for id, replica := range replicas {
+		if id == 3 {
+			continue // killed permanently; its shard lives on below
+		}
 		gen, digest := replica.Cursor()
-		if gen != uint64(rep.Ticks.Ticks) {
-			t.Errorf("replica %d cursor = %d, want %d", id, gen, rep.Ticks.Ticks)
+		if gen != head {
+			t.Errorf("replica %d cursor = %d, want %d", id, gen, head)
 		}
 		if want := rep.Fanout.Shards[id].Digest; fmt.Sprintf("%016x", digest) != want {
 			t.Errorf("replica %d digest %016x != report shard digest %s", id, digest, want)
+		}
+	}
+	// The dead agent's shard was adopted by the lowest surviving agent:
+	// agent 0's secondary replica must have converged on shard 3's chain.
+	adopted := agents[0].ReplicaFor(3)
+	if gen, digest := adopted.Cursor(); gen != head {
+		t.Errorf("adopted shard 3 cursor = %d, want %d", gen, head)
+	} else if want := rep.Fanout.Shards[3].Digest; fmt.Sprintf("%016x", digest) != want {
+		t.Errorf("adopted shard 3 digest %016x != report shard digest %s", digest, want)
+	}
+	if st := agents[0].Stats(); st.Reassigns == 0 {
+		t.Error("agent 0 saw no Reassign frame despite adopting shard 3")
+	}
+	// Authoritative apply actually ran: the surviving agents answered
+	// proposals and were committed; no shard fell back to loopback-only.
+	applies := 0
+	for id, a := range agents {
+		st := a.Stats()
+		applies += st.Applies
+		if st.CommitMismatches != 0 {
+			t.Errorf("agent %d recorded %d commit mismatches", id, st.CommitMismatches)
+		}
+	}
+	if applies == 0 {
+		t.Error("no agent answered a single Propose frame in apply mode")
+	}
+	for _, sh := range rep.Fanout.Shards {
+		if sh.FallbackApplies != 0 {
+			t.Errorf("shard %d fallback applies = %d, want 0 on the happy path", sh.Agent, sh.FallbackApplies)
+		}
+		if sh.Rebalances != 0 {
+			t.Errorf("shard %d virtual rebalances = %d, want 0 (remote reassignment must stay off the report)", sh.Agent, sh.Rebalances)
 		}
 	}
 	// The killed replica must have healed by ring replay, not by a second

@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// hostsRebalanceTOML kills agent 1 at t=3 with no rejoin and a 4 s
+// dead_after window: the shard is declared dead around t=7 and must be
+// rebalanced onto agent 0 instead of failing its machines.
+const hostsRebalanceTOML = `
+[hosts]
+agents = 2
+diff_ring = 16
+dead_after = 4.0
+
+[[event]]
+at = 3.0
+action = "agent-kill"
+agent = 1
+`
+
+// TestRebalanceOnAgentDeath pins the dead-agent ladder's final rung: a
+// permanently dead agent's shard moves to a survivor, its machines keep
+// running to the end of the run, the ownership change is visible in the
+// report (owner, epoch, rebalances), and no fallback applies are charged
+// — the loopback engine applied every generation on time.
+func TestRebalanceOnAgentDeath(t *testing.T) {
+	doc := workloadTOML + hostsRebalanceTOML + testbedTOML
+	rep := run(t, doc)
+
+	fo := rep.Fanout
+	if len(fo.Shards) != 2 {
+		t.Fatalf("fanout has %d shards, want 2", len(fo.Shards))
+	}
+	head := uint64(rep.Ticks.Ticks)
+	s0, s1 := fo.Shards[0], fo.Shards[1]
+
+	if !s1.Dead {
+		t.Fatal("shard 1 not declared dead despite kill without rejoin and dead_after=4s")
+	}
+	if s1.Rebalances != 1 || s1.Owner != 0 || s1.Epoch != 1 {
+		t.Errorf("shard 1 rebalances/owner/epoch = %d/%d/%d, want 1/0/1", s1.Rebalances, s1.Owner, s1.Epoch)
+	}
+	if s1.Applied != head {
+		t.Errorf("shard 1 applied = %d, want head %d (rebalanced machines must not be lost)", s1.Applied, head)
+	}
+	if s1.FallbackApplies != 0 {
+		t.Errorf("shard 1 fallback applies = %d, want 0 (loopback apply is never a fallback)", s1.FallbackApplies)
+	}
+	if s0.Rebalances != 0 || s0.Owner != 0 || s0.Epoch != 0 || s0.Dead {
+		t.Errorf("shard 0 perturbed by shard 1's death: %+v", s0)
+	}
+	if s0.FallbackApplies != 0 {
+		t.Errorf("shard 0 fallback applies = %d, want 0", s0.FallbackApplies)
+	}
+
+	// The rebalance is a scenario event like any other: two runs of the
+	// same document must agree byte for byte.
+	a, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(t, doc).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("rebalance runs differ:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+}

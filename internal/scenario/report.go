@@ -159,6 +159,13 @@ type FanoutReport struct {
 // shard's chain digest at its newest generation, rendered as 16 hex
 // digits — the value a fully caught-up replica must ack, and the anchor
 // the multi-host differential tests compare against remote replicas.
+// Owner is the shard currently applying this shard's machines (its own
+// agent id until a rebalance moves it; -1 when the coordinator's
+// loopback adopted it), Epoch counts ownership transfers, Rebalances
+// counts dead-agent handoffs, and FallbackApplies counts generations the
+// commit protocol had to apply on the loopback after a proposal timed
+// out. All four are virtual-plane values: wall-clock remote
+// reassignments never touch them.
 type ShardReport struct {
 	Agent           int    `json:"agent"`
 	Machines        int    `json:"machines"`
@@ -177,6 +184,10 @@ type ShardReport struct {
 	Killed          int    `json:"killed"`
 	Rejoined        int    `json:"rejoined"`
 	Dead            bool   `json:"dead"`
+	Owner           int    `json:"owner"`
+	Epoch           uint64 `json:"epoch"`
+	Rebalances      int    `json:"rebalances"`
+	FallbackApplies int    `json:"fallback_applies"`
 	Escalations     int    `json:"escalations"`
 	Recoveries      int    `json:"recoveries"`
 	ApplyErrors     int    `json:"apply_errors"`

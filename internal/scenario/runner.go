@@ -593,6 +593,10 @@ func (r *Runner) fanout() FanoutReport {
 			Killed:          st.Killed,
 			Rejoined:        st.Rejoined,
 			Dead:            st.Dead,
+			Owner:           st.Owner,
+			Epoch:           st.Epoch,
+			Rebalances:      st.Rebalances,
+			FallbackApplies: st.FallbackApplies,
 			Escalations:     st.Escalations,
 			Recoveries:      st.Recoveries,
 			ApplyErrors:     st.ApplyErrors,
